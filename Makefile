@@ -1,0 +1,26 @@
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/network_monitoring.exe
+	dune exec examples/financial_compliance.exe
+	dune exec examples/join_queries.exe
+	dune exec examples/clustered_deployment.exe
+	dune exec examples/end_to_end.exe
+
+clean:
+	dune clean

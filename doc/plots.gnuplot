@@ -1,0 +1,50 @@
+# Plot the paper's headline figures from the benchmark CSVs.
+#
+#   mkdir -p /tmp/rodcsv
+#   dune exec bench/main.exe -- --csv /tmp/rodcsv
+#   gnuplot -e "csvdir='/tmp/rodcsv'" doc/plots.gnuplot
+#
+# Produces fig14.svg, fig15.svg, fig9.svg next to the CSVs.
+
+if (!exists("csvdir")) csvdir = "/tmp/rodcsv"
+set datafile separator ","
+set terminal svg size 720,480 font "Helvetica,13"
+set key outside right top
+set grid
+
+# --- Figure 14(a): feasible-set ratio vs number of operators ---
+set output csvdir."/fig14.svg"
+set title "Resiliency vs number of operators (d=5, n=10)"
+set xlabel "operators"
+set ylabel "feasible-set size / ideal"
+set yrange [0:1]
+f14 = csvdir."/fig14-resiliency-vs-number-of-operators_1.csv"
+plot f14 using 1:2 with linespoints lw 2 title "ROD", \
+     f14 using 1:3 with linespoints lw 2 title "Correlation", \
+     f14 using 1:4 with linespoints lw 2 title "LLF", \
+     f14 using 1:5 with linespoints lw 2 title "Random", \
+     f14 using 1:6 with linespoints lw 2 title "Connected"
+
+# --- Figure 15: ratio to ROD vs number of inputs ---
+set output csvdir."/fig15.svg"
+set title "Relative performance vs number of input streams (n=10)"
+set xlabel "input streams"
+set ylabel "feasible-set size / ROD's"
+set yrange [0:1.2]
+f15 = csvdir."/fig15-resiliency-vs-number-of-input-streams_1.csv"
+plot f15 using 1:2 with linespoints lw 2 title "Correlation", \
+     f15 using 1:3 with linespoints lw 2 title "LLF", \
+     f15 using 1:4 with linespoints lw 2 title "Random", \
+     f15 using 1:5 with linespoints lw 2 title "Connected"
+
+# --- Figure 9: plane distance vs feasible size (binned envelope) ---
+set output csvdir."/fig9.svg"
+set title "Feasible-set ratio vs normalized plane distance r/r*"
+set xlabel "r/r* bin"
+set ylabel "feasible-set size / ideal"
+set yrange [0:*]
+set style data linespoints
+f9 = csvdir."/fig9-plane-distance-vs-feasible-size_1.csv"
+plot f9 using 0:3:xtic(1) lw 2 title "min", \
+     f9 using 0:4 lw 2 title "mean", \
+     f9 using 0:5 lw 2 title "max"
