@@ -1,0 +1,218 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (see DESIGN.md's experiment index): one Registry entry per artifact,
+   printed as plain-text tables.
+
+   Part 2 runs Bechamel micro-benchmarks of the placement algorithms and
+   the supporting machinery, one Test.make per measured operation.
+
+   Flags: --quick (smaller sweeps), --only <id> (a single experiment),
+   --list (show experiment ids), --no-micro / --micro-only. *)
+
+module Problem = Rod.Problem
+module Plan = Rod.Plan
+
+let has_flag flag = Array.exists (fun a -> a = flag) Sys.argv
+
+let flag_value flag =
+  let result = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = flag && i + 1 < Array.length Sys.argv then
+        result := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !result
+
+(* --- part 1: paper artifacts --- *)
+
+let run_experiments ~quick ~only fmt =
+  let selected =
+    match only with
+    | None -> Experiments.Registry.all
+    | Some id -> (
+      match Experiments.Registry.find id with
+      | Some e -> [ e ]
+      | None ->
+        Format.eprintf "unknown experiment %S; try --list@." id;
+        exit 1)
+  in
+  List.iter
+    (fun e ->
+      let started = Sys.time () in
+      e.Experiments.Registry.run ~quick fmt;
+      Format.fprintf fmt "[%s finished in %.1fs cpu]@."
+        e.Experiments.Registry.id
+        (Sys.time () -. started))
+    selected
+
+(* --- part 2: micro-benchmarks --- *)
+
+let fixture ~m ~d ~n_nodes =
+  let rng = Random.State.make [| 4242 |] in
+  let graph =
+    Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree:(m / d)
+  in
+  let problem =
+    Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap:1.)
+  in
+  (graph, problem)
+
+let micro_tests () =
+  let open Bechamel in
+  let graph100, problem100 = fixture ~m:100 ~d:5 ~n_nodes:10 in
+  let _, problem200 = fixture ~m:200 ~d:5 ~n_nodes:10 in
+  let rates = Linalg.Vec.create (Problem.dim problem100) 1. in
+  let series =
+    Linalg.Mat.init 32 (Problem.dim problem100) (fun t k ->
+        float_of_int (((t * 31) + (k * 17)) mod 97) /. 97.)
+  in
+  let plan100 = Rod.Rod_algorithm.plan problem100 in
+  let ln = Plan.node_loads plan100 in
+  let caps = problem100.Problem.caps in
+  let rng = Random.State.make [| 7 |] in
+  let _, small_problem = fixture ~m:8 ~d:2 ~n_nodes:2 in
+  let sim_graph = Query.Builder.chain ~n_ops:3 ~cost:1e-4 ~sel:1. () in
+  let sim_trace = Workload.Trace.create ~dt:1. [| 500. |] in
+  Test.make_grouped ~name:"rod"
+    [
+      Test.make ~name:"place/ROD-m100"
+        (Staged.stage (fun () -> Rod.Rod_algorithm.place problem100));
+      Test.make ~name:"place/ROD-m200"
+        (Staged.stage (fun () -> Rod.Rod_algorithm.place problem200));
+      Test.make ~name:"place/ROD-m1000"
+        (Staged.stage
+           (let _, problem1000 = fixture ~m:1000 ~d:5 ~n_nodes:20 in
+            fun () -> Rod.Rod_algorithm.place problem1000));
+      Test.make ~name:"place/ROD+LS-m50"
+        (Staged.stage
+           (let _, problem50 = fixture ~m:50 ~d:5 ~n_nodes:10 in
+            fun () -> Rod.Local_search.rod_polished ~samples:256 problem50));
+      Test.make ~name:"place/LLF-m100"
+        (Staged.stage (fun () -> Baselines.llf ~rates problem100));
+      Test.make ~name:"place/connected-m100"
+        (Staged.stage (fun () ->
+             Baselines.connected ~rates ~graph:graph100 problem100));
+      Test.make ~name:"place/correlation-m100"
+        (Staged.stage (fun () -> Baselines.correlation ~series problem100));
+      Test.make ~name:"place/random-m100"
+        (Staged.stage (fun () -> Baselines.random_balanced ~rng problem100));
+      Test.make ~name:"volume/qmc-4096"
+        (Staged.stage (fun () ->
+             Feasible.Volume.ratio_qmc ~ln ~caps ~samples:4096 ()));
+      Test.make ~name:"volume/exact-polygon"
+        (Staged.stage (fun () ->
+             let g = Query.Builder.example2 () in
+             let p = Problem.of_graph g ~caps:(Linalg.Vec.of_list [ 1.; 1. ]) in
+             let pl = Plan.make p [| 0; 1; 1; 0 |] in
+             Feasible.Polygon.feasible_area ~ln:(Plan.node_loads pl)
+               ~caps:p.Problem.caps ()));
+      Test.make ~name:"optimal/search-m8-n2"
+        (Staged.stage (fun () -> Rod.Optimal.search ~samples:256 small_problem));
+      Test.make ~name:"sim/chain-1s-500tps"
+        (Staged.stage (fun () ->
+             let arrivals =
+               [| Workload.Generators.deterministic_arrivals ~trace:sim_trace |]
+             in
+             Dsim.Engine.run ~graph:sim_graph ~assignment:[| 0; 0; 0 |]
+               ~caps:(Linalg.Vec.of_list [ 1. ])
+               ~arrivals ~until:1. ()));
+      Test.make ~name:"workload/bmodel-4096"
+        (Staged.stage (fun () ->
+             Workload.Bmodel.generate ~rng ~bias:0.7 ~levels:12 ~total:1e6));
+      Test.make ~name:"cql/compile-monitoring"
+        (Staged.stage
+           (let source =
+              (* Read the shipped query when run from the repo root;
+                 fall back to an embedded equivalent elsewhere. *)
+              match open_in "examples/queries/monitoring.rql" with
+              | ic ->
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              | exception Sys_error _ ->
+                "stream s (src: string, bytes: int, proto: string);\n\
+                 node clean = filter s where proto != \"icmp\";\n\
+                 node vol = aggregate clean window 2.0 by src compute { v = \
+                 sum(bytes) };\n\
+                 node heavy = filter vol where v > 1000.0;\n\
+                 output heavy;"
+            in
+            fun () -> Cql.Frontend.compile_string source));
+      Test.make ~name:"query/partition-8way"
+        (Staged.stage
+           (let g =
+              Query.Randgraph.generate_trees
+                ~rng:(Random.State.make [| 5 |])
+                ~n_inputs:3 ~ops_per_tree:5
+            in
+            fun () -> Query.Partition.split_all ~ways:8 g));
+      Test.make ~name:"failure/mean-survival-m30"
+        (Staged.stage
+           (let _, p = fixture ~m:30 ~d:3 ~n_nodes:4 in
+            let a = Rod.Rod_algorithm.place p in
+            fun () -> Rod.Failure.mean_survival ~samples:512 p ~assignment:a));
+    ]
+
+let run_micro ~quick fmt =
+  let open Bechamel in
+  Format.fprintf fmt
+    "@.==================@.= Microbenchmarks =@.==================@.";
+  let quota = if quick then 0.25 else 1.0 in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:true ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let time_ns =
+          match Analyze.OLS.estimates result with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square result with Some r -> r | None -> nan
+        in
+        (name, time_ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  Format.fprintf fmt "%-34s %14s %8s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, ns, r2) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+        else Printf.sprintf "%.1f ns" ns
+      in
+      Format.fprintf fmt "%-34s %14s %8.4f@." name pretty r2)
+    rows
+
+let () =
+  let quick = has_flag "--quick" in
+  let fmt = Format.std_formatter in
+  if has_flag "--list" then begin
+    List.iter print_endline (Experiments.Registry.ids ());
+    exit 0
+  end;
+  (match flag_value "--csv" with
+  | Some dir ->
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Format.eprintf "--csv: %s is not an existing directory@." dir;
+      exit 1
+    end;
+    Experiments.Report.set_csv_dir (Some dir)
+  | None -> ());
+  let only = flag_value "--only" in
+  if not (has_flag "--micro-only") then run_experiments ~quick ~only fmt;
+  if (not (has_flag "--no-micro")) && only = None then run_micro ~quick fmt;
+  Format.pp_print_flush fmt ()

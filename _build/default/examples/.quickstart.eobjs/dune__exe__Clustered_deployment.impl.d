@@ -1,0 +1,1 @@
+examples/clustered_deployment.ml: Array Feasible Format Linalg List Query Random Rod String

@@ -1,0 +1,1 @@
+examples/cql_trading.ml: Cql Feasible Format List Random Rod Spe Workload

@@ -1,0 +1,1 @@
+examples/cql_trading.mli:

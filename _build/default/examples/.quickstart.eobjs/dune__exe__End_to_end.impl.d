@@ -1,0 +1,1 @@
+examples/end_to_end.ml: Array Dsim Feasible Format Linalg List Query Random Rod Spe Workload

@@ -1,0 +1,1 @@
+examples/financial_compliance.ml: Array Baselines Feasible Format Linalg List Printf Query Random Rod

@@ -1,0 +1,1 @@
+examples/financial_compliance.mli:

@@ -1,0 +1,1 @@
+examples/join_queries.ml: Dsim Feasible Format Linalg List Query Rod

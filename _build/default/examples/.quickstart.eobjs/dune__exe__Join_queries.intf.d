@@ -1,0 +1,1 @@
+examples/join_queries.mli:

@@ -1,0 +1,1 @@
+examples/network_monitoring.ml: Array Baselines Dsim Feasible Format Linalg List Query Random Rod Workload

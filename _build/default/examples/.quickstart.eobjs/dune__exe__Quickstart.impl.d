@@ -1,0 +1,1 @@
+examples/quickstart.ml: Deploy Dsim Feasible Format Linalg Query Rod

@@ -1,0 +1,71 @@
+(* Financial compliance — the wide-graph application of §7.3.1.
+
+   The paper motivates large operator counts with a real-time
+   compliance proof-of-concept: 30 rules took 250 operators, and
+   production systems have hundreds of rules.  This example builds a
+   structurally analogous application (two market feeds, a shared
+   normalisation front end, one shallow subtree per rule), places it
+   with every algorithm and shows how the wide graph lets ROD approach
+   the ideal feasible set.
+
+   Run with: dune exec examples/financial_compliance.exe *)
+
+module Vec = Linalg.Vec
+
+let () =
+  let n_rules = 30 and n_nodes = 8 in
+  let graph = Query.Builder.financial_compliance ~n_rules in
+  let caps = Rod.Problem.homogeneous_caps ~n:n_nodes ~cap:1. in
+  let problem = Rod.Problem.of_graph graph ~caps in
+  Format.printf "compliance app: %d rules -> %d operators on %d nodes@."
+    n_rules (Query.Graph.n_ops graph) n_nodes;
+
+  let rng = Random.State.make [| 11 |] in
+  let mean_rates =
+    (* Both feeds at the center of the ideal simplex. *)
+    let l = Rod.Problem.total_coefficients problem in
+    let c_total = Rod.Problem.total_capacity problem in
+    Vec.init (Rod.Problem.dim problem) (fun k ->
+        0.5 *. c_total /. (2. *. l.(k)))
+  in
+  let series =
+    Linalg.Mat.init 32 (Rod.Problem.dim problem) (fun _ k ->
+        Random.State.float rng (2. *. mean_rates.(k)))
+  in
+  let plans =
+    [
+      ("ROD", Rod.Rod_algorithm.place problem);
+      ( "ROD + local search",
+        (Rod.Local_search.rod_polished ~samples:4096 problem)
+          .Rod.Local_search.assignment );
+      ("LLF", Baselines.llf ~rates:mean_rates problem);
+      ("Connected", Baselines.connected ~rates:mean_rates ~graph problem);
+      ("Correlation", Baselines.correlation ~series problem);
+      ("Random", Baselines.random_balanced ~rng problem);
+    ]
+  in
+  Format.printf "@.%-20s %16s %16s %14s@." "algorithm" "ratio vs ideal"
+    "plane dist r/r*" "ops per node";
+  List.iter
+    (fun (label, assignment) ->
+      let plan = Rod.Plan.make problem assignment in
+      let est = Rod.Plan.volume_qmc ~samples:8192 plan in
+      let s = Rod.Metrics.summary plan in
+      let counts = Rod.Plan.op_counts plan in
+      let spread =
+        Printf.sprintf "%d-%d"
+          (Array.fold_left min max_int counts)
+          (Array.fold_left max 0 counts)
+      in
+      Format.printf "%-20s %16.3f %16.3f %14s@." label
+        est.Feasible.Volume.ratio s.Rod.Metrics.plane_distance_ratio spread)
+    plans;
+  Format.printf
+    "@.With %d operators over %d nodes every informed algorithm can get@."
+    (Query.Graph.n_ops graph) n_nodes;
+  Format.printf
+    "close to the ideal on this wide graph — but the balancers needed the@.";
+  Format.printf
+    "true rate statistics to do it, while ROD used none: its plan is@.";
+  Format.printf
+    "workload-independent and keeps its ratio under ANY rate combination.@."

@@ -1,0 +1,145 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Problem = Rod.Problem
+
+let names = [ "Random"; "LLF"; "Connected"; "Correlation" ]
+
+let random_balanced ~rng problem =
+  let m = Problem.n_ops problem and n = Problem.n_nodes problem in
+  let order = Array.init m (fun j -> j) in
+  for i = m - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  let start = Random.State.int rng n in
+  let assignment = Array.make m 0 in
+  Array.iteri (fun pos j -> assignment.(j) <- (start + pos) mod n) order;
+  assignment
+
+(* Operators by descending load at the reference rate point. *)
+let by_load_desc problem ~rates =
+  let m = Problem.n_ops problem in
+  let load j = Vec.dot (Problem.op_load problem j) rates in
+  let loads = Array.init m load in
+  let order = List.init m (fun j -> j) in
+  (loads, List.stable_sort (fun a b -> compare loads.(b) loads.(a)) order)
+
+let check_rates problem rates =
+  if Vec.dim rates <> Problem.dim problem then
+    invalid_arg "Baselines: rate point dimension mismatch";
+  if Vec.exists (fun r -> r < 0.) rates then
+    invalid_arg "Baselines: negative rate"
+
+let llf ~rates problem =
+  check_rates problem rates;
+  let n = Problem.n_nodes problem in
+  let caps = problem.Problem.caps in
+  let loads, order = by_load_desc problem ~rates in
+  let node_load = Array.make n 0. in
+  let assignment = Array.make (Problem.n_ops problem) 0 in
+  let least_loaded () =
+    Vec.argmin (Vec.init n (fun i -> node_load.(i) /. caps.(i)))
+  in
+  List.iter
+    (fun j ->
+      let i = least_loaded () in
+      assignment.(j) <- i;
+      node_load.(i) <- node_load.(i) +. loads.(j))
+    order;
+  assignment
+
+let neighbor_table graph m =
+  if Query.Graph.n_ops graph <> m then
+    invalid_arg "Baselines.connected: graph has a different operator count";
+  let neighbors = Array.make m [] in
+  List.iter
+    (fun (src, dst) ->
+      match src with
+      | Query.Graph.Op_output u ->
+        neighbors.(u) <- dst :: neighbors.(u);
+        neighbors.(dst) <- u :: neighbors.(dst)
+      | Query.Graph.Sys_input _ -> ())
+    (Query.Graph.arcs graph);
+  neighbors
+
+let connected ~rates ~graph problem =
+  check_rates problem rates;
+  let m = Problem.n_ops problem and n = Problem.n_nodes problem in
+  let caps = problem.Problem.caps in
+  let neighbors = neighbor_table graph m in
+  let loads, order = by_load_desc problem ~rates in
+  let total_load = Array.fold_left ( +. ) 0. loads in
+  let average = total_load /. float_of_int n in
+  let node_load = Array.make n 0. in
+  let assignment = Array.make m (-1) in
+  let unassigned = ref order in
+  let assign j i =
+    assignment.(j) <- i;
+    node_load.(i) <- node_load.(i) +. loads.(j);
+    unassigned := List.filter (fun j' -> j' <> j) !unassigned
+  in
+  (* Most loaded unassigned operator connected to node [i], if any
+     (candidates are scanned in global descending-load order). *)
+  let connected_candidate i =
+    List.find_opt
+      (fun j -> List.exists (fun u -> assignment.(u) = i) neighbors.(j))
+      !unassigned
+  in
+  while !unassigned <> [] do
+    let i = Vec.argmin (Vec.init n (fun i -> node_load.(i) /. caps.(i))) in
+    (match !unassigned with
+    | seed :: _ -> assign seed i
+    | [] -> assert false);
+    let continue = ref true in
+    while !continue do
+      match connected_candidate i with
+      | Some j when node_load.(i) +. loads.(j) < average -> assign j i
+      | Some _ | None -> continue := false
+    done
+  done;
+  assignment
+
+let correlation ?(tolerance = 0.05) ~series problem =
+  let m = Problem.n_ops problem and n = Problem.n_nodes problem in
+  let d = Problem.dim problem in
+  if Mat.cols series <> d then
+    invalid_arg "Baselines.correlation: series has wrong dimension";
+  let steps = Mat.rows series in
+  if steps < 2 then invalid_arg "Baselines.correlation: need >= 2 time steps";
+  let caps = problem.Problem.caps in
+  let op_series =
+    Array.init m (fun j ->
+        let lo_j = Problem.op_load problem j in
+        Array.init steps (fun t -> Vec.dot lo_j (Mat.row series t)))
+  in
+  let mean_loads = Array.map Workload.Stats.mean op_series in
+  let order = List.init m (fun j -> j) in
+  let order =
+    List.stable_sort (fun a b -> compare mean_loads.(b) mean_loads.(a)) order
+  in
+  let node_series = Array.init n (fun _ -> Array.make steps 0.) in
+  let node_load = Array.make n 0. in
+  let assignment = Array.make m 0 in
+  let place j =
+    let corr i = Workload.Stats.correlation op_series.(j) node_series.(i) in
+    let corrs = Vec.init n corr in
+    let best_corr = Vec.min_elt corrs in
+    (* Among near-minimal correlations, prefer the least loaded node. *)
+    let best = ref (-1) in
+    for i = n - 1 downto 0 do
+      if corrs.(i) <= best_corr +. tolerance then
+        match !best with
+        | -1 -> best := i
+        | b -> if node_load.(i) /. caps.(i) < node_load.(b) /. caps.(b) then best := i
+    done;
+    let i = !best in
+    assignment.(j) <- i;
+    node_load.(i) <- node_load.(i) +. mean_loads.(j);
+    for t = 0 to steps - 1 do
+      node_series.(i).(t) <- node_series.(i).(t) +. op_series.(j).(t)
+    done
+  in
+  List.iter place order;
+  assignment

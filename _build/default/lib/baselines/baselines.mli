@@ -1,0 +1,43 @@
+(** The four load-distribution baselines ROD is compared against
+    (§7.2).  Each returns an operator-to-node assignment for a
+    {!Rod.Problem.t}.
+
+    The three balancing algorithms optimize for a {e single} workload
+    point (the observed average input rates), which is exactly the
+    behaviour the paper argues is fragile; the random algorithm only
+    equalizes operator counts. *)
+
+val random_balanced : rng:Random.State.t -> Rod.Problem.t -> int array
+(** Random placement keeping the number of operators per node as equal
+    as possible: a random permutation of operators dealt round-robin to
+    a random rotation of the nodes. *)
+
+val llf : rates:Linalg.Vec.t -> Rod.Problem.t -> int array
+(** Largest-Load-First load balancing: operators ordered by their load
+    at the given average rate point, descending, each assigned to the
+    node with the least accumulated load relative to its capacity. *)
+
+val connected :
+  rates:Linalg.Vec.t -> graph:Query.Graph.t -> Rod.Problem.t -> int array
+(** Connected load balancing: (1) assign the most loaded unassigned
+    operator to the least (relatively) loaded node [N_s]; (2) keep
+    pulling operators connected to [N_s]'s operators onto [N_s], largest
+    load first, while [N_s]'s load stays below the per-node average;
+    (3) repeat.  Minimizes inter-node streams at the cost of putting
+    whole input subtrees on one node. *)
+
+val correlation :
+  ?tolerance:float -> series:Linalg.Mat.t -> Rod.Problem.t -> int array
+(** Correlation-based load balancing (the static adaptation of Xing et
+    al., ICDE 2005, used by the paper as a baseline): [series] is a
+    [T x d] matrix of input-rate samples over time; each operator's load
+    time series is [L^o_j . R(t)].  Operators are placed in descending
+    mean-load order onto the node whose aggregate load series has the
+    lowest correlation with the operator's (operators downstream of the
+    same input are highly correlated and thus end up separated); ties
+    within [tolerance] (default 0.05) go to the least relatively loaded
+    node.  Larger tolerances blend in more LLF-style balancing. *)
+
+val names : string list
+(** Display names, in the paper's order: Random, LLF, Connected,
+    Correlation. *)

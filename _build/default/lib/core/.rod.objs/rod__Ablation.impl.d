@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Array Feasible Linalg List Problem Rod_algorithm

@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Array Float Hashtbl Linalg List Problem Query Rod_algorithm

@@ -1,0 +1,1 @@
+lib/core/clustering.mli: Linalg Problem Query

@@ -1,0 +1,1 @@
+lib/core/failure.ml: Array Feasible Linalg Plan Problem Rod_algorithm

@@ -1,0 +1,1 @@
+lib/core/ideal.mli: Linalg Plan Problem

@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Feasible Linalg Problem Rod_algorithm

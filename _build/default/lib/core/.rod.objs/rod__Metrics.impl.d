@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Feasible Float Format Linalg List Option Plan Problem

@@ -1,0 +1,1 @@
+lib/core/optimal.ml: Array Feasible Linalg Plan Printf Problem

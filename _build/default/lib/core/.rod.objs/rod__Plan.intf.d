@@ -1,0 +1,1 @@
+lib/core/plan.mli: Feasible Format Linalg Problem

@@ -1,0 +1,1 @@
+lib/core/rod_algorithm.ml: Array Feasible Format Linalg List Plan Problem Query

@@ -1,0 +1,1 @@
+lib/core/rod_algorithm.mli: Format Linalg Plan Problem Query

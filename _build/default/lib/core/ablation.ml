@@ -1,0 +1,81 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type variant =
+  | Full
+  | No_ordering
+  | Mmad_only
+  | Mmpd_only
+
+let all = [ Full; No_ordering; Mmad_only; Mmpd_only ]
+
+let name = function
+  | Full -> "ROD (full)"
+  | No_ordering -> "no operator ordering"
+  | Mmad_only -> "MMAD only"
+  | Mmpd_only -> "MMPD only"
+
+(* A stripped greedy sharing ROD's candidate-weight computation but
+   with a pluggable per-operator node choice. *)
+let greedy problem ~order ~choose =
+  let n = Problem.n_nodes problem and m = Problem.n_ops problem in
+  let d = Problem.dim problem in
+  let l = Problem.total_coefficients problem in
+  let caps = problem.Problem.caps in
+  let c_total = Problem.total_capacity problem in
+  let ln = Mat.zeros n d in
+  let assignment = Array.make m 0 in
+  let candidate j i =
+    let lo_j = Problem.op_load problem j in
+    Vec.init d (fun k ->
+        (Mat.get ln i k +. lo_j.(k)) /. l.(k) /. (caps.(i) /. c_total))
+  in
+  List.iter
+    (fun j ->
+      let target = choose (candidate j) in
+      assignment.(j) <- target;
+      Vec.add_inplace (Problem.op_load problem j) (Mat.row ln target))
+    order;
+  assignment
+
+let argbest ~n ~score =
+  let best = ref 0 and best_score = ref (score 0) in
+  for i = 1 to n - 1 do
+    let s = score i in
+    if s > !best_score then begin
+      best := i;
+      best_score := s
+    end
+  done;
+  !best
+
+let place variant problem =
+  let n = Problem.n_nodes problem in
+  match variant with
+  | Full -> Rod_algorithm.place problem
+  | No_ordering ->
+    (* The published two-phase selection, but with phase 1 disabled:
+       reuse the full algorithm on a problem whose rows are pre-ordered
+       is not possible (order is derived), so rebuild the choice here:
+       class-I preference with plane-distance tie-break. *)
+    let order = List.init (Problem.n_ops problem) (fun j -> j) in
+    greedy problem ~order ~choose:(fun candidate ->
+        let class_one = ref [] in
+        for i = n - 1 downto 0 do
+          let w = candidate i in
+          if Feasible.Geometry.below_ideal w then class_one := i :: !class_one
+        done;
+        let pool = match !class_one with [] -> List.init n (fun i -> i) | c -> c in
+        let pool = Array.of_list pool in
+        let score idx = Feasible.Geometry.plane_distance (candidate pool.(idx)) in
+        pool.(argbest ~n:(Array.length pool) ~score))
+  | Mmad_only ->
+    let order = Rod_algorithm.order_operators problem in
+    greedy problem ~order ~choose:(fun candidate ->
+        (* Smallest worst axis weight = greedy per-stream balancing. *)
+        argbest ~n ~score:(fun i -> -.Vec.max_elt (candidate i)))
+  | Mmpd_only ->
+    let order = Rod_algorithm.order_operators problem in
+    greedy problem ~order ~choose:(fun candidate ->
+        argbest ~n ~score:(fun i ->
+            Feasible.Geometry.plane_distance (candidate i)))

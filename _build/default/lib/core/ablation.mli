@@ -1,0 +1,29 @@
+(** Ablated variants of the ROD algorithm, for quantifying how much each
+    design ingredient of §4-§5 contributes:
+
+    - the norm-descending {e operator ordering} of phase 1,
+    - the {e MMAD} class-I move (free placements above the ideal
+      hyperplane),
+    - the {e MMPD} plane-distance choice among class-II nodes.
+
+    Each variant is the published algorithm with exactly one ingredient
+    removed or replaced. *)
+
+type variant =
+  | Full  (** ROD as published (delegates to {!Rod_algorithm}). *)
+  | No_ordering  (** Phase 1 skipped: operators placed in index order. *)
+  | Mmad_only
+      (** Class structure ignored; every operator goes to the node whose
+          worst candidate axis weight is smallest (pure per-stream
+          balancing). *)
+  | Mmpd_only
+      (** Class structure ignored; every operator goes to the node with
+          the largest candidate plane distance (pure hypersphere
+          maximization). *)
+
+val all : variant list
+
+val name : variant -> string
+
+val place : variant -> Problem.t -> int array
+(** Deterministic, like the full algorithm. *)

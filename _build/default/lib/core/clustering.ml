@@ -1,0 +1,256 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Graph = Query.Graph
+module Load_model = Query.Load_model
+
+type policy =
+  | Heaviest_arc_first
+  | Min_weight_pair
+
+type t = {
+  n_clusters : int;
+  op_cluster : int array;
+  members : int list array;
+}
+
+(* --- union-find with cluster load vectors at the roots --- *)
+
+type forest = {
+  parent : int array;
+  load : Vec.t array;  (* valid at roots *)
+}
+
+let rec find forest x =
+  let p = forest.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find forest p in
+    forest.parent.(x) <- root;
+    root
+  end
+
+let union forest a b =
+  let ra = find forest a and rb = find forest b in
+  if ra <> rb then begin
+    forest.parent.(rb) <- ra;
+    forest.load.(ra) <- Vec.add forest.load.(ra) forest.load.(rb)
+  end
+
+let of_forest forest m =
+  let ids = Hashtbl.create 16 in
+  let op_cluster =
+    Array.init m (fun j ->
+        let root = find forest j in
+        match Hashtbl.find_opt ids root with
+        | Some c -> c
+        | None ->
+          let c = Hashtbl.length ids in
+          Hashtbl.add ids root c;
+          c)
+  in
+  let n_clusters = Hashtbl.length ids in
+  let members = Array.make n_clusters [] in
+  for j = m - 1 downto 0 do
+    members.(op_cluster.(j)) <- j :: members.(op_cluster.(j))
+  done;
+  { n_clusters; op_cluster; members }
+
+let trivial ~n_ops =
+  if n_ops < 1 then invalid_arg "Clustering.trivial: n_ops < 1";
+  {
+    n_clusters = n_ops;
+    op_cluster = Array.init n_ops (fun j -> j);
+    members = Array.init n_ops (fun j -> [ j ]);
+  }
+
+(* Operator-to-operator arcs with their transfer load vectors. *)
+let op_arcs model =
+  let graph = model.Load_model.graph in
+  List.filter_map
+    (fun (src, dst) ->
+      match src with
+      | Graph.Sys_input _ -> None
+      | Graph.Op_output u ->
+        let xfer = Graph.arc_xfer_cost graph src in
+        let transfer = Vec.scale xfer (Load_model.source_rate_vec model src) in
+        Some (u, dst, transfer))
+    (Graph.arcs graph)
+
+let cluster ~model ~policy ~threshold ?(max_weight_frac = 0.5) () =
+  if threshold <= 0. then invalid_arg "Clustering.cluster: threshold <= 0";
+  if max_weight_frac <= 0. || max_weight_frac > 1. then
+    invalid_arg "Clustering.cluster: max_weight_frac outside (0,1]";
+  let lo = Load_model.load_coefficients model in
+  let m = Mat.rows lo in
+  let forest =
+    { parent = Array.init m (fun j -> j); load = Array.init m (Mat.row_copy lo) }
+  in
+  let cap = max_weight_frac *. Vec.norm2 (Mat.col_sums lo) in
+  let arcs = op_arcs model in
+  let ratio_of u v transfer =
+    let nu = Vec.norm2 forest.load.(find forest u) in
+    let nv = Vec.norm2 forest.load.(find forest v) in
+    let nt = Vec.norm2 transfer in
+    let small = Float.min nu nv in
+    if small = 0. then if nt > 0. then infinity else 0. else nt /. small
+  in
+  let merged_norm u v =
+    Vec.norm2 (Vec.add forest.load.(find forest u) forest.load.(find forest v))
+  in
+  let pick () =
+    let eligible =
+      List.filter_map
+        (fun (u, v, transfer) ->
+          if find forest u = find forest v then None
+          else
+            let ratio = ratio_of u v transfer in
+            let norm = merged_norm u v in
+            if ratio >= threshold && norm <= cap then Some (ratio, norm, u, v)
+            else None)
+        arcs
+    in
+    match eligible with
+    | [] -> None
+    | first :: rest ->
+      let better (r, w, _, _) (r', w', _, _) =
+        match policy with
+        | Heaviest_arc_first -> r > r'
+        | Min_weight_pair -> w < w'
+      in
+      Some
+        (List.fold_left
+           (fun best c -> if better c best then c else best)
+           first rest)
+  in
+  let rec loop () =
+    match pick () with
+    | None -> ()
+    | Some (_, _, u, v) ->
+      union forest u v;
+      loop ()
+  in
+  loop ();
+  of_forest forest m
+
+let clustered_problem problem clustering =
+  let d = Problem.dim problem in
+  if Array.length clustering.op_cluster <> Problem.n_ops problem then
+    invalid_arg "Clustering.clustered_problem: operator count mismatch";
+  let rows =
+    Array.map
+      (fun ops ->
+        let acc = Vec.zeros d in
+        List.iter (fun j -> Vec.add_inplace (Problem.op_load problem j) acc) ops;
+        acc)
+      clustering.members
+  in
+  Problem.create ~lo:rows ~caps:problem.Problem.caps
+
+let expand clustering cluster_assignment =
+  if Array.length cluster_assignment <> clustering.n_clusters then
+    invalid_arg "Clustering.expand: cluster count mismatch";
+  Array.map (fun c -> cluster_assignment.(c)) clustering.op_cluster
+
+let cut_arcs ~model ~assignment =
+  let graph = model.Load_model.graph in
+  List.filter
+    (fun (src, dst) ->
+      match src with
+      | Graph.Sys_input _ -> false
+      | Graph.Op_output u -> assignment.(u) <> assignment.(dst))
+    (Graph.arcs graph)
+
+(* Communication accounting: a producer ships one copy of its output to
+   each distinct remote node hosting a consumer (paying the transfer
+   cost per copy), and each such node pays the same cost to receive it.
+   System inputs arrive over the network wherever their consumers run,
+   once per consuming node. *)
+let effective_node_loads ~model ~n_nodes ~assignment =
+  let graph = model.Load_model.graph in
+  let lo = Load_model.load_coefficients model in
+  let m = Mat.rows lo and d = Mat.cols lo in
+  if Array.length assignment <> m then
+    invalid_arg "Clustering.effective_node_loads: assignment length";
+  let ln = Mat.zeros n_nodes d in
+  Array.iteri
+    (fun j node -> Vec.add_inplace (Mat.row lo j) (Mat.row ln node))
+    assignment;
+  (* Group consumers by source stream. *)
+  let by_source = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst) ->
+      let existing =
+        match Hashtbl.find_opt by_source src with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_source src (dst :: existing))
+    (Graph.arcs graph);
+  Hashtbl.iter
+    (fun src consumers ->
+      let xfer = Graph.arc_xfer_cost graph src in
+      if xfer > 0. then begin
+        let rate = Load_model.source_rate_vec model src in
+        let transfer = Vec.scale xfer rate in
+        let consumer_nodes =
+          List.sort_uniq compare (List.map (fun j -> assignment.(j)) consumers)
+        in
+        match src with
+        | Graph.Sys_input _ ->
+          List.iter
+            (fun node -> Vec.add_inplace transfer (Mat.row ln node))
+            consumer_nodes
+        | Graph.Op_output u ->
+          let producer = assignment.(u) in
+          let remote = List.filter (fun node -> node <> producer) consumer_nodes in
+          List.iter
+            (fun node ->
+              Vec.add_inplace transfer (Mat.row ln node);
+              Vec.add_inplace transfer (Mat.row ln producer))
+            remote
+      end)
+    by_source;
+  ln
+
+(* Rate-space resiliency score comparable across clusterings: the
+   smallest distance (from the lower-bound point, default origin) to any
+   node's capacity hyperplane [ln_i . R = C_i], communication included. *)
+let rate_space_distance ~ln ~caps ?lower () =
+  let n = Mat.rows ln and d = Mat.cols ln in
+  let b = match lower with Some b -> b | None -> Vec.zeros d in
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    let row = Mat.row ln i in
+    let norm = Vec.norm2 row in
+    if norm > 0. then
+      best := Float.min !best ((caps.(i) -. Vec.dot row b) /. norm)
+  done;
+  !best
+
+let select_best ?(thresholds = [ 0.5; 1.0; 2.0; 4.0 ]) ?max_weight_frac ?lower
+    ~model ~caps () =
+  let problem = Problem.of_model model ~caps in
+  let n_nodes = Vec.dim caps in
+  let candidates =
+    trivial ~n_ops:(Problem.n_ops problem)
+    :: List.concat_map
+         (fun threshold ->
+           List.map
+             (fun policy -> cluster ~model ~policy ~threshold ?max_weight_frac ())
+             [ Heaviest_arc_first; Min_weight_pair ])
+         thresholds
+  in
+  let score clustering =
+    let reduced = clustered_problem problem clustering in
+    let cluster_assignment = Rod_algorithm.place ?lower reduced in
+    let assignment = expand clustering cluster_assignment in
+    let ln = effective_node_loads ~model ~n_nodes ~assignment in
+    (rate_space_distance ~ln ~caps ?lower (), clustering, assignment)
+  in
+  let scored = List.map score candidates in
+  let best =
+    List.fold_left
+      (fun (bs, bc, ba) (s, c, a) ->
+        if s > bs then (s, c, a) else (bs, bc, ba))
+      (List.hd scored) (List.tl scored)
+  in
+  let _, clustering, assignment = best in
+  (clustering, assignment)

@@ -1,0 +1,84 @@
+(** Operator clustering (§6.3): a preprocessing step that folds
+    expensive arcs — streams whose per-tuple network-transfer overhead is
+    large relative to the processing work at their endpoints — so that
+    ROD places whole clusters and those arcs never cross the network.
+
+    An arc's transfer load vector is [xfer_cost(stream) * rate_vec(stream)]
+    (a linear function of the rate variables, like operator loads).  Its
+    {e clustering ratio} is [||transfer|| / min(||L_u||, ||L_v||)] where
+    [L_u], [L_v] are the current load vectors of the two endpoint
+    clusters.  Two greedy policies from the paper:
+
+    - {!Heaviest_arc_first}: repeatedly merge the endpoints of the arc
+      with the largest ratio;
+    - {!Min_weight_pair}: among arcs above the threshold, merge the pair
+      with the smallest combined load norm (avoids creating monster
+      clusters).
+
+    Merging stops when every remaining ratio is below [threshold] or
+    when a merge would push a cluster's share of the total load norm
+    above [max_weight_frac].
+
+    Because neither policy dominates (§6.3), {!select_best} sweeps a set
+    of thresholds under both policies, runs ROD on every clustered
+    instance, and keeps the plan with the greatest plane distance
+    measured on communication-inclusive node loads. *)
+
+type policy =
+  | Heaviest_arc_first
+  | Min_weight_pair
+
+type t = private {
+  n_clusters : int;
+  op_cluster : int array;  (** Operator index to cluster index. *)
+  members : int list array;  (** Cluster index to its operators. *)
+}
+
+val trivial : n_ops:int -> t
+(** Every operator in its own cluster. *)
+
+val cluster :
+  model:Query.Load_model.t ->
+  policy:policy ->
+  threshold:float ->
+  ?max_weight_frac:float ->
+  unit ->
+  t
+(** Greedy clustering of the model's graph.  [max_weight_frac] (default
+    0.5) caps any cluster's load norm at that fraction of the total. *)
+
+val clustered_problem : Problem.t -> t -> Problem.t
+(** The reduced instance whose "operators" are clusters (load rows
+    summed). *)
+
+val expand : t -> int array -> int array
+(** Map a cluster assignment back to a per-operator assignment. *)
+
+val cut_arcs : model:Query.Load_model.t -> assignment:int array ->
+  (Query.Graph.source * int) list
+(** Operator-to-operator arcs crossing nodes under an assignment. *)
+
+val effective_node_loads :
+  model:Query.Load_model.t ->
+  n_nodes:int ->
+  assignment:int array ->
+  Linalg.Mat.t
+(** Node load coefficients {e including} communication CPU: every cut
+    operator arc adds its transfer vector to both endpoint nodes (send
+    and receive sides), and each system input adds its receive cost to
+    the node hosting its consumer.  This is the matrix a
+    communication-aware evaluation should feed to the volume
+    estimator. *)
+
+val select_best :
+  ?thresholds:float list ->
+  ?max_weight_frac:float ->
+  ?lower:Linalg.Vec.t ->
+  model:Query.Load_model.t ->
+  caps:Linalg.Vec.t ->
+  unit ->
+  t * int array
+(** The paper's practical recipe: sweep thresholds x policies, place
+    each clustering with ROD, score each resulting per-operator plan by
+    the plane distance of its communication-inclusive weight matrix, and
+    return the winner (clustering, per-operator assignment). *)

@@ -1,0 +1,66 @@
+module Vec = Linalg.Vec
+
+let check_failed problem failed =
+  let n = Problem.n_nodes problem in
+  if failed < 0 || failed >= n then invalid_arg "Failure: bad node index";
+  if n < 2 then invalid_arg "Failure: cannot lose the only node"
+
+let degraded_caps problem ~failed =
+  let n = Problem.n_nodes problem in
+  Vec.init (n - 1) (fun i ->
+      problem.Problem.caps.(if i < failed then i else i + 1))
+
+let degraded_problem problem ~failed =
+  check_failed problem failed;
+  Problem.create ~lo:problem.Problem.lo ~caps:(degraded_caps problem ~failed)
+
+let recovery_assignment problem ~assignment ~failed =
+  check_failed problem failed;
+  if Array.length assignment <> Problem.n_ops problem then
+    invalid_arg "Failure.recovery_assignment: assignment length";
+  let degraded = degraded_problem problem ~failed in
+  let fixed =
+    Array.map
+      (fun node ->
+        if node = failed then None
+        else Some (if node < failed then node else node - 1))
+      assignment
+  in
+  Rod_algorithm.place_incremental ~fixed degraded
+
+type report = {
+  volume_before : float;
+  volume_after : float;
+  survival : float;
+  capacity_bound : float;
+}
+
+let survival ?(samples = 8192) problem ~assignment ~failed =
+  check_failed problem failed;
+  let before = Plan.make problem assignment in
+  let volume_before = (Plan.volume_qmc ~samples before).Feasible.Volume.volume in
+  let degraded = degraded_problem problem ~failed in
+  let recovered = recovery_assignment problem ~assignment ~failed in
+  let volume_after =
+    (Plan.volume_qmc ~samples (Plan.make degraded recovered))
+      .Feasible.Volume.volume
+  in
+  let c_total = Problem.total_capacity problem in
+  let remaining = c_total -. problem.Problem.caps.(failed) in
+  let capacity_bound =
+    (remaining /. c_total) ** float_of_int (Problem.dim problem)
+  in
+  {
+    volume_before;
+    volume_after;
+    survival = (if volume_before > 0. then volume_after /. volume_before else 0.);
+    capacity_bound;
+  }
+
+let mean_survival ?samples problem ~assignment =
+  let n = Problem.n_nodes problem in
+  let acc = ref 0. in
+  for failed = 0 to n - 1 do
+    acc := !acc +. (survival ?samples problem ~assignment ~failed).survival
+  done;
+  !acc /. float_of_int n

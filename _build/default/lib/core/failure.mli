@@ -1,0 +1,43 @@
+(** Node-failure analysis: how much of a placement's operating envelope
+    survives losing a machine?
+
+    When node [f] fails, its operators must restart elsewhere, but the
+    survivors stay put (migration is expensive — the paper's premise).
+    {!recovery_assignment} pins every surviving operator and places the
+    orphans on the degraded cluster with the incremental ROD greedy;
+    {!survival} then compares feasible volumes before and after.
+
+    An upper bound on survival is set by capacity alone: the degraded
+    ideal simplex has [((C_T - C_f) / C_T)^d] of the original ideal's
+    volume.  A resilient plan should approach that bound; a plan that
+    concentrated some stream's weight on the failed node cannot. *)
+
+val degraded_problem : Problem.t -> failed:int -> Problem.t
+(** The same operators on the cluster minus node [failed] (node indices
+    above [failed] shift down by one). *)
+
+val recovery_assignment :
+  Problem.t -> assignment:int array -> failed:int -> int array
+(** The post-recovery assignment, in the degraded cluster's node
+    indexing.  Survivors keep their (re-indexed) nodes; orphans are
+    placed by {!Rod_algorithm.place_incremental}. *)
+
+type report = {
+  volume_before : float;  (** Feasible volume of the original plan. *)
+  volume_after : float;  (** Feasible volume after recovery. *)
+  survival : float;  (** [volume_after / volume_before] (0 if before = 0). *)
+  capacity_bound : float;
+      (** [((C_T - C_f) / C_T)^d]: the degraded ideal's share of the
+          original ideal volume.  For a plan operating near the ideal
+          this is the survival ceiling set by lost capacity alone; a
+          plan far below the ideal has little to lose and can
+          nominally exceed it. *)
+}
+
+val survival :
+  ?samples:int -> Problem.t -> assignment:int array -> failed:int -> report
+(** QMC-based volumes (default 8192 samples). *)
+
+val mean_survival :
+  ?samples:int -> Problem.t -> assignment:int array -> float
+(** Average survival over every possible single-node failure. *)

@@ -1,0 +1,24 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let matrix problem =
+  let l = Problem.total_coefficients problem in
+  let c_total = Problem.total_capacity problem in
+  let caps = problem.Problem.caps in
+  Mat.init (Problem.n_nodes problem) (Problem.dim problem) (fun i k ->
+      l.(k) *. caps.(i) /. c_total)
+
+let volume ?lower problem =
+  Feasible.Simplex.ideal_volume
+    ~l:(Problem.total_coefficients problem)
+    ~c_total:(Problem.total_capacity problem)
+    ?lower ()
+
+let hyperplane_holds problem ~rates =
+  Vec.dot (Problem.total_coefficients problem) rates
+  <= Problem.total_capacity problem +. 1e-12
+
+let weight_matrix_is_ideal ?(eps = 1e-9) plan =
+  let w = Plan.weight_matrix plan in
+  let ones = Mat.create (Mat.rows w) (Mat.cols w) 1. in
+  Mat.equal ~eps w ones

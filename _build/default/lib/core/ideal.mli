@@ -1,0 +1,25 @@
+(** Theorem 1: the ideal node load-coefficient matrix and the ideal
+    feasible set it induces.
+
+    Among all [n x d] matrices whose columns sum to the total load
+    coefficients [l_k], the matrix [l*_ik = l_k C_i / C_T] — each
+    stream's load split across nodes in proportion to capacity — has the
+    largest feasible set: the simplex below the {e ideal hyperplane}
+    [sum_k l_k r_k = C_T].  It is an upper bound for every achievable
+    plan but is in general not realizable by operator placement. *)
+
+val matrix : Problem.t -> Linalg.Mat.t
+(** The [n x d] ideal matrix [L^n*]. *)
+
+val volume : ?lower:Linalg.Vec.t -> Problem.t -> float
+(** [C_T^d / (d! prod_k l_k)], shrunk appropriately under a lower
+    bound (§6.1). *)
+
+val hyperplane_holds : Problem.t -> rates:Linalg.Vec.t -> bool
+(** Whether a rate point lies on or below the ideal hyperplane
+    ([l . R <= C_T]) — a necessary condition for feasibility under any
+    plan. *)
+
+val weight_matrix_is_ideal : ?eps:float -> Plan.t -> bool
+(** Whether a plan actually achieves the ideal matrix, i.e. its weight
+    matrix is all ones. *)

@@ -1,0 +1,159 @@
+module Vec = Linalg.Vec
+
+type outcome = {
+  assignment : int array;
+  ratio : float;
+  moves : int;
+  passes : int;
+}
+
+(* Shared-sample scoring state, maintained incrementally: per-node,
+   per-sample accumulated load and a per-sample count of capacity
+   violations (feasible iff zero). *)
+type scorer = {
+  samples : int;
+  loads : float array array;  (* op -> sample -> load contribution *)
+  node_load : float array array;  (* node -> sample *)
+  violations : int array;
+  caps : Vec.t;
+  mutable feasible : int;
+}
+
+let make_scorer problem assignment samples =
+  let n = Problem.n_nodes problem in
+  let l = Problem.total_coefficients problem in
+  let c_total = Problem.total_capacity problem in
+  let dim = Problem.dim problem in
+  let points =
+    Array.init samples (fun s ->
+        Feasible.Simplex.sample_ideal ~l ~c_total
+          ~cube_point:(Feasible.Halton.point ~dim s)
+          ())
+  in
+  let loads =
+    Array.init (Problem.n_ops problem) (fun j ->
+        let lo_j = Problem.op_load problem j in
+        Array.map (fun r -> Vec.dot lo_j r) points)
+  in
+  let node_load = Array.init n (fun _ -> Array.make samples 0.) in
+  Array.iteri
+    (fun j node ->
+      let row = node_load.(node) and contrib = loads.(j) in
+      for s = 0 to samples - 1 do
+        row.(s) <- row.(s) +. contrib.(s)
+      done)
+    assignment;
+  let caps = problem.Problem.caps in
+  let violations = Array.make samples 0 in
+  let feasible = ref 0 in
+  for s = 0 to samples - 1 do
+    for i = 0 to n - 1 do
+      if node_load.(i).(s) > caps.(i) then violations.(s) <- violations.(s) + 1
+    done;
+    if violations.(s) = 0 then incr feasible
+  done;
+  { samples; loads; node_load; violations; caps; feasible = !feasible }
+
+(* Apply op j's contribution to node i with the given sign, keeping the
+   violation counters and feasible count consistent. *)
+let shift scorer j i sign =
+  let row = scorer.node_load.(i) and contrib = scorer.loads.(j) in
+  let cap = scorer.caps.(i) in
+  for s = 0 to scorer.samples - 1 do
+    let before = row.(s) in
+    let after = before +. (sign *. contrib.(s)) in
+    row.(s) <- after;
+    if before <= cap && after > cap then begin
+      if scorer.violations.(s) = 0 then scorer.feasible <- scorer.feasible - 1;
+      scorer.violations.(s) <- scorer.violations.(s) + 1
+    end
+    else if before > cap && after <= cap then begin
+      scorer.violations.(s) <- scorer.violations.(s) - 1;
+      if scorer.violations.(s) = 0 then scorer.feasible <- scorer.feasible + 1
+    end
+  done
+
+let move scorer j ~from_node ~to_node =
+  shift scorer j from_node (-1.);
+  shift scorer j to_node 1.
+
+let improve ?(samples = 2048) ?(max_passes = 20) problem assignment =
+  let m = Problem.n_ops problem and n = Problem.n_nodes problem in
+  if Array.length assignment <> m then
+    invalid_arg "Local_search.improve: assignment length";
+  if max_passes < 1 then invalid_arg "Local_search.improve: max_passes < 1";
+  let assignment = Array.copy assignment in
+  let scorer = make_scorer problem assignment samples in
+  let moves = ref 0 in
+  let passes = ref 0 in
+  let improved = ref true in
+  (* One sweep of single-operator relocations; best-of-n per operator,
+     applied immediately when it gains. *)
+  let relocation_sweep () =
+    let any = ref false in
+    for j = 0 to m - 1 do
+      let home = assignment.(j) in
+      let best_gain = ref 0 and best_node = ref home in
+      for i = 0 to n - 1 do
+        if i <> home then begin
+          let before = scorer.feasible in
+          move scorer j ~from_node:home ~to_node:i;
+          let gain = scorer.feasible - before in
+          move scorer j ~from_node:i ~to_node:home;
+          if gain > !best_gain then begin
+            best_gain := gain;
+            best_node := i
+          end
+        end
+      done;
+      if !best_node <> home then begin
+        move scorer j ~from_node:home ~to_node:!best_node;
+        assignment.(j) <- !best_node;
+        incr moves;
+        any := true
+      end
+    done;
+    !any
+  in
+  (* Pairwise exchanges escape single-move local optima (swapping two
+     operators between their nodes keeps per-node counts stable while
+     rebalancing directions). *)
+  let swap_sweep () =
+    let any = ref false in
+    for j1 = 0 to m - 1 do
+      for j2 = j1 + 1 to m - 1 do
+        let a = assignment.(j1) and b = assignment.(j2) in
+        if a <> b then begin
+          let before = scorer.feasible in
+          move scorer j1 ~from_node:a ~to_node:b;
+          move scorer j2 ~from_node:b ~to_node:a;
+          if scorer.feasible > before then begin
+            assignment.(j1) <- b;
+            assignment.(j2) <- a;
+            moves := !moves + 2;
+            any := true
+          end
+          else begin
+            move scorer j1 ~from_node:b ~to_node:a;
+            move scorer j2 ~from_node:a ~to_node:b
+          end
+        end
+      done
+    done;
+    !any
+  in
+  while !improved && !passes < max_passes do
+    incr passes;
+    let relocated = relocation_sweep () in
+    (* Swaps are O(m^2); only pay for them when relocations are dry. *)
+    improved := (relocated || swap_sweep ())
+  done;
+  {
+    assignment;
+    ratio = float_of_int scorer.feasible /. float_of_int samples;
+    moves = !moves;
+    passes = !passes;
+  }
+
+let rod_polished ?samples ?max_passes problem =
+  improve ?samples ?max_passes problem (Rod_algorithm.place problem)

@@ -1,0 +1,37 @@
+(** Plan polishing by hill climbing on the feasible-set objective.
+
+    ROD is greedy and leaves a few percent of feasible volume on the
+    table (TBLOPT measures ~5% against the exhaustive optimum).  This
+    module climbs from any starting assignment using single-operator
+    relocations plus pairwise exchanges (which escape most single-move
+    local optima), scoring candidates on a shared quasi-Monte Carlo
+    sample so comparisons are exact and incremental (the same machinery
+    as {!Optimal}).  It turns ROD into an anytime algorithm: the paper
+    suggests resilient placement as a good {e initial} plan, and this is
+    the natural refinement step.
+
+    Complexity: a relocation sweep examines every (operator, other node)
+    move at [O(samples)] each; swap sweeps are [O(m^2 * samples)] and
+    run only when relocations are exhausted.  The search ends after a
+    pass that finds no improving move. *)
+
+type outcome = {
+  assignment : int array;
+  ratio : float;  (** Feasible fraction of the shared QMC sample. *)
+  moves : int;  (** Accepted moves. *)
+  passes : int;  (** Full sweeps performed (including the final, quiet one). *)
+}
+
+val improve :
+  ?samples:int ->
+  ?max_passes:int ->
+  Problem.t ->
+  int array ->
+  outcome
+(** First-improvement hill climbing (defaults: 2048 samples, at most 20
+    passes).  The result's ratio is measured on the same sample as
+    {!Optimal.ratio_of_assignment}, so values are directly comparable. *)
+
+val rod_polished :
+  ?samples:int -> ?max_passes:int -> Problem.t -> outcome
+(** ROD followed by {!improve}. *)

@@ -1,0 +1,74 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type summary = {
+  plane_distance : float;
+  plane_distance_ratio : float;
+  min_axis_distances : Vec.t;
+  mmad_volume_bound : float;
+  mmpd_volume_bound : float;
+  max_node_weight_norm : float;
+}
+
+let normalized_lower problem b = Problem.normalized_point problem b
+
+let weight_rows plan =
+  let w = Plan.weight_matrix plan in
+  List.init (Mat.rows w) (Mat.row w)
+
+let plane_distance ?lower plan =
+  let point =
+    match lower with
+    | None -> None
+    | Some b -> Some (normalized_lower plan.Plan.problem b)
+  in
+  Feasible.Geometry.min_plane_distance ?point (weight_rows plan)
+
+let min_axis_distance plan k =
+  Feasible.Geometry.min_axis_distance (weight_rows plan) k
+
+let mmad_volume_bound plan =
+  let d = Problem.dim plan.Plan.problem in
+  let prod = ref 1. in
+  for k = 0 to d - 1 do
+    prod := !prod *. Float.min 1. (min_axis_distance plan k)
+  done;
+  !prod
+
+let mmpd_volume_bound plan =
+  let d = Problem.dim plan.Plan.problem in
+  let r = plane_distance plan in
+  if r <= 0. then 0.
+  else begin
+    (* Normalized ideal simplex volume is 1/d!; the quarter-ball of
+       radius r below every hyperplane has volume V_ball(d, r) / 2^d. *)
+    let ball = Feasible.Geometry.hypersphere_volume ~dim:d ~radius:(Float.min r 1.) in
+    let rec fact acc k = if k <= 1 then acc else fact (acc *. float_of_int k) (k - 1) in
+    Float.min 1. (fact 1. d *. ball /. (2. ** float_of_int d))
+  end
+
+let summary ?lower plan =
+  let d = Problem.dim plan.Plan.problem in
+  let rows = weight_rows plan in
+  let r = plane_distance ?lower plan in
+  let point = Option.map (normalized_lower plan.Plan.problem) lower in
+  let r_ideal = Feasible.Geometry.ideal_plane_distance ?point d in
+  let norms = List.map Vec.norm2 rows in
+  {
+    plane_distance = r;
+    plane_distance_ratio = (if r_ideal > 0. then r /. r_ideal else 0.);
+    min_axis_distances = Vec.init d (min_axis_distance plan);
+    mmad_volume_bound = mmad_volume_bound plan;
+    mmpd_volume_bound = mmpd_volume_bound plan;
+    max_node_weight_norm = List.fold_left Float.max 0. norms;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>plane distance r = %.4f (r/r* = %.4f)@,\
+     min axis distances = %a@,\
+     MMAD volume lower bound = %.4f@,\
+     MMPD hypersphere lower bound = %.4f@,\
+     max node weight norm = %.4f@]"
+    s.plane_distance s.plane_distance_ratio Vec.pp s.min_axis_distances
+    s.mmad_volume_bound s.mmpd_volume_bound s.max_node_weight_norm

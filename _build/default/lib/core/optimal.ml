@@ -1,0 +1,92 @@
+module Vec = Linalg.Vec
+
+type result = {
+  assignment : int array;
+  ratio : float;
+  explored : int;
+}
+
+let search_space ~n_nodes ~n_ops = float_of_int n_nodes ** float_of_int n_ops
+
+let sample_points problem samples =
+  let l = Problem.total_coefficients problem in
+  let c_total = Problem.total_capacity problem in
+  let dim = Problem.dim problem in
+  Array.init samples (fun s ->
+      Feasible.Simplex.sample_ideal ~l ~c_total
+        ~cube_point:(Feasible.Halton.point ~dim s)
+        ())
+
+(* Per-operator, per-sample load contributions. *)
+let op_sample_loads problem points =
+  Array.init (Problem.n_ops problem) (fun j ->
+      let lo_j = Problem.op_load problem j in
+      Array.map (fun r -> Vec.dot lo_j r) points)
+
+let ratio_of_assignment ?(samples = 2048) problem assignment =
+  let m = Problem.n_ops problem in
+  if Array.length assignment <> m then
+    invalid_arg "Optimal.ratio_of_assignment: assignment length";
+  let points = sample_points problem samples in
+  let plan = Plan.make problem assignment in
+  let ln = Plan.node_loads plan in
+  Feasible.Volume.ratio_of_points ~ln ~caps:problem.Problem.caps ~points
+
+let search ?(samples = 2048) ?(max_assignments = 1 lsl 22) problem =
+  let n = Problem.n_nodes problem and m = Problem.n_ops problem in
+  let space = search_space ~n_nodes:n ~n_ops:m in
+  let homogeneous =
+    Vec.for_all (fun c -> c = problem.Problem.caps.(0)) problem.Problem.caps
+  in
+  let effective = if homogeneous then space /. float_of_int n else space in
+  if effective > float_of_int max_assignments then
+    invalid_arg
+      (Printf.sprintf
+         "Optimal.search: %.3g assignments exceed the guard of %d" effective
+         max_assignments);
+  let points = sample_points problem samples in
+  let loads = op_sample_loads problem points in
+  let caps = problem.Problem.caps in
+  (* node_load.(i).(s): accumulated load of node i at sample s.
+     violations.(s): number of (node, sample) capacity breaches, so a
+     sample is feasible iff its counter is zero. *)
+  let node_load = Array.init n (fun _ -> Array.make samples 0.) in
+  let violations = Array.make samples 0 in
+  let assignment = Array.make m 0 in
+  let best = ref { assignment = Array.copy assignment; ratio = -1.; explored = 0 } in
+  let explored = ref 0 in
+  let apply j i delta =
+    let row = node_load.(i) and contrib = loads.(j) in
+    let cap = caps.(i) in
+    for s = 0 to samples - 1 do
+      let before = row.(s) in
+      let after = before +. (delta *. contrib.(s)) in
+      row.(s) <- after;
+      if before <= cap && after > cap then violations.(s) <- violations.(s) + 1
+      else if before > cap && after <= cap then violations.(s) <- violations.(s) - 1
+    done
+  in
+  let leaf () =
+    incr explored;
+    let feasible = ref 0 in
+    for s = 0 to samples - 1 do
+      if violations.(s) = 0 then incr feasible
+    done;
+    let ratio = float_of_int !feasible /. float_of_int samples in
+    if ratio > !best.ratio then
+      best := { assignment = Array.copy assignment; ratio; explored = 0 }
+  in
+  let rec visit j =
+    if j = m then leaf ()
+    else begin
+      let limit = if j = 0 && homogeneous then 1 else n in
+      for i = 0 to limit - 1 do
+        assignment.(j) <- i;
+        apply j i 1.;
+        visit (j + 1);
+        apply j i (-1.)
+      done
+    end
+  in
+  visit 0;
+  { !best with explored = !explored }

@@ -1,0 +1,27 @@
+(** Exhaustive optimal placement for small instances (§7.3.1 compares
+    ROD against it on graphs of up to ~a dozen operators on two nodes).
+
+    All [n^m] assignments are enumerated (with a symmetry reduction for
+    homogeneous capacities: the first operator is pinned to node 0,
+    cutting the space by a factor of [n]) and scored by the fraction of
+    a shared quasi-Monte Carlo sample of the ideal simplex that each
+    assignment keeps feasible.  Sharing one sample across assignments
+    makes scores exactly comparable and the argmax meaningful. *)
+
+type result = {
+  assignment : int array;
+  ratio : float;  (** Feasible fraction of the shared QMC sample. *)
+  explored : int;  (** Number of assignments evaluated. *)
+}
+
+val search_space : n_nodes:int -> n_ops:int -> float
+(** [n^m] as a float (to gauge tractability before calling). *)
+
+val search : ?samples:int -> ?max_assignments:int -> Problem.t -> result
+(** Exhaustive search.  Defaults: 2048 samples, a guard of [2^22]
+    assignments ([Invalid_argument] beyond — the caller should shrink
+    the instance instead of waiting forever). *)
+
+val ratio_of_assignment : ?samples:int -> Problem.t -> int array -> float
+(** Score an arbitrary assignment against the same shared sample, e.g.
+    to compare ROD's output with the optimum. *)

@@ -1,0 +1,85 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type t = {
+  problem : Problem.t;
+  assignment : int array;
+}
+
+let make problem assignment =
+  let m = Problem.n_ops problem and n = Problem.n_nodes problem in
+  if Array.length assignment <> m then
+    invalid_arg
+      (Printf.sprintf "Plan.make: assignment length %d <> %d operators"
+         (Array.length assignment) m);
+  Array.iteri
+    (fun j node ->
+      if node < 0 || node >= n then
+        invalid_arg
+          (Printf.sprintf "Plan.make: operator %d assigned to bad node %d" j node))
+    assignment;
+  { problem; assignment = Array.copy assignment }
+
+let assignment t = Array.copy t.assignment
+
+let node_of t j = t.assignment.(j)
+
+let ops_on t i =
+  let acc = ref [] in
+  for j = Array.length t.assignment - 1 downto 0 do
+    if t.assignment.(j) = i then acc := j :: !acc
+  done;
+  !acc
+
+let op_counts t =
+  let counts = Array.make (Problem.n_nodes t.problem) 0 in
+  Array.iter (fun node -> counts.(node) <- counts.(node) + 1) t.assignment;
+  counts
+
+let allocation_matrix t =
+  let n = Problem.n_nodes t.problem and m = Problem.n_ops t.problem in
+  Mat.init n m (fun i j -> if t.assignment.(j) = i then 1. else 0.)
+
+let node_loads t =
+  let n = Problem.n_nodes t.problem and d = Problem.dim t.problem in
+  let ln = Mat.zeros n d in
+  Array.iteri
+    (fun j node -> Vec.add_inplace (Problem.op_load t.problem j) (Mat.row ln node))
+    t.assignment;
+  ln
+
+let weight_matrix t =
+  let ln = node_loads t in
+  let l = Problem.total_coefficients t.problem in
+  let c_total = Problem.total_capacity t.problem in
+  let caps = t.problem.Problem.caps in
+  Mat.init (Mat.rows ln) (Mat.cols ln) (fun i k ->
+      Mat.get ln i k /. l.(k) /. (caps.(i) /. c_total))
+
+let node_load_at t ~rates i = Vec.dot (Mat.row (node_loads t) i) rates
+
+let utilizations t ~rates =
+  let ln = node_loads t in
+  let caps = t.problem.Problem.caps in
+  Vec.init (Mat.rows ln) (fun i -> Vec.dot (Mat.row ln i) rates /. caps.(i))
+
+let is_feasible_at t ~rates =
+  Feasible.Volume.is_feasible ~ln:(node_loads t) ~caps:t.problem.Problem.caps
+    rates
+
+let volume_qmc ?(samples = 4096) ?lower t =
+  Feasible.Volume.ratio_qmc ~ln:(node_loads t) ~caps:t.problem.Problem.caps
+    ~l:(Problem.total_coefficients t.problem)
+    ?lower ~samples ()
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>plan:@,";
+  let n = Problem.n_nodes t.problem in
+  for i = 0 to n - 1 do
+    Format.fprintf fmt "  node %d: ops [%a]@," i
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+         Format.pp_print_int)
+      (ops_on t i)
+  done;
+  Format.fprintf fmt "L^n =@,%a@]" Mat.pp (node_loads t)

@@ -1,0 +1,45 @@
+(** A placement plan: the assignment of every operator to a node,
+    together with the derived matrices of §2.3 (allocation matrix [A],
+    node load coefficients [L^n = A L^o], weight matrix [W]). *)
+
+type t = private {
+  problem : Problem.t;
+  assignment : int array;  (** [assignment.(j)] is operator [j]'s node. *)
+}
+
+val make : Problem.t -> int array -> t
+(** Validates the assignment's length and node indices. *)
+
+val assignment : t -> int array
+(** A copy of the assignment vector. *)
+
+val node_of : t -> int -> int
+
+val ops_on : t -> int -> int list
+(** Operators placed on a node, ascending. *)
+
+val op_counts : t -> int array
+(** Number of operators per node. *)
+
+val allocation_matrix : t -> Linalg.Mat.t
+(** The 0/1 matrix [A] ([n x m]). *)
+
+val node_loads : t -> Linalg.Mat.t
+(** [L^n = A L^o] ([n x d]), computed directly from the assignment. *)
+
+val weight_matrix : t -> Linalg.Mat.t
+(** [w_ik = (l^n_ik / l_k) / (C_i / C_T)] ([n x d]). *)
+
+val node_load_at : t -> rates:Linalg.Vec.t -> int -> float
+(** CPU demand of node [i] at rate point [rates]. *)
+
+val utilizations : t -> rates:Linalg.Vec.t -> Linalg.Vec.t
+(** Per-node load divided by capacity at a rate point. *)
+
+val is_feasible_at : t -> rates:Linalg.Vec.t -> bool
+
+val volume_qmc :
+  ?samples:int -> ?lower:Linalg.Vec.t -> t -> Feasible.Volume.estimate
+(** Quasi-Monte Carlo feasible-set estimate (default 4096 samples). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** A Resilient-Operator-Distribution problem instance (§2.4): an
+    operator load-coefficient matrix [L^o] ([m] operators by [d] rate
+    variables) and a node capacity vector [C] ([n] nodes).
+
+    The goal is an assignment of operators to nodes maximizing the
+    feasible-set volume [vol { R >= 0 : A L^o R <= C }]. *)
+
+type t = private {
+  lo : Linalg.Mat.t;  (** [m x d]; nonnegative, no all-zero column. *)
+  caps : Linalg.Vec.t;  (** [n]; strictly positive. *)
+}
+
+val create : lo:Linalg.Mat.t -> caps:Linalg.Vec.t -> t
+(** Validates shapes and signs (every variable must carry load somewhere,
+    or the feasible set would be unbounded along that axis).
+    The matrices are copied. *)
+
+val of_model : Query.Load_model.t -> caps:Linalg.Vec.t -> t
+(** Instance over a (linearized) query-graph load model. *)
+
+val of_graph : Query.Graph.t -> caps:Linalg.Vec.t -> t
+(** Convenience: derive the load model, then build the instance. *)
+
+val homogeneous_caps : n:int -> cap:float -> Linalg.Vec.t
+
+val n_ops : t -> int
+
+val n_nodes : t -> int
+
+val dim : t -> int
+(** Number of rate variables [d]. *)
+
+val op_load : t -> int -> Linalg.Vec.t
+(** Row [j] of [L^o] (shared; treat as read-only). *)
+
+val total_coefficients : t -> Linalg.Vec.t
+(** [l_k]: column sums of [L^o]. *)
+
+val total_capacity : t -> float
+(** [C_T = sum_i C_i]. *)
+
+val normalized_point : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Map a rate point [R] into the paper's normalized coordinates
+    [x_k = l_k r_k / C_T] (§3.3), e.g. to turn a lower-bound point [B]
+    into the hypersphere center of the MMPD-with-lower-bound metric. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,192 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type class_one_policy =
+  | Max_plane_distance
+  | First_fit
+  | Min_new_arcs of Query.Graph.t
+
+let order_operators problem =
+  let m = Problem.n_ops problem in
+  let norms = Array.init m (fun j -> Vec.norm2 (Problem.op_load problem j)) in
+  let order = List.init m (fun j -> j) in
+  (* Stable sort keeps index order among equal norms, making the
+     algorithm fully deterministic. *)
+  List.stable_sort (fun a b -> compare norms.(b) norms.(a)) order
+
+(* Operator adjacency from the query graph, for the Min_new_arcs
+   policy. *)
+let neighbor_table graph m =
+  if Query.Graph.n_ops graph <> m then
+    invalid_arg "Rod_algorithm: policy graph has a different operator count";
+  let neighbors = Array.make m [] in
+  List.iter
+    (fun (src, dst) ->
+      match src with
+      | Query.Graph.Op_output u ->
+        neighbors.(u) <- dst :: neighbors.(u);
+        neighbors.(dst) <- u :: neighbors.(dst)
+      | Query.Graph.Sys_input _ -> ())
+    (Query.Graph.arcs graph);
+  neighbors
+
+type decision = {
+  op : int;
+  rank : int;
+  norm : float;
+  node : int;
+  class_one : bool;
+  class_one_count : int;
+  plane_distance : float;
+}
+
+let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
+  let n = Problem.n_nodes problem in
+  let m = Problem.n_ops problem in
+  let d = Problem.dim problem in
+  if Array.length fixed <> m then
+    invalid_arg "Rod_algorithm: fixed array length <> operator count";
+  Array.iter
+    (function
+      | Some node when node < 0 || node >= n ->
+        invalid_arg "Rod_algorithm: fixed operator on a bad node"
+      | Some _ | None -> ())
+    fixed;
+  let l = Problem.total_coefficients problem in
+  let caps = problem.Problem.caps in
+  let c_total = Problem.total_capacity problem in
+  let lower_norm =
+    match lower with
+    | None -> Vec.zeros d
+    | Some b ->
+      if Vec.dim b <> d then invalid_arg "Rod_algorithm: lower bound dimension";
+      Problem.normalized_point problem b
+  in
+  let neighbors =
+    match policy with
+    | Min_new_arcs graph -> Some (neighbor_table graph m)
+    | Max_plane_distance | First_fit -> None
+  in
+  let ln = Mat.zeros n d in
+  let assignment = Array.make m (-1) in
+  (* Pinned operators contribute their load up front. *)
+  Array.iteri
+    (fun j pin ->
+      match pin with
+      | Some node ->
+        assignment.(j) <- node;
+        Vec.add_inplace (Problem.op_load problem j) (Mat.row ln node)
+      | None -> ())
+    fixed;
+  let candidate_weights j i =
+    let lo_j = Problem.op_load problem j in
+    Vec.init d (fun k ->
+        (Mat.get ln i k +. lo_j.(k)) /. l.(k) /. (caps.(i) /. c_total))
+  in
+  let plane_distance w =
+    Feasible.Geometry.plane_distance_from ~point:lower_norm w
+  in
+  let new_cut_arcs j i =
+    match neighbors with
+    | None -> 0
+    | Some tbl ->
+      List.fold_left
+        (fun acc u ->
+          if assignment.(u) >= 0 && assignment.(u) <> i then acc + 1 else acc)
+        0 tbl.(j)
+  in
+  let assign j =
+    let class_one = ref [] in
+    let best_two = ref (-1) in
+    let best_two_dist = ref neg_infinity in
+    for i = n - 1 downto 0 do
+      let w = candidate_weights j i in
+      if Feasible.Geometry.below_ideal w then class_one := (i, w) :: !class_one
+      else begin
+        let dist = plane_distance w in
+        (* >= so that ties resolve to the lowest index (loop descends). *)
+        if dist >= !best_two_dist then begin
+          best_two := i;
+          best_two_dist := dist
+        end
+      end
+    done;
+    let target =
+      match (!class_one, policy) with
+      | [], _ -> !best_two
+      | (i, _) :: _, First_fit -> i
+      | ((i0, w0) :: rest, Max_plane_distance) ->
+        let better (i, w) (best_i, best_w, best_dist) =
+          let dist = plane_distance w in
+          if dist > best_dist then (i, w, dist) else (best_i, best_w, best_dist)
+        in
+        let i, _, _ =
+          List.fold_left (fun acc c -> better c acc) (i0, w0, plane_distance w0)
+            rest
+        in
+        i
+      | (candidates, Min_new_arcs _) -> (
+        let scored =
+          List.map
+            (fun (i, w) -> (new_cut_arcs j i, -.plane_distance w, i))
+            candidates
+        in
+        match List.sort compare scored with
+        | (_, _, i) :: _ -> i
+        | [] -> assert false)
+    in
+    assignment.(j) <- target;
+    Vec.add_inplace (Problem.op_load problem j) (Mat.row ln target);
+    (match trace with
+    | Some log ->
+      let w_after =
+        Vec.init d (fun k -> Mat.get ln target k /. l.(k) /. (caps.(target) /. c_total))
+      in
+      log :=
+        {
+          op = j;
+          rank = List.length !log;
+          norm = Vec.norm2 (Problem.op_load problem j);
+          node = target;
+          class_one = !class_one <> [];
+          class_one_count = List.length !class_one;
+          plane_distance = plane_distance w_after;
+        }
+        :: !log
+    | None -> ())
+  in
+  List.iter
+    (fun j -> if fixed.(j) = None then assign j)
+    (order_operators problem);
+  assignment
+
+let place ?lower ?policy problem =
+  place_internal ?lower ?policy
+    ~fixed:(Array.make (Problem.n_ops problem) None)
+    problem
+
+let place_traced ?lower ?policy problem =
+  let log = ref [] in
+  let assignment =
+    place_internal ?lower ?policy ~trace:log
+      ~fixed:(Array.make (Problem.n_ops problem) None)
+      problem
+  in
+  (assignment, List.rev !log)
+
+let pp_trace fmt decisions =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun decision ->
+      Format.fprintf fmt
+        "%3d. o%-4d (|l|=%.3g) -> node %d  %s(%d free)  r after = %.3f@,"
+        decision.rank decision.op decision.norm decision.node
+        (if decision.class_one then "class I " else "class II")
+        decision.class_one_count decision.plane_distance)
+    decisions;
+  Format.fprintf fmt "@]"
+
+let place_incremental ?lower ?policy ~fixed problem =
+  place_internal ?lower ?policy ~fixed problem
+
+let plan ?lower ?policy problem = Plan.make problem (place ?lower ?policy problem)

@@ -1,0 +1,72 @@
+(** The Resilient Operator Distribution algorithm (§5, Figure 10).
+
+    Phase 1 sorts operators by the Euclidean norm of their load
+    coefficient vectors, descending, so high-impact operators are placed
+    while the most freedom remains.  Phase 2 assigns each operator
+    greedily: nodes whose candidate weight row would stay at or below 1
+    on {e every} axis (candidate hyperplane above the ideal hyperplane)
+    form {e class I} — assigning there cannot shrink the final feasible
+    set, and the choice among them follows the MMAD heuristic.  When no
+    class-I node exists the feasible set must shrink, and the operator
+    goes to the node with the largest candidate plane distance (MMPD).
+
+    With a lower-bound workload point [B] (§6.1), plane distances are
+    measured from the normalized image of [B] instead of the origin. *)
+
+type class_one_policy =
+  | Max_plane_distance
+      (** Pick the class-I node keeping the largest candidate plane
+          distance (default). *)
+  | First_fit  (** Pick the lowest-index class-I node. *)
+  | Min_new_arcs of Query.Graph.t
+      (** Pick the class-I node minimizing newly cut graph arcs
+          (§5.2's "minimum number of inter-node streams" criterion);
+          ties broken by plane distance. *)
+
+val order_operators : Problem.t -> int list
+(** Phase 1: operator indices by descending [||l^o_j||_2] (stable for
+    equal norms). *)
+
+val place :
+  ?lower:Linalg.Vec.t -> ?policy:class_one_policy -> Problem.t -> int array
+(** Run ROD and return the assignment (operator index to node index).
+    Deterministic.  [lower], if given, is a rate-space lower-bound point
+    of dimension [d]. *)
+
+val plan : ?lower:Linalg.Vec.t -> ?policy:class_one_policy -> Problem.t -> Plan.t
+(** [place] wrapped into a {!Plan.t}. *)
+
+type decision = {
+  op : int;  (** Operator placed. *)
+  rank : int;  (** Position in the phase-1 order (0 = heaviest). *)
+  norm : float;  (** [||l^o_op||_2]. *)
+  node : int;  (** Chosen node. *)
+  class_one : bool;  (** Whether the choice was a free (class-I) move. *)
+  class_one_count : int;  (** Class-I candidates available at the time. *)
+  plane_distance : float;
+      (** Plane distance of the chosen node's weight row {e after} the
+          assignment (measured from the lower bound if one is set). *)
+}
+(** One step of the greedy, for explaining a plan to a human. *)
+
+val place_traced :
+  ?lower:Linalg.Vec.t ->
+  ?policy:class_one_policy ->
+  Problem.t ->
+  int array * decision list
+(** Like {!place}, also returning the decision log in placement order. *)
+
+val pp_trace : Format.formatter -> decision list -> unit
+
+val place_incremental :
+  ?lower:Linalg.Vec.t ->
+  ?policy:class_one_policy ->
+  fixed:int option array ->
+  Problem.t ->
+  int array
+(** Incremental placement for systems that cannot migrate (the paper's
+    whole premise): operators with [fixed.(j) = Some node] stay where
+    they are and only contribute their load; the remaining operators are
+    placed by the usual two-phase greedy around them.  Typical use:
+    queries were added to a running deployment — extend [L^o] with the
+    new rows, pin the old operators, place the new ones. *)

@@ -1,0 +1,1 @@
+lib/cql/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/cql/check.ml: Ast Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/cql/compile.ml: Ast Check Float List Option Query Spe String

@@ -1,0 +1,1 @@
+lib/cql/compile.mli: Ast Check Spe

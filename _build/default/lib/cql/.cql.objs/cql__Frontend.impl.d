@@ -1,0 +1,1 @@
+lib/cql/frontend.ml: Ast Buffer Check Compile Format Fun Lexer List Parser Printf Spe String

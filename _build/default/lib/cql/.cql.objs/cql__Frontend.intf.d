@@ -1,0 +1,1 @@
+lib/cql/frontend.mli: Ast Compile

@@ -1,0 +1,1 @@
+lib/cql/lexer.ml: Ast Buffer List Printf String

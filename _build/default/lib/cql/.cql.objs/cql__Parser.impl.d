@@ -1,0 +1,1 @@
+lib/cql/parser.ml: Ast Lexer List Printf String

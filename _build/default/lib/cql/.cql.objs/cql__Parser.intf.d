@@ -1,0 +1,1 @@
+lib/cql/parser.mli: Ast

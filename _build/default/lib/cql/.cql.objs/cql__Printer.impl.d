@@ -1,0 +1,1 @@
+lib/cql/printer.ml: Ast Buffer Float Format Option Printf String

@@ -1,0 +1,1 @@
+lib/cql/printer.mli: Ast Format

@@ -1,0 +1,119 @@
+type pos = {
+  line : int;
+  col : int;
+}
+
+type field_type =
+  | T_int
+  | T_float
+  | T_string
+
+type expr =
+  | Field of string * pos
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Unary of unary * expr
+  | Binary of binary * expr * expr * pos
+
+and unary =
+  | Neg
+  | Not
+
+and binary =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type aggregate_call =
+  | Agg_count
+  | Agg_sum of string * pos
+  | Agg_avg of string * pos
+  | Agg_min of string * pos
+  | Agg_max of string * pos
+
+type node_body =
+  | Filter of {
+      input : string * pos;
+      predicate : expr;
+    }
+  | Map of {
+      input : string * pos;
+      assignments : (string * expr) list;
+    }
+  | Select of {
+      input : string * pos;
+      keep : (string * pos) list;
+    }
+  | Merge of (string * pos) list
+  | Aggregate of {
+      input : string * pos;
+      window : float;
+      slide : float option;
+      group_by : (string * pos) option;
+      compute : (string * aggregate_call) list;
+    }
+  | Join of {
+      left : string * pos;
+      right : string * pos;
+      window : float;
+      left_key : string * pos;
+      right_key : string * pos;
+    }
+  | Distinct of {
+      input : string * pos;
+      window : float;
+      key : string * pos;
+    }
+
+type decl =
+  | Stream_decl of {
+      name : string;
+      pos : pos;
+      fields : (string * field_type) list;
+    }
+  | Node_decl of {
+      name : string;
+      pos : pos;
+      body : node_body;
+    }
+  | Output_decl of string * pos
+
+type program = decl list
+
+let pp_field_type fmt t =
+  Format.pp_print_string fmt
+    (match t with T_int -> "int" | T_float -> "float" | T_string -> "string")
+
+let binary_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+let rec pp_expr fmt = function
+  | Field (name, _) -> Format.pp_print_string fmt name
+  | Int_lit i -> Format.pp_print_int fmt i
+  | Float_lit f -> Format.fprintf fmt "%g" f
+  | Str_lit s -> Format.fprintf fmt "%S" s
+  | Unary (Neg, e) -> Format.fprintf fmt "(-%a)" pp_expr e
+  | Unary (Not, e) -> Format.fprintf fmt "(not %a)" pp_expr e
+  | Binary (op, a, b, _) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (binary_symbol op) pp_expr b

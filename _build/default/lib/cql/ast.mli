@@ -1,0 +1,111 @@
+(** Abstract syntax of the query language — a small declarative
+    pipeline language in the spirit of the continuous-query languages
+    the stream-processing systems of the era exposed (Aurora's boxes
+    and arrows, STREAM's CQL):
+
+    {v
+    stream packets (src: string, bytes: int, proto: string);
+
+    node clean = filter packets where proto != "icmp" and bytes > 40;
+    node vols  = aggregate clean window 2.0 by src
+                 compute { volume = sum(bytes), n = count() };
+    node heavy = filter vols where volume > 18000.0;
+    output heavy;
+    v} *)
+
+type pos = {
+  line : int;  (** 1-based. *)
+  col : int;  (** 1-based. *)
+}
+
+type field_type =
+  | T_int
+  | T_float
+  | T_string
+
+type expr =
+  | Field of string * pos
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Unary of unary * expr
+  | Binary of binary * expr * expr * pos  (** Position of the operator. *)
+
+and unary =
+  | Neg
+  | Not
+
+and binary =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type aggregate_call =
+  | Agg_count
+  | Agg_sum of string * pos
+  | Agg_avg of string * pos
+  | Agg_min of string * pos
+  | Agg_max of string * pos
+
+type node_body =
+  | Filter of {
+      input : string * pos;
+      predicate : expr;
+    }
+  | Map of {
+      input : string * pos;
+      assignments : (string * expr) list;
+    }
+  | Select of {
+      input : string * pos;
+      keep : (string * pos) list;
+    }
+  | Merge of (string * pos) list
+  | Aggregate of {
+      input : string * pos;
+      window : float;
+      slide : float option;
+      group_by : (string * pos) option;
+      compute : (string * aggregate_call) list;
+    }
+  | Join of {
+      left : string * pos;
+      right : string * pos;
+      window : float;
+      left_key : string * pos;
+      right_key : string * pos;
+    }
+  | Distinct of {
+      input : string * pos;
+      window : float;
+      key : string * pos;
+    }
+
+type decl =
+  | Stream_decl of {
+      name : string;
+      pos : pos;
+      fields : (string * field_type) list;
+    }
+  | Node_decl of {
+      name : string;
+      pos : pos;
+      body : node_body;
+    }
+  | Output_decl of string * pos
+
+type program = decl list
+
+val pp_field_type : Format.formatter -> field_type -> unit
+
+val pp_expr : Format.formatter -> expr -> unit
+(** Fully parenthesized, for diagnostics. *)

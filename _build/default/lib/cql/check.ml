@@ -1,0 +1,268 @@
+open Ast
+
+type schema = (string * field_type) list
+
+type node = {
+  name : string;
+  body : node_body;
+  schema : schema;
+}
+
+type checked = {
+  streams : (string * schema) list;
+  nodes : node list;
+  outputs : string list;
+}
+
+exception Error of pos * string
+
+let fail pos fmt = Printf.ksprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+let normalize_schema fields = List.sort (fun (a, _) (b, _) -> compare a b) fields
+
+let field_type schema name pos =
+  match List.assoc_opt name schema with
+  | Some t -> t
+  | None ->
+    fail pos "unknown field %S (have: %s)" name
+      (String.concat ", " (List.map fst schema))
+
+let type_name = function
+  | `Bool -> "bool"
+  | `Scalar T_int -> "int"
+  | `Scalar T_float -> "float"
+  | `Scalar T_string -> "string"
+
+let rec type_of_expr schema expr =
+  match expr with
+  | Field (name, pos) -> `Scalar (field_type schema name pos)
+  | Int_lit _ -> `Scalar T_int
+  | Float_lit _ -> `Scalar T_float
+  | Str_lit _ -> `Scalar T_string
+  | Unary (Neg, e) -> (
+    match type_of_expr schema e with
+    | `Scalar T_int -> `Scalar T_int
+    | `Scalar T_float -> `Scalar T_float
+    | other ->
+      fail (expr_pos e) "unary '-' needs a number, got %s" (type_name other))
+  | Unary (Not, e) -> (
+    match type_of_expr schema e with
+    | `Bool -> `Bool
+    | other -> fail (expr_pos e) "'not' needs a boolean, got %s" (type_name other))
+  | Binary (op, a, b, pos) -> (
+    let ta = type_of_expr schema a and tb = type_of_expr schema b in
+    let numeric t = t = `Scalar T_int || t = `Scalar T_float in
+    match op with
+    | Add | Sub | Mul | Div ->
+      if not (numeric ta && numeric tb) then
+        fail pos "arithmetic needs numbers, got %s and %s" (type_name ta)
+          (type_name tb);
+      if op = Div then `Scalar T_float
+      else if ta = `Scalar T_float || tb = `Scalar T_float then `Scalar T_float
+      else `Scalar T_int
+    | Eq | Neq ->
+      if numeric ta && numeric tb then `Bool
+      else if ta = `Scalar T_string && tb = `Scalar T_string then `Bool
+      else
+        fail pos "'==' / '!=' compare two numbers or two strings, got %s and %s"
+          (type_name ta) (type_name tb)
+    | Lt | Le | Gt | Ge ->
+      if (numeric ta && numeric tb)
+         || (ta = `Scalar T_string && tb = `Scalar T_string)
+      then `Bool
+      else
+        fail pos "ordering compares two numbers or two strings, got %s and %s"
+          (type_name ta) (type_name tb)
+    | And | Or ->
+      if ta = `Bool && tb = `Bool then `Bool
+      else
+        fail pos "'%s' needs booleans, got %s and %s"
+          (match op with And -> "and" | _ -> "or")
+          (type_name ta) (type_name tb))
+
+and expr_pos = function
+  | Field (_, pos) -> pos
+  | Binary (_, _, _, pos) -> pos
+  | Unary (_, e) -> expr_pos e
+  | Int_lit _ | Float_lit _ | Str_lit _ -> { line = 0; col = 0 }
+
+let check_stream_decl seen ~name ~pos ~fields =
+  if List.mem_assoc name seen then fail pos "duplicate name %S" name;
+  (match fields with [] -> fail pos "stream %S has no fields" name | _ -> ());
+  let sorted = normalize_schema fields in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then fail pos "stream %S: duplicate field %S" name a;
+      dup rest
+    | _ -> ()
+  in
+  dup sorted;
+  sorted
+
+let schema_of env (name, pos) =
+  match List.assoc_opt name env with
+  | Some schema -> schema
+  | None -> fail pos "unknown stream or node %S" name
+
+let numeric_field schema (field, pos) =
+  match field_type schema field pos with
+  | T_int | T_float -> ()
+  | T_string -> fail pos "field %S must be numeric" field
+
+let check_body env body =
+  match body with
+  | Filter { input; predicate } ->
+    let schema = schema_of env input in
+    (match type_of_expr schema predicate with
+    | `Bool -> ()
+    | other ->
+      fail (snd input) "filter predicate must be boolean, got %s"
+        (type_name other));
+    schema
+  | Map { input; assignments } ->
+    let schema = schema_of env input in
+    List.fold_left
+      (fun acc (field, expr) ->
+        match type_of_expr schema expr with
+        | `Bool ->
+          fail (expr_pos expr) "field %S: boolean-valued fields are not allowed"
+            field
+        | `Scalar t ->
+          normalize_schema ((field, t) :: List.remove_assoc field acc))
+      schema assignments
+  | Select { input; keep } ->
+    let schema = schema_of env input in
+    normalize_schema
+      (List.map (fun (field, pos) -> (field, field_type schema field pos)) keep)
+  | Merge inputs ->
+    let schemas = List.map (fun input -> (input, schema_of env input)) inputs in
+    (match schemas with
+    | ((_, first_pos), first) :: rest ->
+      List.iter
+        (fun ((name, pos), schema) ->
+          if schema <> first then
+            fail pos "merge input %S has a different schema" name;
+          ignore first_pos)
+        rest;
+      first
+    | [] -> assert false)
+  | Aggregate { input; window; slide; group_by; compute } ->
+    let schema = schema_of env input in
+    if window <= 0. then fail (snd input) "window must be positive";
+    (match slide with
+    | Some s when s <= 0. -> fail (snd input) "slide must be positive"
+    | Some _ | None -> ());
+    (match compute with
+    | [] -> fail (snd input) "aggregate computes nothing"
+    | _ -> ());
+    Option.iter (fun g -> ignore (field_type schema (fst g) (snd g))) group_by;
+    let out_fields =
+      List.map
+        (fun (out, call) ->
+          (match call with
+          | Agg_count -> ()
+          | Agg_sum (f, p) | Agg_avg (f, p) | Agg_min (f, p) | Agg_max (f, p) ->
+            numeric_field schema (f, p));
+          (out, match call with Agg_count -> T_int | _ -> T_float))
+        compute
+    in
+    let out_fields =
+      match group_by with
+      | Some (g, pos) ->
+        if List.mem_assoc "group" out_fields then
+          fail pos "output field \"group\" is reserved for the grouping value";
+        ("group", field_type schema g pos) :: out_fields
+      | None -> out_fields
+    in
+    let sorted = normalize_schema out_fields in
+    let rec dup = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then
+          fail (snd input) "aggregate output field %S defined twice" a;
+        dup rest
+      | _ -> ()
+    in
+    dup sorted;
+    sorted
+  | Distinct { input; window; key } ->
+    let schema = schema_of env input in
+    if window <= 0. then fail (snd input) "window must be positive";
+    ignore (field_type schema (fst key) (snd key));
+    schema
+  | Join { left; right; window; left_key; right_key } ->
+    if window <= 0. then fail (snd left) "window must be positive";
+    let ls = schema_of env left and rs = schema_of env right in
+    let lt = field_type ls (fst left_key) (snd left_key) in
+    let rt = field_type rs (fst right_key) (snd right_key) in
+    if lt <> rt then
+      fail (snd right_key)
+        "join keys %S (%s) and %S (%s) have different types" (fst left_key)
+        (Format.asprintf "%a" pp_field_type lt)
+        (fst right_key)
+        (Format.asprintf "%a" pp_field_type rt);
+    normalize_schema
+      (List.map (fun (f, t) -> ("l_" ^ f, t)) ls
+      @ List.map (fun (f, t) -> ("r_" ^ f, t)) rs)
+
+let check program =
+  let env = ref [] in
+  let streams = ref [] in
+  let nodes = ref [] in
+  let outputs = ref [] in
+  let node_positions = ref [] in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Stream_decl { name; pos; fields } ->
+        let schema = check_stream_decl !env ~name ~pos ~fields in
+        env := (name, schema) :: !env;
+        streams := (name, schema) :: !streams
+      | Node_decl { name; pos; body } ->
+        if List.mem_assoc name !env then fail pos "duplicate name %S" name;
+        let schema = check_body !env body in
+        env := (name, schema) :: !env;
+        nodes := { name; body; schema } :: !nodes;
+        node_positions := (name, pos) :: !node_positions
+      | Output_decl (name, pos) ->
+        if List.mem name !outputs then
+          fail pos "node %S already declared as output" name;
+        if not (List.exists (fun n -> n.name = name) !nodes) then
+          fail pos "output %S is not a node" name;
+        outputs := name :: !outputs)
+    program;
+  let nodes = List.rev !nodes in
+  let outputs = List.rev !outputs in
+  (* Consumption analysis: outputs must be dead ends; dead ends must be
+     outputs. *)
+  let consumed name =
+    List.exists
+      (fun n ->
+        let reads =
+          match n.body with
+          | Filter { input; _ } | Map { input; _ } | Select { input; _ }
+          | Aggregate { input; _ } | Distinct { input; _ } -> [ input ]
+          | Merge inputs -> inputs
+          | Join { left; right; _ } -> [ left; right ]
+        in
+        List.exists (fun (i, _) -> i = name) reads)
+      nodes
+  in
+  List.iter
+    (fun n ->
+      let pos =
+        match List.assoc_opt n.name !node_positions with
+        | Some p -> p
+        | None -> { line = 0; col = 0 }
+      in
+      let is_output = List.mem n.name outputs in
+      let is_consumed = consumed n.name in
+      if is_output && is_consumed then
+        fail pos "output node %S is also consumed downstream" n.name;
+      if (not is_output) && not is_consumed then
+        fail pos "node %S is a dead end: consume it or declare 'output %s'"
+          n.name n.name)
+    nodes;
+  (match outputs with
+  | [] -> fail { line = 0; col = 0 } "the program declares no output"
+  | _ -> ());
+  { streams = List.rev !streams; nodes; outputs }

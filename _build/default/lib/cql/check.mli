@@ -1,0 +1,42 @@
+(** Semantic analysis: name resolution, schema inference and expression
+    typing.
+
+    Rules:
+    - streams and nodes share one namespace; names are unique and must
+      be declared before use (which also guarantees acyclicity);
+    - [filter] predicates must be boolean; arithmetic mixes int/float
+      (promoting to float; [/] always yields float); [==]/[!=] compare
+      two numbers or two strings; ordering compares numbers or strings;
+    - [map] assignments add or replace fields (boolean-valued fields are
+      rejected — tuples carry scalars);
+    - [merge] inputs must have identical schemas;
+    - [aggregate] computes [count()] (int) and [sum/avg/min/max(field)]
+      (float) over numeric fields; with [by f] the output carries the
+      grouping value in a field named [group];
+    - [join] keys must have the same type; the output schema prefixes
+      the two sides' fields with [l_] and [r_];
+    - every dead-end node must be declared [output], and [output] nodes
+      must not be consumed downstream. *)
+
+type schema = (string * Ast.field_type) list
+(** Sorted by field name. *)
+
+type node = {
+  name : string;
+  body : Ast.node_body;
+  schema : schema;
+}
+
+type checked = {
+  streams : (string * schema) list;  (** In declaration order. *)
+  nodes : node list;  (** In declaration order. *)
+  outputs : string list;
+}
+
+exception Error of Ast.pos * string
+
+val check : Ast.program -> checked
+(** @raise Error with a source position on any semantic problem. *)
+
+val type_of_expr : schema -> Ast.expr -> [ `Scalar of Ast.field_type | `Bool ]
+(** Exposed for tests.  @raise Error on ill-typed expressions. *)

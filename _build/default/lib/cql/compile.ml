@@ -1,0 +1,157 @@
+module Tuple = Spe.Tuple
+module Value = Spe.Value
+module Sop = Spe.Sop
+
+type compiled = {
+  network : Spe.Network.t;
+  inputs : (string * Check.schema) list;
+  node_index : (string * int) list;
+  outputs : (string * int) list;
+}
+
+(* Runtime values during expression evaluation; the checker guarantees
+   operands are compatible, so coercions below cannot fail. *)
+type rv =
+  | R_int of int
+  | R_float of float
+  | R_str of string
+  | R_bool of bool
+
+let rv_of_value = function
+  | Value.Int i -> R_int i
+  | Value.Float f -> R_float f
+  | Value.Str s -> R_str s
+
+let value_of_rv = function
+  | R_int i -> Value.Int i
+  | R_float f -> Value.Float f
+  | R_str s -> Value.Str s
+  | R_bool _ -> invalid_arg "Cql: boolean cannot be stored in a tuple"
+
+let as_float = function
+  | R_int i -> float_of_int i
+  | R_float f -> f
+  | R_str _ | R_bool _ -> invalid_arg "Cql: expected a number"
+
+let as_bool = function
+  | R_bool b -> b
+  | R_int _ | R_float _ | R_str _ -> invalid_arg "Cql: expected a boolean"
+
+let rec eval expr tuple =
+  match expr with
+  | Ast.Field (name, _) -> rv_of_value (Tuple.find tuple name)
+  | Ast.Int_lit i -> R_int i
+  | Ast.Float_lit f -> R_float f
+  | Ast.Str_lit s -> R_str s
+  | Ast.Unary (Ast.Neg, e) -> (
+    match eval e tuple with
+    | R_int i -> R_int (-i)
+    | R_float f -> R_float (-.f)
+    | R_str _ | R_bool _ -> invalid_arg "Cql: negating a non-number")
+  | Ast.Unary (Ast.Not, e) -> R_bool (not (as_bool (eval e tuple)))
+  | Ast.Binary (op, a, b, _) -> (
+    match op with
+    | Ast.And ->
+      (* Short-circuit. *)
+      R_bool (as_bool (eval a tuple) && as_bool (eval b tuple))
+    | Ast.Or -> R_bool (as_bool (eval a tuple) || as_bool (eval b tuple))
+    | Ast.Add | Ast.Sub | Ast.Mul -> (
+      let va = eval a tuple and vb = eval b tuple in
+      let combine i_op f_op =
+        match (va, vb) with
+        | R_int x, R_int y -> R_int (i_op x y)
+        | _ -> R_float (f_op (as_float va) (as_float vb))
+      in
+      match op with
+      | Ast.Add -> combine ( + ) ( +. )
+      | Ast.Sub -> combine ( - ) ( -. )
+      | _ -> combine ( * ) ( *. ))
+    | Ast.Div -> R_float (as_float (eval a tuple) /. as_float (eval b tuple))
+    | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      let va = eval a tuple and vb = eval b tuple in
+      let cmp =
+        match (va, vb) with
+        | R_str x, R_str y -> String.compare x y
+        | _ -> Float.compare (as_float va) (as_float vb)
+      in
+      R_bool
+        (match op with
+        | Ast.Eq -> cmp = 0
+        | Ast.Neq -> cmp <> 0
+        | Ast.Lt -> cmp < 0
+        | Ast.Le -> cmp <= 0
+        | Ast.Gt -> cmp > 0
+        | Ast.Ge -> cmp >= 0
+        | _ -> assert false))
+
+let compile_expr _schema expr tuple = value_of_rv (eval expr tuple)
+
+let compile_predicate _schema expr tuple = as_bool (eval expr tuple)
+
+let aggregate_fn = function
+  | Ast.Agg_count -> Sop.Count
+  | Ast.Agg_sum (f, _) -> Sop.Sum f
+  | Ast.Agg_avg (f, _) -> Sop.Avg f
+  | Ast.Agg_min (f, _) -> Sop.Min f
+  | Ast.Agg_max (f, _) -> Sop.Max f
+
+let compile checked =
+  let input_index =
+    List.mapi (fun k (name, _) -> (name, k)) checked.Check.streams
+  in
+  let node_index =
+    List.mapi (fun j node -> (node.Check.name, j)) checked.Check.nodes
+  in
+  let source_of (name, _pos) =
+    match List.assoc_opt name input_index with
+    | Some k -> Query.Graph.Sys_input k
+    | None -> Query.Graph.Op_output (List.assoc name node_index)
+  in
+  let sop_of node =
+    let name = node.Check.name in
+    match node.Check.body with
+    | Ast.Filter { input = _; predicate } ->
+      Sop.filter ~name (fun tuple -> as_bool (eval predicate tuple))
+    | Ast.Map { input = _; assignments } ->
+      Sop.map ~name (fun tuple ->
+          List.fold_left
+            (fun acc (field, expr) ->
+              Tuple.set acc field (value_of_rv (eval expr acc)))
+            tuple assignments)
+    | Ast.Select { input = _; keep } -> Sop.project ~name (List.map fst keep)
+    | Ast.Merge inputs -> Sop.union ~name ~arity:(List.length inputs) ()
+    | Ast.Aggregate { input = _; window; slide; group_by; compute } ->
+      Sop.aggregate ~name ~window ?slide
+        ?group_by:(Option.map fst group_by)
+        (List.map (fun (out, call) -> (out, aggregate_fn call)) compute)
+    | Ast.Join { left = _; right = _; window; left_key; right_key } ->
+      Sop.equi_join ~name ~window ~left_key:(fst left_key)
+        ~right_key:(fst right_key) ()
+    | Ast.Distinct { input = _; window; key } ->
+      Sop.distinct ~name ~window ~key:(fst key) ()
+  in
+  let sources_of node =
+    match node.Check.body with
+    | Ast.Filter { input; _ }
+    | Ast.Map { input; _ }
+    | Ast.Select { input; _ }
+    | Ast.Aggregate { input; _ } -> [ source_of input ]
+    | Ast.Merge inputs -> List.map source_of inputs
+    | Ast.Join { left; right; _ } -> [ source_of left; source_of right ]
+    | Ast.Distinct { input; _ } -> [ source_of input ]
+  in
+  let network =
+    Spe.Network.create
+      ~n_inputs:(List.length checked.Check.streams)
+      ~ops:(List.map (fun node -> (sop_of node, sources_of node)) checked.Check.nodes)
+      ()
+  in
+  {
+    network;
+    inputs = checked.Check.streams;
+    node_index;
+    outputs =
+      List.map
+        (fun name -> (name, List.assoc name node_index))
+        checked.Check.outputs;
+  }

@@ -1,0 +1,23 @@
+(** Compilation of a checked program into an executable {!Spe.Network}:
+    expressions become closures over tuples, nodes become {!Spe.Sop}
+    operators, streams become system inputs (in declaration order). *)
+
+type compiled = {
+  network : Spe.Network.t;
+  inputs : (string * Check.schema) list;
+      (** Stream name and schema per system input, index-aligned. *)
+  node_index : (string * int) list;
+      (** Node name to operator index in the network. *)
+  outputs : (string * int) list;
+      (** Declared outputs with their operator indices (the network's
+          sinks). *)
+}
+
+val compile : Check.checked -> compiled
+
+val compile_expr : Check.schema -> Ast.expr -> Spe.Tuple.t -> Spe.Value.t
+(** Exposed for tests: evaluate a {e scalar} expression (booleans are
+    rejected by {!Check}, so this never sees one at the top level). *)
+
+val compile_predicate : Check.schema -> Ast.expr -> Spe.Tuple.t -> bool
+(** Exposed for tests: evaluate a boolean expression. *)

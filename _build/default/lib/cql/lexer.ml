@@ -1,0 +1,282 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | STREAM
+  | NODE
+  | OUTPUT
+  | FILTER
+  | WHERE
+  | MAP
+  | SET
+  | SELECT
+  | KEEP
+  | MERGE
+  | AGGREGATE
+  | WINDOW
+  | SLIDE
+  | BY
+  | COMPUTE
+  | JOIN
+  | DISTINCT
+  | ON
+  | AND
+  | OR
+  | NOT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | SEMI
+  | ASSIGN
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+exception Error of Ast.pos * string
+
+let keywords =
+  [
+    ("stream", STREAM); ("node", NODE); ("output", OUTPUT); ("filter", FILTER);
+    ("where", WHERE); ("map", MAP); ("set", SET); ("select", SELECT);
+    ("keep", KEEP); ("merge", MERGE); ("aggregate", AGGREGATE);
+    ("window", WINDOW); ("slide", SLIDE); ("by", BY); ("compute", COMPUTE); ("join", JOIN);
+    ("on", ON); ("and", AND); ("or", OR); ("not", NOT); ("distinct", DISTINCT);
+  ]
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | STREAM -> "'stream'"
+  | NODE -> "'node'"
+  | OUTPUT -> "'output'"
+  | FILTER -> "'filter'"
+  | WHERE -> "'where'"
+  | MAP -> "'map'"
+  | SET -> "'set'"
+  | SELECT -> "'select'"
+  | KEEP -> "'keep'"
+  | MERGE -> "'merge'"
+  | AGGREGATE -> "'aggregate'"
+  | WINDOW -> "'window'"
+  | SLIDE -> "'slide'"
+  | BY -> "'by'"
+  | COMPUTE -> "'compute'"
+  | JOIN -> "'join'"
+  | DISTINCT -> "'distinct'"
+  | ON -> "'on'"
+  | AND -> "'and'"
+  | OR -> "'or'"
+  | NOT -> "'not'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | ASSIGN -> "'='"
+  | EQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EOF -> "end of input"
+
+type state = {
+  text : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos st = { Ast.line = st.line; col = st.col }
+
+let peek st =
+  if st.offset < String.length st.text then Some st.text.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.text then Some st.text.[st.offset + 1]
+  else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_ident st =
+  let start = st.offset in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let word = String.sub st.text start (st.offset - start) in
+  match List.assoc_opt (String.lowercase_ascii word) keywords with
+  | Some kw -> kw
+  | None -> IDENT word
+
+let lex_number st p =
+  let start = st.offset in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done
+  end;
+  (* Exponent *)
+  (match (peek st, peek2 st) with
+  | Some ('e' | 'E'), Some c when is_digit c || c = '-' || c = '+' ->
+    advance st;
+    if (match peek st with Some ('-' | '+') -> true | _ -> false) then advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done
+  | _ -> ());
+  let word = String.sub st.text start (st.offset - start) in
+  if String.contains word '.' || String.contains word 'e'
+     || String.contains word 'E'
+  then
+    match float_of_string_opt word with
+    | Some f -> FLOAT f
+    | None -> raise (Error (p, Printf.sprintf "malformed number %S" word))
+  else
+    match int_of_string_opt word with
+    | Some i -> INT i
+    | None -> raise (Error (p, Printf.sprintf "malformed number %S" word))
+
+let lex_string st p =
+  advance st (* opening quote *);
+  let buffer = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> raise (Error (p, "unterminated string literal"))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buffer '\n';
+        advance st;
+        loop ()
+      | Some 't' ->
+        Buffer.add_char buffer '\t';
+        advance st;
+        loop ()
+      | Some (('"' | '\\') as c) ->
+        Buffer.add_char buffer c;
+        advance st;
+        loop ()
+      | Some c -> raise (Error (pos st, Printf.sprintf "bad escape '\\%c'" c))
+      | None -> raise (Error (p, "unterminated string literal")))
+    | Some c ->
+      Buffer.add_char buffer c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  STRING (Buffer.contents buffer)
+
+let tokenize text =
+  let st = { text; offset = 0; line = 1; col = 1 } in
+  let acc = ref [] in
+  let emit tok p = acc := (tok, p) :: !acc in
+  let rec loop () =
+    skip_trivia st;
+    let p = pos st in
+    match peek st with
+    | None -> emit EOF p
+    | Some c when is_ident_start c ->
+      emit (lex_ident st) p;
+      loop ()
+    | Some c when is_digit c ->
+      emit (lex_number st p) p;
+      loop ()
+    | Some '"' ->
+      emit (lex_string st p) p;
+      loop ()
+    | Some c ->
+      let two tok =
+        advance st;
+        advance st;
+        emit tok p
+      in
+      let one tok =
+        advance st;
+        emit tok p
+      in
+      (match (c, peek2 st) with
+      | '=', Some '=' -> two EQ
+      | '!', Some '=' -> two NEQ
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '=', _ -> one ASSIGN
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | ',', _ -> one COMMA
+      | ':', _ -> one COLON
+      | ';', _ -> one SEMI
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | _ -> raise (Error (p, Printf.sprintf "unexpected character %C" c)));
+      loop ()
+  in
+  loop ();
+  List.rev !acc

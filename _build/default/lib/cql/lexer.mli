@@ -1,0 +1,58 @@
+(** Hand-rolled tokenizer.  [--] starts a comment to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  (* keywords *)
+  | STREAM
+  | NODE
+  | OUTPUT
+  | FILTER
+  | WHERE
+  | MAP
+  | SET
+  | SELECT
+  | KEEP
+  | MERGE
+  | AGGREGATE
+  | WINDOW
+  | SLIDE
+  | BY
+  | COMPUTE
+  | JOIN
+  | DISTINCT
+  | ON
+  | AND
+  | OR
+  | NOT
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | SEMI
+  | ASSIGN  (** [=] *)
+  | EQ  (** [==] *)
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+exception Error of Ast.pos * string
+
+val tokenize : string -> (token * Ast.pos) list
+(** The whole input, ending with [EOF].
+    @raise Error on unknown characters or unterminated strings. *)
+
+val describe : token -> string
+(** For error messages. *)

@@ -1,0 +1,306 @@
+open Ast
+
+exception Error of pos * string
+
+type state = {
+  mutable tokens : (Lexer.token * pos) list;
+}
+
+let current st =
+  match st.tokens with
+  | tok :: _ -> tok
+  | [] -> assert false (* the token list always ends with EOF *)
+
+let advance st =
+  match st.tokens with
+  | (Lexer.EOF, _) :: _ -> ()
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let fail st expected =
+  let tok, p = current st in
+  raise
+    (Error (p, Printf.sprintf "expected %s, found %s" expected (Lexer.describe tok)))
+
+let expect st token expected =
+  let tok, _ = current st in
+  if tok = token then advance st else fail st expected
+
+let ident st what =
+  match current st with
+  | Lexer.IDENT name, p ->
+    advance st;
+    (name, p)
+  | _ -> fail st what
+
+let number st what =
+  match current st with
+  | Lexer.FLOAT f, _ ->
+    advance st;
+    f
+  | Lexer.INT i, _ ->
+    advance st;
+    float_of_int i
+  | _ -> fail st what
+
+(* --- expressions --- *)
+
+let rec parse_or st =
+  let left = parse_and st in
+  match current st with
+  | Lexer.OR, p ->
+    advance st;
+    Binary (Or, left, parse_or st, p)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_not st in
+  match current st with
+  | Lexer.AND, p ->
+    advance st;
+    Binary (And, left, parse_and st, p)
+  | _ -> left
+
+and parse_not st =
+  match current st with
+  | Lexer.NOT, _ ->
+    advance st;
+    Unary (Not, parse_not st)
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let left = parse_additive st in
+  let binop op =
+    let _, p = current st in
+    advance st;
+    Binary (op, left, parse_additive st, p)
+  in
+  match current st with
+  | Lexer.EQ, _ -> binop Eq
+  | Lexer.NEQ, _ -> binop Neq
+  | Lexer.LT, _ -> binop Lt
+  | Lexer.LE, _ -> binop Le
+  | Lexer.GT, _ -> binop Gt
+  | Lexer.GE, _ -> binop Ge
+  | _ -> left
+
+and parse_additive st =
+  let rec loop left =
+    match current st with
+    | Lexer.PLUS, p ->
+      advance st;
+      loop (Binary (Add, left, parse_multiplicative st, p))
+    | Lexer.MINUS, p ->
+      advance st;
+      loop (Binary (Sub, left, parse_multiplicative st, p))
+    | _ -> left
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop left =
+    match current st with
+    | Lexer.STAR, p ->
+      advance st;
+      loop (Binary (Mul, left, parse_unary st, p))
+    | Lexer.SLASH, p ->
+      advance st;
+      loop (Binary (Div, left, parse_unary st, p))
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match current st with
+  | Lexer.MINUS, _ ->
+    advance st;
+    Unary (Neg, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match current st with
+  | Lexer.INT i, _ ->
+    advance st;
+    Int_lit i
+  | Lexer.FLOAT f, _ ->
+    advance st;
+    Float_lit f
+  | Lexer.STRING s, _ ->
+    advance st;
+    Str_lit s
+  | Lexer.IDENT name, p ->
+    advance st;
+    Field (name, p)
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let e = parse_or st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | _ -> fail st "an expression"
+
+(* --- declarations --- *)
+
+let comma_separated st parse_item =
+  let rec loop acc =
+    let item = parse_item st in
+    match current st with
+    | Lexer.COMMA, _ ->
+      advance st;
+      loop (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  loop []
+
+let parse_field_type st =
+  match current st with
+  | Lexer.IDENT "int", _ ->
+    advance st;
+    T_int
+  | Lexer.IDENT "float", _ ->
+    advance st;
+    T_float
+  | Lexer.IDENT "string", _ ->
+    advance st;
+    T_string
+  | _ -> fail st "a type (int, float or string)"
+
+let parse_stream st =
+  let name, p = ident st "a stream name" in
+  expect st Lexer.LPAREN "'('";
+  let fields =
+    comma_separated st (fun st ->
+        let field, _ = ident st "a field name" in
+        expect st Lexer.COLON "':'";
+        (field, parse_field_type st))
+  in
+  expect st Lexer.RPAREN "')'";
+  Stream_decl { name; pos = p; fields }
+
+let parse_aggregate_call st =
+  let fn, p = ident st "an aggregate (count/sum/avg/min/max)" in
+  expect st Lexer.LPAREN "'('";
+  let call =
+    match String.lowercase_ascii fn with
+    | "count" -> Agg_count
+    | ("sum" | "avg" | "min" | "max") as which ->
+      let field, fp = ident st "a field name" in
+      (match which with
+      | "sum" -> Agg_sum (field, fp)
+      | "avg" -> Agg_avg (field, fp)
+      | "min" -> Agg_min (field, fp)
+      | _ -> Agg_max (field, fp))
+    | other ->
+      raise (Error (p, Printf.sprintf "unknown aggregate function %S" other))
+  in
+  expect st Lexer.RPAREN "')'";
+  call
+
+let parse_node_body st =
+  match current st with
+  | Lexer.FILTER, _ ->
+    advance st;
+    let input = ident st "an input stream or node" in
+    expect st Lexer.WHERE "'where'";
+    Filter { input; predicate = parse_or st }
+  | Lexer.MAP, _ ->
+    advance st;
+    let input = ident st "an input stream or node" in
+    expect st Lexer.SET "'set'";
+    expect st Lexer.LBRACE "'{'";
+    let assignments =
+      comma_separated st (fun st ->
+          let field, _ = ident st "a field name" in
+          expect st Lexer.ASSIGN "'='";
+          (field, parse_or st))
+    in
+    expect st Lexer.RBRACE "'}'";
+    Map { input; assignments }
+  | Lexer.SELECT, _ ->
+    advance st;
+    let input = ident st "an input stream or node" in
+    expect st Lexer.KEEP "'keep'";
+    let keep = comma_separated st (fun st -> ident st "a field name") in
+    Select { input; keep }
+  | Lexer.MERGE, _ ->
+    advance st;
+    let inputs = comma_separated st (fun st -> ident st "a stream or node") in
+    if List.length inputs < 2 then fail st "at least two merge inputs";
+    Merge inputs
+  | Lexer.AGGREGATE, _ ->
+    advance st;
+    let input = ident st "an input stream or node" in
+    expect st Lexer.WINDOW "'window'";
+    let window = number st "a window length" in
+    let slide =
+      match current st with
+      | Lexer.SLIDE, _ ->
+        advance st;
+        Some (number st "a slide length")
+      | _ -> None
+    in
+    let group_by =
+      match current st with
+      | Lexer.BY, _ ->
+        advance st;
+        Some (ident st "a grouping field")
+      | _ -> None
+    in
+    expect st Lexer.COMPUTE "'compute'";
+    expect st Lexer.LBRACE "'{'";
+    let compute =
+      comma_separated st (fun st ->
+          let out, _ = ident st "an output field name" in
+          expect st Lexer.ASSIGN "'='";
+          (out, parse_aggregate_call st))
+    in
+    expect st Lexer.RBRACE "'}'";
+    Aggregate { input; window; slide; group_by; compute }
+  | Lexer.DISTINCT, _ ->
+    advance st;
+    let input = ident st "an input stream or node" in
+    expect st Lexer.WINDOW "'window'";
+    let window = number st "a window length" in
+    expect st Lexer.ON "'on'";
+    let key = ident st "a key field" in
+    Distinct { input; window; key }
+  | Lexer.JOIN, _ ->
+    advance st;
+    let left = ident st "the left input" in
+    expect st Lexer.COMMA "','";
+    let right = ident st "the right input" in
+    expect st Lexer.WINDOW "'window'";
+    let window = number st "a window length" in
+    expect st Lexer.ON "'on'";
+    let left_key = ident st "the left key field" in
+    expect st Lexer.EQ "'=='";
+    let right_key = ident st "the right key field" in
+    Join { left; right; window; left_key; right_key }
+  | _ -> fail st "an operator (filter/map/select/merge/aggregate/join/distinct)"
+
+let parse_decl st =
+  match current st with
+  | Lexer.STREAM, _ ->
+    advance st;
+    parse_stream st
+  | Lexer.NODE, _ ->
+    advance st;
+    let name, p = ident st "a node name" in
+    expect st Lexer.ASSIGN "'='";
+    Node_decl { name; pos = p; body = parse_node_body st }
+  | Lexer.OUTPUT, _ ->
+    advance st;
+    let name, p = ident st "a node name" in
+    Output_decl (name, p)
+  | _ -> fail st "a declaration (stream/node/output)"
+
+let parse text =
+  let st = { tokens = Lexer.tokenize text } in
+  let rec loop acc =
+    match current st with
+    | Lexer.EOF, _ -> List.rev acc
+    | _ ->
+      let decl = parse_decl st in
+      expect st Lexer.SEMI "';'";
+      loop (decl :: acc)
+  in
+  loop []

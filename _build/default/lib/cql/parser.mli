@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the query language.
+
+    Expression precedence, loosest to tightest:
+    [or] < [and] < [not] < comparisons < [+ -] < [* /] < unary [-]. *)
+
+exception Error of Ast.pos * string
+
+val parse : string -> Ast.program
+(** @raise Error (or {!Lexer.Error}) with a source position on any
+    syntax problem. *)

@@ -1,0 +1,133 @@
+open Ast
+
+(* Expressions print with explicit precedence-aware parenthesization:
+   parentheses only where the tree shape requires them. *)
+let precedence = function
+  | Binary (Or, _, _, _) -> 1
+  | Binary (And, _, _, _) -> 2
+  | Unary (Not, _) -> 3
+  | Binary ((Eq | Neq | Lt | Le | Gt | Ge), _, _, _) -> 4
+  | Binary ((Add | Sub), _, _, _) -> 5
+  | Binary ((Mul | Div), _, _, _) -> 6
+  | Unary (Neg, _) -> 7
+  | Field _ | Int_lit _ | Float_lit _ | Str_lit _ -> 8
+
+let escape_string s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec pp_expr_prec level fmt expr =
+  let mine = precedence expr in
+  let wrap = mine < level in
+  if wrap then Format.pp_print_string fmt "(";
+  (match expr with
+  | Field (name, _) -> Format.pp_print_string fmt name
+  | Int_lit i -> Format.pp_print_int fmt i
+  | Float_lit f -> Format.pp_print_string fmt (float_literal f)
+  | Str_lit s -> Format.fprintf fmt "\"%s\"" (escape_string s)
+  | Unary (Neg, e) ->
+    (* Level 8 forces parentheses around any non-primary operand; in
+       particular "--x" would lex as a comment. *)
+    Format.fprintf fmt "-%a" (pp_expr_prec 8) e
+  | Unary (Not, e) -> Format.fprintf fmt "not %a" (pp_expr_prec 3) e
+  | Binary (op, a, b, _) ->
+    let symbol =
+      match op with
+      | Add -> "+"
+      | Sub -> "-"
+      | Mul -> "*"
+      | Div -> "/"
+      | Eq -> "=="
+      | Neq -> "!="
+      | Lt -> "<"
+      | Le -> "<="
+      | Gt -> ">"
+      | Ge -> ">="
+      | And -> "and"
+      | Or -> "or"
+    in
+    (* The parser associates and/or to the right and chains + - * / to
+       the left; reprint respecting that so round-trips are exact. *)
+    let left_level, right_level =
+      match op with
+      | And | Or -> (mine + 1, mine)
+      | Eq | Neq | Lt | Le | Gt | Ge -> (mine + 1, mine + 1)
+      | Add | Sub | Mul | Div -> (mine, mine + 1)
+    in
+    Format.fprintf fmt "%a %s %a" (pp_expr_prec left_level) a symbol
+      (pp_expr_prec right_level) b);
+  if wrap then Format.pp_print_string fmt ")"
+
+let pp_expr fmt expr = pp_expr_prec 0 fmt expr
+
+let pp_aggregate_call fmt = function
+  | Agg_count -> Format.pp_print_string fmt "count()"
+  | Agg_sum (f, _) -> Format.fprintf fmt "sum(%s)" f
+  | Agg_avg (f, _) -> Format.fprintf fmt "avg(%s)" f
+  | Agg_min (f, _) -> Format.fprintf fmt "min(%s)" f
+  | Agg_max (f, _) -> Format.fprintf fmt "max(%s)" f
+
+let comma pp fmt items =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp fmt items
+
+let pp_body fmt = function
+  | Filter { input = input, _; predicate } ->
+    Format.fprintf fmt "filter %s where %a" input pp_expr predicate
+  | Map { input = input, _; assignments } ->
+    Format.fprintf fmt "map %s set { %a }" input
+      (comma (fun fmt (f, e) -> Format.fprintf fmt "%s = %a" f pp_expr e))
+      assignments
+  | Select { input = input, _; keep } ->
+    Format.fprintf fmt "select %s keep %a" input
+      (comma (fun fmt (f, _) -> Format.pp_print_string fmt f))
+      keep
+  | Merge inputs ->
+    Format.fprintf fmt "merge %a"
+      (comma (fun fmt (name, _) -> Format.pp_print_string fmt name))
+      inputs
+  | Aggregate { input = input, _; window; slide; group_by; compute } ->
+    Format.fprintf fmt "aggregate %s window %s" input (float_literal window);
+    Option.iter (fun s -> Format.fprintf fmt " slide %s" (float_literal s)) slide;
+    Option.iter (fun (g, _) -> Format.fprintf fmt " by %s" g) group_by;
+    Format.fprintf fmt " compute { %a }"
+      (comma (fun fmt (out, call) ->
+           Format.fprintf fmt "%s = %a" out pp_aggregate_call call))
+      compute
+  | Join { left = left, _; right = right, _; window; left_key; right_key } ->
+    Format.fprintf fmt "join %s, %s window %s on %s == %s" left right
+      (float_literal window) (fst left_key) (fst right_key)
+  | Distinct { input = input, _; window; key } ->
+    Format.fprintf fmt "distinct %s window %s on %s" input
+      (float_literal window) (fst key)
+
+let pp_decl fmt = function
+  | Stream_decl { name; fields; _ } ->
+    Format.fprintf fmt "stream %s (%a);" name
+      (comma (fun fmt (f, t) -> Format.fprintf fmt "%s: %a" f pp_field_type t))
+      fields
+  | Node_decl { name; body; _ } ->
+    Format.fprintf fmt "node %s = %a;" name pp_body body
+  | Output_decl (name, _) -> Format.fprintf fmt "output %s;" name
+
+let pp_program fmt program =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_newline fmt ())
+    pp_decl fmt program;
+  Format.pp_print_newline fmt ()
+
+let program_to_string program = Format.asprintf "%a" pp_program program

@@ -1,0 +1,13 @@
+(** Pretty-printing programs back to concrete syntax.  The output
+    re-parses to the same AST (modulo positions), which the test suite
+    checks as a round-trip property. *)
+
+val program_to_string : Ast.program -> string
+
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val pp_decl : Format.formatter -> Ast.decl -> unit
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+(** Minimal parenthesization (unlike {!Ast.pp_expr}, which fully
+    parenthesizes for diagnostics). *)

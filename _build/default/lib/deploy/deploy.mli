@@ -1,0 +1,82 @@
+(** The one-stop deployment API: everything between "here is my query"
+    and "here is which node runs what, and how much headroom you have".
+
+    Three entry points, one result type:
+    - {!of_cost_model} — you already have operator costs/selectivities
+      (a {!Query.Graph});
+    - {!of_network} — you have executable operators ({!Spe.Network});
+      they are profiled on your sample data first;
+    - {!of_query_file} — you have a query-language source file.
+
+    The resulting deployment carries the resilient plan, its metrics,
+    and helpers for capacity questions (expected utilizations, the
+    feasibility boundary along a rate direction, a simulation probe). *)
+
+type t = {
+  graph : Query.Graph.t;  (** The cost model that was placed. *)
+  problem : Rod.Problem.t;
+  plan : Rod.Plan.t;
+  ratio : float;  (** Feasible-set size vs the ideal (QMC estimate). *)
+  network : Spe.Network.t option;
+      (** The executable network, when deploying from one. *)
+  profile : Spe.Profiler.profile_result option;
+      (** Measured costs/selectivities, when profiling happened. *)
+}
+
+val of_cost_model :
+  ?polish:bool ->
+  ?lower:Linalg.Vec.t ->
+  ?samples:int ->
+  graph:Query.Graph.t ->
+  caps:Linalg.Vec.t ->
+  unit ->
+  t
+(** Place a cost-model graph with ROD ([polish] adds the local-search
+    refinement; default false). *)
+
+val of_network :
+  ?polish:bool ->
+  ?samples:int ->
+  ?replays:int ->
+  network:Spe.Network.t ->
+  sample:Spe.Tuple.t list array ->
+  caps:Linalg.Vec.t ->
+  unit ->
+  t
+(** Profile the executable network on [sample] tuples (one
+    timestamp-ascending list per input stream), then place the measured
+    cost model. *)
+
+val of_query_file :
+  ?polish:bool ->
+  ?samples:int ->
+  ?replays:int ->
+  path:string ->
+  sample:Spe.Tuple.t list array ->
+  caps:Linalg.Vec.t ->
+  unit ->
+  (t, string) result
+(** Compile a query-language file, then proceed as {!of_network}. *)
+
+val assignment : t -> int array
+
+val node_roster : t -> int -> string list
+(** Operator names deployed on a node. *)
+
+val expected_utilization : t -> rates:Linalg.Vec.t -> Linalg.Vec.t
+(** Per-node utilization predicted at a system rate point (the true
+    nonlinear loads are used when the model has introduced variables). *)
+
+val headroom : t -> direction:Linalg.Vec.t -> float
+(** Largest multiple of [direction] (a system-rate direction) the plan
+    sustains. *)
+
+val probe : ?duration:float -> t -> rates:Linalg.Vec.t -> Dsim.Probe.verdict
+(** Confirm a rate point in the discrete-event simulator. *)
+
+val save : t -> dir:string -> unit
+(** Write [graph.rodgraph], [plan.rodplan] and [plan.dot] into an
+    existing directory. *)
+
+val describe : t -> string
+(** Human-readable summary: per-node rosters, metrics, ratio. *)

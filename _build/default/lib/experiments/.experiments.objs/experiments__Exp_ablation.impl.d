@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Feasible List Query Random Report Rod

@@ -1,0 +1,1 @@
+lib/experiments/exp_calibration.ml: Array Dsim Feasible Linalg List Printf Query Random Report Rod

@@ -1,0 +1,1 @@
+lib/experiments/exp_clustering.ml: Array Feasible Linalg List Printf Query Random Report Rod

@@ -1,0 +1,1 @@
+lib/experiments/exp_dynamic.ml: Array Baselines Dsim Linalg List Printf Query Random Report Rod Workload

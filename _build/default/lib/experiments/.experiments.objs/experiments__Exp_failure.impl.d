@@ -1,0 +1,1 @@
+lib/experiments/exp_failure.ml: Feasible List Placers Printf Query Random Report Rod

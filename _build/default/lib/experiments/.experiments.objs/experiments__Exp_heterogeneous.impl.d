@@ -1,0 +1,1 @@
+lib/experiments/exp_heterogeneous.ml: Linalg List Placers Query Random Report Rod

@@ -1,0 +1,1 @@
+lib/experiments/exp_incremental.ml: Array Baselines Feasible Float Linalg List Placers Query Random Report Rod

@@ -1,0 +1,1 @@
+lib/experiments/exp_lowerbound.ml: Array Feasible Linalg List Printf Query Random Report Rod

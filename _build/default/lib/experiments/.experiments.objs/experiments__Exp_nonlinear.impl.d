@@ -1,0 +1,1 @@
+lib/experiments/exp_nonlinear.ml: Array Dsim Feasible Linalg List Placers Printf Query Random Report Rod

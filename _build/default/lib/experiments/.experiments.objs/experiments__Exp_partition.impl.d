@@ -1,0 +1,1 @@
+lib/experiments/exp_partition.ml: Feasible List Printf Query Random Report Rod

@@ -1,0 +1,1 @@
+lib/experiments/exp_validation.ml: Array Dsim Float Linalg List Printf Query Random Report Rod Spe Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig14_resiliency.ml: List Placers Query Random Report Rod

@@ -1,0 +1,1 @@
+lib/experiments/fig15_inputs.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/fig5_example.ml: Array Feasible Linalg List Printf Query Report Rod String

@@ -1,0 +1,1 @@
+lib/experiments/fig9_distance.ml: Array Feasible Linalg List Printf Random Report

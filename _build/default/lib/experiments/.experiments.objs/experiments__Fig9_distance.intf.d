@@ -1,0 +1,1 @@
+lib/experiments/fig9_distance.mli: Format

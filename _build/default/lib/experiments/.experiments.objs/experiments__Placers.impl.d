@@ -1,0 +1,1 @@
+lib/experiments/placers.ml: Array Baselines Feasible Linalg Random Rod

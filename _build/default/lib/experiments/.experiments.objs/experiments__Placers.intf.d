@@ -1,0 +1,1 @@
+lib/experiments/placers.mli: Linalg Query Random Rod

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Char Filename Float Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/tbl_optimal.ml: Float List Printf Query Random Report Rod

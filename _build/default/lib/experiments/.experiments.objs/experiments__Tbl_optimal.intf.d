@@ -1,0 +1,1 @@
+lib/experiments/tbl_optimal.mli: Format

@@ -1,0 +1,8 @@
+(** Ablation of ROD's ingredients (§4-§5 design choices): the published
+    algorithm against variants with the operator ordering removed, the
+    class-I/MMAD move removed (MMPD only) and the plane-distance choice
+    removed (MMAD only), across graph widths. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,64 @@
+module Vec = Linalg.Vec
+module Problem = Rod.Problem
+module Plan = Rod.Plan
+
+let name = "EXPCAL planning on measured statistics"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Costs/selectivities are measured from a trial run under a random\n\
+     placement (as the paper does in Borealis), then ROD plans on the\n\
+     estimates.  'ratio' scores both plans against the TRUE load model.";
+  let d = 3 and n_nodes = 4 and ops_per_tree = 8 in
+  let graphs = if quick then 2 else 5 in
+  let samples = if quick then 2048 else 8192 in
+  let trial_durations = [ 5.; 30. ] in
+  let rng = Random.State.make [| 71 |] in
+  let rows = ref [] in
+  for g = 1 to graphs do
+    let graph = Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree in
+    let problem =
+      Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap:1.)
+    in
+    let l = Problem.total_coefficients problem in
+    let c_total = Problem.total_capacity problem in
+    (* A moderate trial workload: 40% of capacity on the balanced ray. *)
+    let rates =
+      Vec.init d (fun k -> 0.4 *. c_total /. (float_of_int d *. l.(k)))
+    in
+    let true_ratio assignment =
+      (Plan.volume_qmc ~samples (Plan.make problem assignment))
+        .Feasible.Volume.ratio
+    in
+    let oracle = true_ratio (Rod.Rod_algorithm.place problem) in
+    List.iter
+      (fun duration ->
+        let estimates =
+          Dsim.Calibrate.measure ~seed:(g * 13) ~duration ~graph ~n_nodes ~rates
+            ()
+        in
+        let estimated_graph = Dsim.Calibrate.estimated_graph graph estimates in
+        let estimated_problem =
+          Problem.of_graph estimated_graph
+            ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap:1.)
+        in
+        let assignment = Rod.Rod_algorithm.place estimated_problem in
+        let measured_ratio = true_ratio assignment in
+        rows :=
+          [
+            string_of_int g;
+            Printf.sprintf "%.0fs" duration;
+            Report.pct (Dsim.Calibrate.max_relative_error graph estimates);
+            Report.fcell oracle;
+            Report.fcell measured_ratio;
+            Report.fcell (measured_ratio /. oracle);
+          ]
+          :: !rows)
+      trial_durations
+  done;
+  Report.table fmt
+    ~headers:
+      [ "graph"; "trial"; "max param err"; "ratio (true model)";
+        "ratio (estimates)"; "estimates/true" ]
+    ~rows:(List.rev !rows)

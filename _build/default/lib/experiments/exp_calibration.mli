@@ -1,0 +1,9 @@
+(** §7.1's measurement loop: operator costs and selectivities are not
+    given — they are measured from a trial run under a random placement,
+    and ROD plans on the {e estimated} load model.  Reports the
+    estimation error and how much feasible-set size planning on
+    estimates costs relative to planning on the true model. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

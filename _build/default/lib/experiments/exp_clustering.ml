@@ -1,0 +1,71 @@
+module Vec = Linalg.Vec
+module Problem = Rod.Problem
+module Clustering = Rod.Clustering
+
+let name = "EXPCLU operator clustering vs communication cost"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Random graphs whose streams cost CPU to ship (xfer = per-tuple\n\
+     network cost; operator costs average ~0.55 ms).  Volumes are\n\
+     absolute (communication-inclusive loads differ per plan); cuts is\n\
+     the number of inter-node streams.";
+  let d = 3 and n_nodes = 4 and ops_per_tree = 12 in
+  let graphs = if quick then 2 else 5 in
+  let samples = if quick then 2048 else 8192 in
+  let xfer_levels = [ 0.; 2e-4; 1e-3 ] in
+  let rng = Random.State.make [| 63 |] in
+  let rows = ref [] in
+  List.iter
+    (fun xfer ->
+      let volume_totals = Array.make 3 0. in
+      let cut_totals = Array.make 3 0 in
+      for g = 1 to graphs do
+        ignore g;
+        let graph =
+          Query.Randgraph.generate ~rng
+            { Query.Randgraph.default with n_inputs = d; ops_per_tree;
+              xfer_cost = xfer }
+        in
+        let model = Query.Load_model.derive graph in
+        let caps = Problem.homogeneous_caps ~n:n_nodes ~cap:1. in
+        let problem = Problem.of_model model ~caps in
+        let plans =
+          [|
+            Rod.Rod_algorithm.place problem;
+            Rod.Rod_algorithm.place
+              ~policy:(Rod.Rod_algorithm.Min_new_arcs graph) problem;
+            snd (Clustering.select_best ~model ~caps ());
+          |]
+        in
+        Array.iteri
+          (fun idx assignment ->
+            let ln =
+              Clustering.effective_node_loads ~model ~n_nodes ~assignment
+            in
+            let est = Feasible.Volume.ratio_qmc ~ln ~caps ~samples () in
+            volume_totals.(idx) <-
+              volume_totals.(idx) +. est.Feasible.Volume.volume;
+            cut_totals.(idx) <-
+              cut_totals.(idx)
+              + List.length (Clustering.cut_arcs ~model ~assignment))
+          plans
+      done;
+      let labels = [| "plain ROD"; "ROD min-new-arcs"; "clustered ROD" |] in
+      Array.iteri
+        (fun idx label ->
+          rows :=
+            [
+              Printf.sprintf "%.1e" xfer;
+              label;
+              Printf.sprintf "%.3e" (volume_totals.(idx) /. float_of_int graphs);
+              Printf.sprintf "%.1f"
+                (float_of_int cut_totals.(idx) /. float_of_int graphs);
+            ]
+            :: !rows)
+        labels)
+    xfer_levels;
+  Report.table fmt
+    ~headers:[ "xfer cost (s)"; "plan"; "mean volume"; "mean cut arcs" ]
+    ~rows:(List.rev !rows)

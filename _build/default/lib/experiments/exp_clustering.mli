@@ -1,0 +1,10 @@
+(** §6.3 extension: operator clustering under communication cost.
+    Sweeps the per-tuple network transfer cost and compares plain ROD
+    (communication-blind), ROD with the connectivity-aware class-I
+    policy, and the full clustering pipeline, all evaluated on
+    communication-inclusive node loads (absolute feasible volume, since
+    each plan's communication changes its total load). *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,10 @@
+(** The paper's motivating comparison (§1): reactive dynamic load
+    distribution pays a migration pause of hundreds of milliseconds, so
+    it absorbs slow drift but loses to a static resilient placement
+    under short-term bursts.  Pits static ROD against a
+    balanced-at-the-mean plan with a runtime migration controller, under
+    a slow sinusoidal drift and under fast flash-crowd bursts. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,71 @@
+module Problem = Rod.Problem
+module Plan = Rod.Plan
+
+let name = "EXPFAIL surviving a node failure"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "One node dies; its operators are re-placed incrementally on the\n\
+     survivors (who never move), averaged over every possible failed\n\
+     node.  'after (vs degraded ideal)' is the comparable figure of\n\
+     merit; 'survival of own volume' is flattering to bad plans (they\n\
+     have little to lose).  Capacity loss alone shrinks the ideal to\n\
+     ((n-1)/n)^d of itself.";
+  let d = 4 and n_nodes = 6 and ops_per_tree = 12 in
+  let graphs = if quick then 2 else 5 in
+  let samples = if quick then 2048 else 8192 in
+  let rng = Random.State.make [| 911 |] in
+  let caps = Problem.homogeneous_caps ~n:n_nodes ~cap:1. in
+  let capacity_bound =
+    (float_of_int (n_nodes - 1) /. float_of_int n_nodes) ** float_of_int d
+  in
+  let algorithms =
+    [ Placers.Rod_placer; Placers.Llf; Placers.Random_placer ]
+  in
+  let rows =
+    List.map
+      (fun alg ->
+        let survival_total = ref 0. in
+        let before_total = ref 0. in
+        let after_total = ref 0. in
+        let rng_local = Random.State.make [| 911; 7 |] in
+        for g = 1 to graphs do
+          ignore g;
+          let graph =
+            Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree
+          in
+          let problem = Problem.of_graph graph ~caps in
+          let assignment = Placers.place ~rng:rng_local ~graph ~problem alg in
+          let est = Plan.volume_qmc ~samples (Plan.make problem assignment) in
+          before_total := !before_total +. est.Feasible.Volume.ratio;
+          let degraded_ideal =
+            capacity_bound *. est.Feasible.Volume.ideal_volume
+          in
+          for failed = 0 to n_nodes - 1 do
+            let r = Rod.Failure.survival ~samples problem ~assignment ~failed in
+            survival_total :=
+              !survival_total
+              +. (r.Rod.Failure.survival /. float_of_int n_nodes);
+            after_total :=
+              !after_total
+              +. (r.Rod.Failure.volume_after /. degraded_ideal
+                 /. float_of_int n_nodes)
+          done
+        done;
+        let g = float_of_int graphs in
+        [
+          Placers.name alg;
+          Report.fcell (!before_total /. g);
+          Report.fcell (!after_total /. g);
+          Report.fcell (!survival_total /. g);
+        ])
+      algorithms
+  in
+  Report.table fmt
+    ~headers:
+      [ "initial plan"; "before (vs ideal)"; "after (vs degraded ideal)";
+        "survival of own volume" ]
+    ~rows;
+  Report.note fmt
+    (Printf.sprintf "capacity ceiling ((n-1)/n)^d = %.3f" capacity_bound)

@@ -1,0 +1,8 @@
+(** Node-failure recovery: when a machine dies, its operators restart
+    on the survivors (placed incrementally; survivors never move).
+    Compares how much operating envelope each initial placement retains,
+    against the capacity ceiling [((n-1)/n)^d]. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,43 @@
+module Vec = Linalg.Vec
+module Problem = Rod.Problem
+
+let name = "EXPHET heterogeneous cluster"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Mixed cluster (2 fast @2.0, 4 standard @1.0, 4 slow @0.5 CPU/s);\n\
+     mean feasible-set ratio vs the capacity-proportional ideal.";
+  let d = 5 in
+  let caps =
+    Vec.of_list [ 2.; 2.; 1.; 1.; 1.; 1.; 0.5; 0.5; 0.5; 0.5 ]
+  in
+  let op_counts = if quick then [ 50; 100 ] else [ 50; 100; 200 ] in
+  let graphs = if quick then 2 else 5 in
+  let runs = if quick then 3 else 10 in
+  let samples = if quick then 2048 else 4096 in
+  let rng = Random.State.make [| 88 |] in
+  let rows =
+    List.map
+      (fun m ->
+        let totals = List.map (fun alg -> (alg, ref 0.)) Placers.all in
+        for _ = 1 to graphs do
+          let graph =
+            Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree:(m / d)
+          in
+          let problem = Problem.of_graph graph ~caps in
+          List.iter
+            (fun (alg, total) ->
+              total :=
+                !total
+                +. Placers.mean_ratio ~runs ~samples ~rng ~graph ~problem alg)
+            totals
+        done;
+        string_of_int m
+        :: List.map
+             (fun alg ->
+               Report.fcell (!(List.assoc alg totals) /. float_of_int graphs))
+             Placers.all)
+      op_counts
+  in
+  Report.table fmt ~headers:("#ops" :: List.map Placers.name Placers.all) ~rows

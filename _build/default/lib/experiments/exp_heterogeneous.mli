@@ -1,0 +1,9 @@
+(** Heterogeneous clusters: the paper's model supports arbitrary
+    per-node CPU capacities (Theorem 1 splits load in proportion to
+    capacity), while its experiments assume homogeneous nodes.  This
+    ablation repeats the Figure-14 comparison on a mixed cluster of
+    fast, standard and slow nodes. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

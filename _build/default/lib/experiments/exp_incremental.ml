@@ -1,0 +1,95 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Problem = Rod.Problem
+module Plan = Rod.Plan
+
+let name = "EXPINC incremental deployment without migration"
+
+(* Stack the load matrices of several graphs into one problem. *)
+let combined_problem problems caps =
+  let rows =
+    List.concat_map
+      (fun p -> List.init (Problem.n_ops p) (Problem.op_load p))
+      problems
+  in
+  Problem.create ~lo:(Mat.of_rows rows) ~caps
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Query waves arrive one at a time; deployed operators are pinned\n\
+     (no migration).  'scratch ROD' re-places everything (needs\n\
+     migration, shown as the upper bound); 'incr ROD' places only the\n\
+     new wave around the pins; 'incr LLF' balances each wave at a\n\
+     random observed rate point.";
+  let d = 4 and n_nodes = 6 in
+  let waves = 5 in
+  let trials = if quick then 2 else 6 in
+  let samples = if quick then 2048 else 8192 in
+  let rng = Random.State.make [| 404 |] in
+  let caps = Problem.homogeneous_caps ~n:n_nodes ~cap:1. in
+  (* Accumulate per-wave mean ratios across trials. *)
+  let scratch_acc = Array.make waves 0. in
+  let incr_rod_acc = Array.make waves 0. in
+  let incr_llf_acc = Array.make waves 0. in
+  for _ = 1 to trials do
+    let wave_problems =
+      List.init waves (fun _ ->
+          let graph =
+            Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree:4
+          in
+          Problem.of_graph graph ~caps)
+    in
+    let rod_pins = ref [] in
+    let llf_pins = ref [] in
+    List.iteri
+      (fun wave _ ->
+        let deployed =
+          List.filteri (fun i _ -> i <= wave) wave_problems
+        in
+        let problem = combined_problem deployed caps in
+        let m = Problem.n_ops problem in
+        let pinned pins =
+          Array.init m (fun j ->
+              if j < List.length pins then Some (List.nth pins j) else None)
+        in
+        (* Incremental ROD around its own history. *)
+        let rod_assignment =
+          Rod.Rod_algorithm.place_incremental ~fixed:(pinned !rod_pins) problem
+        in
+        rod_pins := Array.to_list rod_assignment;
+        (* Incremental LLF: balance the new operators at a random rate
+           point, old ones pinned. *)
+        let llf_assignment =
+          let full = Baselines.llf ~rates:(Placers.random_rates rng problem) problem in
+          Array.mapi
+            (fun j node ->
+              if j < List.length !llf_pins then List.nth !llf_pins j else node)
+            full
+        in
+        llf_pins := Array.to_list llf_assignment;
+        let scratch_assignment = Rod.Rod_algorithm.place problem in
+        let ratio a =
+          (Plan.volume_qmc ~samples (Plan.make problem a)).Feasible.Volume.ratio
+        in
+        scratch_acc.(wave) <- scratch_acc.(wave) +. ratio scratch_assignment;
+        incr_rod_acc.(wave) <- incr_rod_acc.(wave) +. ratio rod_assignment;
+        incr_llf_acc.(wave) <- incr_llf_acc.(wave) +. ratio llf_assignment)
+      wave_problems
+  done;
+  let rows =
+    List.init waves (fun wave ->
+        let t = float_of_int trials in
+        [
+          string_of_int (wave + 1);
+          string_of_int ((wave + 1) * d * 4);
+          Report.fcell (scratch_acc.(wave) /. t);
+          Report.fcell (incr_rod_acc.(wave) /. t);
+          Report.fcell (incr_llf_acc.(wave) /. t);
+          Report.fcell (incr_rod_acc.(wave) /. Float.max 1e-9 scratch_acc.(wave));
+        ])
+  in
+  Report.table fmt
+    ~headers:
+      [ "wave"; "#ops"; "scratch ROD"; "incr ROD"; "incr LLF"; "incr/scratch" ]
+    ~rows

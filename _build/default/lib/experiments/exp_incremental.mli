@@ -1,0 +1,9 @@
+(** Incremental deployment: queries arrive in waves and operators
+    already running cannot move (the paper's no-migration premise).
+    Compares pinning-aware incremental ROD against the unattainable
+    replace-from-scratch plan and against naive incremental LLF, as the
+    deployment grows. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,81 @@
+module Vec = Linalg.Vec
+module Problem = Rod.Problem
+module Trace = Workload.Trace
+
+let name = "EXPLAT latency under bursty load"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "One random graph (d=3 inputs, 30 ops, 4 nodes) driven by bursty\n\
+     b-model traces at a growing fraction of the ideal-boundary rate.\n\
+     Balancers are given the true mean rates (their best case).";
+  let d = 3 and n_nodes = 4 in
+  let rng = Random.State.make [| 99 |] in
+  let graph = Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree:10 in
+  let problem =
+    Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap:1.)
+  in
+  let l = Problem.total_coefficients problem in
+  let c_total = Problem.total_capacity problem in
+  let horizon = if quick then 32. else 128. in
+  let fractions = if quick then [ 0.6; 0.9 ] else [ 0.5; 0.7; 0.9 ] in
+  (* Mean rates along the balanced ray: r_k = phi * C_T / (d * l_k). *)
+  let mean_rates phi =
+    Vec.init d (fun k -> phi *. c_total /. (float_of_int d *. l.(k)))
+  in
+  (* One TCP-trace-like self-similar shape per stream, drawn once and
+     scaled to each load level, so levels differ only in intensity. *)
+  let levels = int_of_float (ceil (log horizon /. log 2.)) in
+  let shapes =
+    Array.init d (fun _ ->
+        Trace.normalize (Workload.Traces.synthesize ~levels ~rng Workload.Traces.Tcp))
+  in
+  let shaped_traces phi =
+    let rates = mean_rates phi in
+    Array.init d (fun k -> Trace.scale rates.(k) shapes.(k))
+  in
+  let placements phi =
+    let rates = mean_rates phi in
+    let series =
+      (* The correlation baseline sees the actual bursty series. *)
+      let traces = shaped_traces phi in
+      Linalg.Mat.init 32 d (fun t k ->
+          Trace.rate_at traces.(k) (float_of_int t *. horizon /. 32.))
+    in
+    [
+      ("ROD", Rod.Rod_algorithm.place problem);
+      ("LLF", Baselines.llf ~rates problem);
+      ("Connected", Baselines.connected ~rates ~graph problem);
+      ("Correlation", Baselines.correlation ~series problem);
+      ("Random", Baselines.random_balanced ~rng problem);
+    ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun phi ->
+      let traces = shaped_traces phi in
+      List.iter
+        (fun (label, assignment) ->
+          let m =
+            Dsim.Probe.simulate_traces
+              ~config:{ Dsim.Engine.default_config with warmup = 1. }
+              ~graph ~assignment ~caps:problem.Problem.caps ~traces ()
+          in
+          rows :=
+            [
+              Printf.sprintf "%.0f%%" (100. *. phi);
+              label;
+              Report.pct (Dsim.Sim_metrics.max_utilization m);
+              Printf.sprintf "%.1f" (1e3 *. Dsim.Sim_metrics.mean_latency m);
+              Printf.sprintf "%.1f" (1e3 *. Dsim.Sim_metrics.p95_latency m);
+              string_of_int m.Dsim.Sim_metrics.backlog;
+            ]
+            :: !rows)
+        (placements phi))
+    fractions;
+  Report.table fmt
+    ~headers:
+      [ "mean load"; "algorithm"; "max util"; "mean lat (ms)"; "p95 lat (ms)";
+        "backlog" ]
+    ~rows:(List.rev !rows)

@@ -1,0 +1,9 @@
+(** End-to-end latency under bursty self-similar workloads (the paper's
+    prototype experiments, §7.3): the same random graph placed by every
+    algorithm is driven by PKT-style traces whose mean pushes the system
+    toward the feasibility boundary.  Point-optimized balancers overload
+    first; ROD's latency stays bounded longest. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,60 @@
+module Vec = Linalg.Vec
+module Problem = Rod.Problem
+module Plan = Rod.Plan
+
+let name = "EXPLB lower-bounded workloads"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Known lower bound B eats beta * C_T of capacity, all of it on input\n\
+     stream 0 (\"stream 0 never falls below b\"); plans are scored on the\n\
+     region above B.  The aware variant gains as the bound grows and\n\
+     skews the geometry.";
+  let d = 4 and n_nodes = 6 and ops_per_tree = 15 in
+  let graphs = if quick then 3 else 8 in
+  let samples = if quick then 2048 else 8192 in
+  let betas = [ 0.0; 0.2; 0.4; 0.6 ] in
+  let rng = Random.State.make [| 61 |] in
+  let problems =
+    List.init graphs (fun _ ->
+        let graph =
+          Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree
+        in
+        Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap:1.))
+  in
+  let rows =
+    List.map
+      (fun beta ->
+        let base_total = ref 0. and aware_total = ref 0. in
+        List.iter
+          (fun problem ->
+            let l = Problem.total_coefficients problem in
+            let c_total = Problem.total_capacity problem in
+            let lower =
+              Vec.init d (fun k ->
+                  if k = 0 then beta *. c_total /. l.(k) else 0.)
+            in
+            let ratio assignment =
+              (Plan.volume_qmc ~samples ~lower (Plan.make problem assignment))
+                .Feasible.Volume.ratio
+            in
+            base_total := !base_total +. ratio (Rod.Rod_algorithm.place problem);
+            aware_total :=
+              !aware_total +. ratio (Rod.Rod_algorithm.place ~lower problem))
+          problems;
+        let base = !base_total /. float_of_int graphs in
+        let aware = !aware_total /. float_of_int graphs in
+        [
+          Printf.sprintf "%.1f" beta;
+          Report.fcell base;
+          Report.fcell aware;
+          Report.fcell (aware /. base);
+          Report.bar aware;
+        ])
+      betas
+  in
+  Report.table fmt
+    ~headers:
+      [ "beta (B share)"; "base ROD"; "aware ROD"; "aware/base"; "" ]
+    ~rows

@@ -1,0 +1,8 @@
+(** §6.1 extension: when a lower bound on the input rates is known, ROD
+    can optimize the {e conditional} feasible region above it.  Compares
+    lower-bound-aware ROD with base ROD as the bound consumes a growing
+    share of total capacity. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

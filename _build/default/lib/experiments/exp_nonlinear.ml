@@ -1,0 +1,149 @@
+module Vec = Linalg.Vec
+module Problem = Rod.Problem
+module Plan = Rod.Plan
+module Load_model = Query.Load_model
+module Graph = Query.Graph
+module Op = Query.Op
+
+let name = "EXPNL nonlinear (join) load models"
+
+(* Two filtered feeds joined in a time window, the matches enriched and
+   aggregated; a drifting-selectivity classifier sits on feed A.  Two
+   variables are introduced by linearization (the classifier's output
+   rate and the join's pair rate). *)
+let join_graph rng =
+  let c lo hi = lo +. Random.State.float rng (hi -. lo) in
+  Graph.create ~n_inputs:2
+    ~ops:
+      [
+        (* feed A: 0..3 *)
+        ( Op.var_sel ~name:"classify" ~cost:(c 1e-4 3e-4) ~sel_lo:0.3 ~sel_hi:0.9
+            ~sel_now:0.6 (),
+          [ Graph.Sys_input 0 ] );
+        (Op.filter ~name:"cleanA" ~cost:(c 1e-4 3e-4) ~sel:0.8 (), [ Graph.Op_output 0 ]);
+        (Op.map ~name:"normA" ~cost:(c 1e-4 3e-4) (), [ Graph.Op_output 1 ]);
+        (Op.filter ~name:"dedupA" ~cost:(c 1e-4 3e-4) ~sel:0.9 (), [ Graph.Op_output 2 ]);
+        (* feed B: 4..6 *)
+        (Op.filter ~name:"cleanB" ~cost:(c 1e-4 3e-4) ~sel:0.7 (), [ Graph.Sys_input 1 ]);
+        (Op.map ~name:"projB" ~cost:(c 1e-4 3e-4) (), [ Graph.Op_output 4 ]);
+        (Op.map ~name:"normB" ~cost:(c 1e-4 3e-4) (), [ Graph.Op_output 5 ]);
+        (* join and downstream: 7..11 *)
+        ( Op.join ~name:"match" ~window:0.2 ~cost_per_pair:1e-5 ~sel:0.05 (),
+          [ Graph.Op_output 3; Graph.Op_output 6 ] );
+        (Op.map ~name:"enrich" ~cost:(c 1e-4 4e-4) (), [ Graph.Op_output 7 ]);
+        (Op.filter ~name:"score" ~cost:(c 1e-4 4e-4) ~sel:0.5 (), [ Graph.Op_output 8 ]);
+        (Op.aggregate ~name:"report" ~cost:(c 1e-4 3e-4) ~sel:0.1 (), [ Graph.Op_output 9 ]);
+        (Op.map ~name:"alert" ~cost:(c 1e-4 3e-4) (), [ Graph.Op_output 10 ]);
+      ]
+    ()
+
+(* System-rate points drawn from the extended ideal simplex, projected
+   onto the system coordinates. *)
+let system_points problem model ~count =
+  let d_total = Problem.dim problem in
+  let d_sys = Load_model.d_system model in
+  let l = Problem.total_coefficients problem in
+  let c_total = Problem.total_capacity problem in
+  Array.init count (fun i ->
+      let full =
+        Feasible.Simplex.sample_ideal ~l ~c_total
+          ~cube_point:(Feasible.Halton.point ~dim:d_total i)
+          ()
+      in
+      Array.sub full 0 d_sys)
+
+(* Fraction of actual system-rate points feasible under the true
+   nonlinear semantics. *)
+let actual_fraction model plan points =
+  let ln = Plan.node_loads plan in
+  let caps = plan.Plan.problem.Problem.caps in
+  let ok =
+    Array.fold_left
+      (fun acc sys_rates ->
+        let vars = Load_model.eval_vars model ~sys_rates in
+        if Feasible.Volume.is_feasible ~ln ~caps vars then acc + 1 else acc)
+      0 points
+  in
+  float_of_int ok /. float_of_int (Array.length points)
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Join + drifting-selectivity graph, linearized into 4 variables\n\
+     (2 system + 2 introduced), on 3 nodes.  'extended ratio' is the\n\
+     QMC objective ROD optimizes; 'actual feasible' evaluates the true\n\
+     nonlinear loads on projected rate points.";
+  let n_nodes = 3 in
+  let graphs = if quick then 2 else 5 in
+  let runs = if quick then 3 else 8 in
+  let samples = if quick then 2048 else 8192 in
+  let point_count = if quick then 256 else 1024 in
+  let rng = Random.State.make [| 66 |] in
+  let totals =
+    List.map (fun alg -> (alg, (ref 0., ref 0.))) Placers.all
+  in
+  for _ = 1 to graphs do
+    let graph = join_graph rng in
+    let model = Load_model.derive graph in
+    let problem =
+      Problem.of_model model ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap:1.)
+    in
+    let points = system_points problem model ~count:point_count in
+    List.iter
+      (fun (alg, (ext_total, act_total)) ->
+        ext_total :=
+          !ext_total +. Placers.mean_ratio ~runs ~samples ~rng ~graph ~problem alg;
+        (* Average the actual fraction over a few placements too. *)
+        let act_runs = match alg with Placers.Rod_placer -> 1 | _ -> runs in
+        let acc = ref 0. in
+        for _ = 1 to act_runs do
+          let assignment = Placers.place ~rng ~graph ~problem alg in
+          acc := !acc +. actual_fraction model (Plan.make problem assignment) points
+        done;
+        act_total := !act_total +. (!acc /. float_of_int act_runs))
+      totals
+  done;
+  let rows =
+    List.map
+      (fun (alg, (ext_total, act_total)) ->
+        [
+          Placers.name alg;
+          Report.fcell (!ext_total /. float_of_int graphs);
+          Report.fcell (!act_total /. float_of_int graphs);
+          Report.bar (!act_total /. float_of_int graphs);
+        ])
+      totals
+  in
+  Report.table fmt
+    ~headers:[ "algorithm"; "extended ratio"; "actual feasible"; "" ]
+    ~rows;
+  (* Simulator cross-check on ROD's plan: analytic feasibility of a
+     handful of points must match the discrete-event probe. *)
+  let graph = join_graph (Random.State.make [| 8 |]) in
+  let model = Load_model.derive graph in
+  let problem =
+    Problem.of_model model ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap:1.)
+  in
+  let assignment = Rod.Rod_algorithm.place problem in
+  let plan = Plan.make problem assignment in
+  let ln = Plan.node_loads plan in
+  let probe_count = if quick then 4 else 8 in
+  let points = system_points problem model ~count:probe_count in
+  let agreement = ref 0 in
+  Array.iter
+    (fun sys_rates ->
+      let vars = Load_model.eval_vars model ~sys_rates in
+      let analytic =
+        Feasible.Volume.is_feasible ~ln ~caps:problem.Problem.caps vars
+      in
+      let simulated =
+        (Dsim.Probe.probe_point ~duration:(if quick then 3. else 6.)
+           ~graph ~assignment ~caps:problem.Problem.caps ~rates:sys_rates ())
+          .Dsim.Probe.feasible
+      in
+      if analytic = simulated then incr agreement)
+    points;
+  Report.note fmt
+    (Printf.sprintf
+       "simulator cross-check: analytic feasibility matched the DES probe on %d/%d points"
+       !agreement probe_count)

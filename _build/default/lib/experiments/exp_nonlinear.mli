@@ -1,0 +1,11 @@
+(** §6.2 extension: nonlinear load models.  Graphs with time-window
+    joins and drifting selectivities are linearized by introducing rate
+    variables at the nonlinear cut points; ROD then runs unchanged in
+    the extended variable space.  Reports the per-algorithm feasible
+    ratio in that space, the feasible fraction over actual system-rate
+    points (evaluating the true nonlinear semantics), and a simulator
+    cross-check of the analytic feasibility test. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,57 @@
+module Problem = Rod.Problem
+module Plan = Rod.Plan
+
+let name = "EXPPAR resiliency vs partitioning degree"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Narrow graphs (3 operators per input, d=3) on 6 nodes, partitioned\n\
+     k ways (shard routing costs ~9% of an average operator per tuple).\n\
+     'ratio' is ROD's share of the (routing-inclusive) ideal; 'volume'\n\
+     the absolute feasible-set size.  Gains saturate once the graph is\n\
+     wide enough to balance — beyond that, extra shards only add\n\
+     routing load.";
+  let d = 3 and n_nodes = 6 and ops_per_tree = 3 in
+  let graphs = if quick then 3 else 8 in
+  let samples = if quick then 2048 else 8192 in
+  let ways_list = [ 1; 2; 4; 8; 16; 32 ] in
+  let route_cost = 5e-5 in
+  let rng = Random.State.make [| 77 |] in
+  let base_graphs =
+    List.init graphs (fun _ ->
+        Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree)
+  in
+  let caps = Problem.homogeneous_caps ~n:n_nodes ~cap:1. in
+  let rows =
+    List.map
+      (fun ways ->
+        let ratio_total = ref 0. and volume_total = ref 0. in
+        let ops_total = ref 0 in
+        List.iter
+          (fun base ->
+            let graph =
+              if ways = 1 then base
+              else Query.Partition.split_all ~route_cost ~ways base
+            in
+            ops_total := !ops_total + Query.Graph.n_ops graph;
+            let problem = Problem.of_graph graph ~caps in
+            let est =
+              Plan.volume_qmc ~samples (Rod.Rod_algorithm.plan problem)
+            in
+            ratio_total := !ratio_total +. est.Feasible.Volume.ratio;
+            volume_total := !volume_total +. est.Feasible.Volume.volume)
+          base_graphs;
+        let g = float_of_int graphs in
+        [
+          string_of_int ways;
+          string_of_int (!ops_total / graphs);
+          Report.fcell (!ratio_total /. g);
+          Printf.sprintf "%.4g" (!volume_total /. g);
+          Report.bar (!ratio_total /. g);
+        ])
+      ways_list
+  in
+  Report.table fmt
+    ~headers:[ "ways"; "mean #ops"; "ROD ratio"; "mean volume"; "" ]
+    ~rows

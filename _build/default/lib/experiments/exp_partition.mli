@@ -1,0 +1,8 @@
+(** §7.3.1's remark quantified: data-parallel partitioning turns narrow
+    query graphs into wide ones, and ROD's feasible set grows with the
+    partitioning degree — at the price of a per-tuple routing overhead
+    that eventually eats the gains. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

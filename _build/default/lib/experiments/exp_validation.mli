@@ -1,0 +1,13 @@
+(** EXPSPE: validating the cost-abstraction simulator against semantic
+    execution — our counterpart of the paper's §7.3.1 claim that "the
+    simulator results tracked the results in Borealis very closely".
+
+    The same placed network is executed twice under identical arrival
+    processes: once by {!Dsim.Engine} (operators as costs + Bernoulli
+    selectivities) and once by {!Spe.Dist_executor} (real tuples through
+    real operators, costs from profiling).  Per-node utilizations should
+    agree within a few percent. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,68 @@
+module Problem = Rod.Problem
+
+let name = "FIG14 resiliency vs number of operators"
+
+(* Mean ratio (vs ideal) of each algorithm over several random graphs
+   with [m] total operators on [n_nodes] nodes and [d] inputs. *)
+let sweep_point ~rng ~d ~n_nodes ~ops_per_tree ~graphs ~runs ~samples =
+  let totals = List.map (fun alg -> (alg, ref 0.)) Placers.all in
+  for _ = 1 to graphs do
+    let graph = Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree in
+    let problem =
+      Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap:1.)
+    in
+    List.iter
+      (fun (alg, total) ->
+        total := !total +. Placers.mean_ratio ~runs ~samples ~rng ~graph ~problem alg)
+      totals
+  done;
+  List.map (fun (alg, total) -> (alg, !total /. float_of_int graphs)) totals
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Random operator trees, d=5 inputs, n=10 nodes; each baseline re-run\n\
+     with fresh random inputs.  Left columns: ratio to the ideal feasible\n\
+     set; right columns: ratio to ROD.";
+  let d = 5 and n_nodes = 10 in
+  let op_counts = if quick then [ 20; 50; 100 ] else [ 20; 50; 100; 150; 200 ] in
+  let graphs = if quick then 2 else 5 in
+  let runs = if quick then 3 else 10 in
+  let samples = if quick then 2048 else 4096 in
+  let rng = Random.State.make [| 14 |] in
+  let results =
+    List.map
+      (fun m ->
+        let ops_per_tree = m / d in
+        (m, sweep_point ~rng ~d ~n_nodes ~ops_per_tree ~graphs ~runs ~samples))
+      op_counts
+  in
+  let alg_cell results alg =
+    Report.fcell (List.assoc alg results)
+  in
+  Report.note fmt "(a) average feasible set size / ideal feasible set size";
+  Report.table fmt
+    ~headers:("#ops" :: List.map Placers.name Placers.all)
+    ~rows:
+      (List.map
+         (fun (m, res) ->
+           string_of_int m :: List.map (alg_cell res) Placers.all)
+         results);
+  Report.note fmt "(b) average feasible set size / ROD's feasible set size";
+  Report.table fmt
+    ~headers:("#ops" :: List.filter_map
+                (fun alg ->
+                  if alg = Placers.Rod_placer then None
+                  else Some (Placers.name alg))
+                Placers.all)
+    ~rows:
+      (List.map
+         (fun (m, res) ->
+           let rod = List.assoc Placers.Rod_placer res in
+           string_of_int m
+           :: List.filter_map
+                (fun alg ->
+                  if alg = Placers.Rod_placer then None
+                  else Some (Report.fcell (List.assoc alg res /. rod)))
+                Placers.all)
+         results)

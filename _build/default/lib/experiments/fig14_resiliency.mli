@@ -1,0 +1,15 @@
+(** Figure 14 — the paper's headline result: average feasible-set size
+    of every algorithm, relative to the ideal (left plot) and relative
+    to ROD (right plot), as the number of operators grows.
+
+    Setup per §7.1/§7.3.1: random operator trees, 5 input streams, 10
+    homogeneous nodes; ROD runs once per graph, every baseline is
+    re-run with fresh random inputs and averaged.
+
+    Expected shape: ROD on top and approaching the ideal as operators
+    multiply; Correlation second; LLF and Random in the middle;
+    Connected far behind. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

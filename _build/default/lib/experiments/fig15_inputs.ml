@@ -1,0 +1,53 @@
+module Problem = Rod.Problem
+
+let name = "FIG15 resiliency vs number of input streams"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Random operator trees (20 per input), n=10 nodes; ratios are each\n\
+     algorithm's mean feasible-set size over ROD's.  ROD's advantage\n\
+     compounds with dimensionality.";
+  let n_nodes = 10 and ops_per_tree = 20 in
+  let dims = if quick then [ 2; 3; 4 ] else [ 2; 3; 4; 5; 6 ] in
+  let graphs = if quick then 2 else 5 in
+  let runs = if quick then 3 else 10 in
+  let samples = if quick then 2048 else 4096 in
+  let rng = Random.State.make [| 15 |] in
+  let rows =
+    List.map
+      (fun d ->
+        let totals = List.map (fun alg -> (alg, ref 0.)) Placers.all in
+        for _ = 1 to graphs do
+          let graph =
+            Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree
+          in
+          let problem =
+            Problem.of_graph graph
+              ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap:1.)
+          in
+          List.iter
+            (fun (alg, total) ->
+              total :=
+                !total
+                +. Placers.mean_ratio ~runs ~samples ~rng ~graph ~problem alg)
+            totals
+        done;
+        let mean alg = !(List.assoc alg totals) /. float_of_int graphs in
+        let rod = mean Placers.Rod_placer in
+        string_of_int d
+        :: List.filter_map
+             (fun alg ->
+               if alg = Placers.Rod_placer then None
+               else Some (Report.fcell (mean alg /. rod)))
+             Placers.all)
+      dims
+  in
+  Report.table fmt
+    ~headers:
+      ("#inputs"
+      :: List.filter_map
+           (fun alg ->
+             if alg = Placers.Rod_placer then None else Some (Placers.name alg))
+           Placers.all)
+    ~rows

@@ -1,0 +1,7 @@
+(** Figure 15: relative performance (feasible-set ratio over ROD's) as
+    the number of input streams — the dimensionality of the workload
+    space — grows.  ROD's edge should widen with every extra input. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

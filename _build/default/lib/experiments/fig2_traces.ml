@@ -1,0 +1,44 @@
+module Trace = Workload.Trace
+module Stats = Workload.Stats
+module Traces = Workload.Traces
+
+let name = "FIG2 trace burstiness"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Normalized rate variation of the three synthetic stand-ins for the\n\
+     paper's Internet Traffic Archive traces, plus a Poisson control.\n\
+     Self-similar traces keep their burstiness when aggregated in time.";
+  let levels = if quick then 10 else 12 in
+  let rng = Random.State.make [| 2006 |] in
+  let traces =
+    Traces.synthesize_all ~levels ~rng ()
+    |> List.map (fun (kind, trace) -> (Traces.name kind, trace))
+  in
+  let poisson =
+    ( "Poisson",
+      Trace.normalize
+        (Workload.Generators.poisson_counts ~rng ~n:(1 lsl levels) ~dt:1.
+           ~mean_rate:100.) )
+  in
+  let rows =
+    List.map
+      (fun (label, trace) ->
+        let cv1 = Trace.cv trace in
+        let cv4 = Trace.cv (Trace.coarsen trace 4) in
+        let cv16 = Trace.cv (Trace.coarsen trace 16) in
+        let hurst = Stats.hurst_rs trace.Trace.rates in
+        [
+          label;
+          Report.fcell cv1;
+          Report.fcell cv4;
+          Report.fcell cv16;
+          Report.fcell hurst;
+          Report.bar (cv1 /. 1.2);
+        ])
+      (traces @ [ poisson ])
+  in
+  Report.table fmt
+    ~headers:[ "trace"; "cv @1x"; "cv @4x"; "cv @16x"; "Hurst(R/S)"; "burstiness" ]
+    ~rows

@@ -1,0 +1,10 @@
+(** Figure 2: "Stream rates exhibit significant variation over time."
+
+    Reproduced with the synthetic PKT/TCP/HTTP traces: reports each
+    trace's coefficient of variation at the native time-scale and after
+    4x / 16x aggregation (self-similarity keeps it high), plus an R/S
+    Hurst estimate, against a Poisson control. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

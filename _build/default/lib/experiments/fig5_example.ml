@@ -1,0 +1,46 @@
+module Vec = Linalg.Vec
+module Problem = Rod.Problem
+module Plan = Rod.Plan
+
+let name = "FIG5 example feasible sets"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Example 2: L^o = [(4,0);(6,0);(0,9);(0,2)], two nodes of capacity 1.\n\
+     Ideal hyperplane 10 r1 + 11 r2 = 2 bounds every plan (area 4/220).";
+  let samples = if quick then 8192 else 32768 in
+  let problem = Problem.of_graph (Query.Builder.example2 ()) ~caps:(Vec.of_list [ 1.; 1. ]) in
+  let ideal_area = Rod.Ideal.volume problem in
+  let caps = problem.Problem.caps in
+  let describe label assignment =
+    let plan = Plan.make problem assignment in
+    let ln = Plan.node_loads plan in
+    let exact = Feasible.Polygon.feasible_area ~ln ~caps () in
+    let est = Plan.volume_qmc ~samples plan in
+    let s = Rod.Metrics.summary plan in
+    [
+      label;
+      Printf.sprintf "[%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_int assignment)));
+      Report.fcell exact;
+      Report.fcell est.Feasible.Volume.volume;
+      Report.pct (exact /. ideal_area);
+      Report.fcell s.Rod.Metrics.plane_distance_ratio;
+      Report.bar (exact /. ideal_area);
+    ]
+  in
+  let rod_assignment = Rod.Rod_algorithm.place problem in
+  let rows =
+    List.map
+      (fun (label, assignment) -> describe label assignment)
+      Query.Builder.example2_plans
+    @ [ describe "ROD" rod_assignment ]
+  in
+  Report.table fmt
+    ~headers:
+      [ "plan"; "assignment"; "exact area"; "QMC area"; "vs ideal"; "r/r*"; "" ]
+    ~rows;
+  Report.note fmt
+    (Printf.sprintf "ideal feasible set area = %s (unachievable upper bound)"
+       (Report.fcell ideal_area))

@@ -1,0 +1,8 @@
+(** Figures 5-6 / Example 2: feasible sets of three placements of the
+    four-operator example graph on two unit nodes, against the ideal
+    hyperplane, with exact polygon areas, QMC cross-checks and the
+    normalized metrics — plus the plan ROD itself produces. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,79 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let name = "FIG9 plane distance vs feasible size"
+
+(* A random n x d node load matrix with the prescribed column sums:
+   each stream's total coefficient split across nodes by normalized
+   uniform draws. *)
+let random_ln rng ~n ~l =
+  let d = Vec.dim l in
+  let ln = Mat.zeros n d in
+  for k = 0 to d - 1 do
+    let draws = Array.init n (fun _ -> 1e-6 +. Random.State.float rng 1.) in
+    let total = Array.fold_left ( +. ) 0. draws in
+    for i = 0 to n - 1 do
+      Mat.set ln i k (l.(k) *. draws.(i) /. total)
+    done
+  done;
+  ln
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Random node load matrices (n=10, d=3, column sums fixed): both the\n\
+     lower and upper envelope of the feasible-size ratio grow with r/r*.";
+  let matrices = if quick then 200 else 1000 in
+  let samples = if quick then 1024 else 4096 in
+  let n = 10 and d = 3 in
+  let rng = Random.State.make [| 9 |] in
+  let l = Vec.create d 10. in
+  let caps = Vec.ones n in
+  let c_total = Vec.sum caps in
+  let r_ideal = 1. /. sqrt (float_of_int d) in
+  let bins = 10 in
+  let counts = Array.make bins 0 in
+  let mins = Array.make bins infinity in
+  let maxs = Array.make bins 0. in
+  let sums = Array.make bins 0. in
+  for _ = 1 to matrices do
+    let ln = random_ln rng ~n ~l in
+    (* Normalized weight rows: w_ik = (ln_ik / l_k) / (C_i / C_T). *)
+    let rows =
+      List.init n (fun i ->
+          Vec.init d (fun k -> Mat.get ln i k /. l.(k) /. (caps.(i) /. c_total)))
+    in
+    let r = Feasible.Geometry.min_plane_distance rows in
+    let ratio =
+      (Feasible.Volume.ratio_qmc ~ln ~caps ~l ~samples ()).Feasible.Volume.ratio
+    in
+    let bin =
+      min (bins - 1) (int_of_float (float_of_int bins *. r /. r_ideal))
+    in
+    counts.(bin) <- counts.(bin) + 1;
+    sums.(bin) <- sums.(bin) +. ratio;
+    if ratio < mins.(bin) then mins.(bin) <- ratio;
+    if ratio > maxs.(bin) then maxs.(bin) <- ratio
+  done;
+  let rows =
+    List.filter_map
+      (fun b ->
+        if counts.(b) = 0 then None
+        else
+          let lo = float_of_int b /. float_of_int bins in
+          let hi = float_of_int (b + 1) /. float_of_int bins in
+          let mean = sums.(b) /. float_of_int counts.(b) in
+          Some
+            [
+              Printf.sprintf "%.1f-%.1f" lo hi;
+              string_of_int counts.(b);
+              Report.fcell mins.(b);
+              Report.fcell mean;
+              Report.fcell maxs.(b);
+              Report.bar mean;
+            ])
+      (List.init bins (fun b -> b))
+  in
+  Report.table fmt
+    ~headers:[ "r/r* bin"; "matrices"; "min ratio"; "mean ratio"; "max ratio"; "" ]
+    ~rows

@@ -1,0 +1,8 @@
+(** Figure 9: relationship between the normalized minimum plane distance
+    [r / r*] and the feasible-set-size ratio, over random node
+    load-coefficient matrices (10 nodes, 3 input streams, column sums
+    fixed) — the empirical justification of the MMPD heuristic. *)
+
+val name : string
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,58 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Problem = Rod.Problem
+module Plan = Rod.Plan
+
+type algorithm =
+  | Rod_placer
+  | Correlation_based
+  | Llf
+  | Random_placer
+  | Connected
+
+let all = [ Rod_placer; Correlation_based; Llf; Random_placer; Connected ]
+
+let name = function
+  | Rod_placer -> "ROD"
+  | Correlation_based -> "Correlation"
+  | Llf -> "LLF"
+  | Random_placer -> "Random"
+  | Connected -> "Connected"
+
+(* A rate point uniform in the ideal simplex — "random input stream
+   rates" for the balancing baselines. *)
+let random_rates rng problem =
+  let d = Problem.dim problem in
+  let cube = Array.init d (fun _ -> Random.State.float rng 1.) in
+  Feasible.Simplex.sample_ideal
+    ~l:(Problem.total_coefficients problem)
+    ~c_total:(Problem.total_capacity problem)
+    ~cube_point:cube ()
+
+(* A random rate time series for the correlation baseline: every input
+   follows an independent bursty series. *)
+let random_series rng problem ~steps =
+  let d = Problem.dim problem in
+  let l = Problem.total_coefficients problem in
+  let c_total = Problem.total_capacity problem in
+  let scale k = c_total /. (float_of_int d *. l.(k)) in
+  Mat.init steps d (fun _ k -> Random.State.float rng (2. *. scale k))
+
+let place ~rng ~graph ~problem = function
+  | Rod_placer -> Rod.Rod_algorithm.place problem
+  | Random_placer -> Baselines.random_balanced ~rng problem
+  | Llf -> Baselines.llf ~rates:(random_rates rng problem) problem
+  | Connected ->
+    Baselines.connected ~rates:(random_rates rng problem) ~graph problem
+  | Correlation_based ->
+    Baselines.correlation ~series:(random_series rng problem ~steps:32) problem
+
+let mean_ratio ?(runs = 10) ?(samples = 4096) ~rng ~graph ~problem algorithm =
+  let runs = match algorithm with Rod_placer -> 1 | _ -> runs in
+  let acc = ref 0. in
+  for _ = 1 to runs do
+    let assignment = place ~rng ~graph ~problem algorithm in
+    let est = Plan.volume_qmc ~samples (Plan.make problem assignment) in
+    acc := !acc +. est.Feasible.Volume.ratio
+  done;
+  !acc /. float_of_int runs

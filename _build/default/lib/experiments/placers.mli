@@ -1,0 +1,44 @@
+(** The algorithm roster and the paper's evaluation protocol (§7.3.1):
+    ROD is deterministic and runs once per instance; each competing
+    algorithm is run several times — Random with fresh seeds, the
+    balancers with fresh random rate points, Correlation with fresh
+    random rate time-series — and its feasible-set ratios are
+    averaged. *)
+
+type algorithm =
+  | Rod_placer
+  | Correlation_based
+  | Llf
+  | Random_placer
+  | Connected
+
+val all : algorithm list
+(** In the paper's presentation order (best to worst expected). *)
+
+val name : algorithm -> string
+
+val random_rates : Random.State.t -> Rod.Problem.t -> Linalg.Vec.t
+(** A rate point uniform in the ideal simplex — the "random input
+    stream rates" handed to the balancing baselines. *)
+
+val place :
+  rng:Random.State.t ->
+  graph:Query.Graph.t ->
+  problem:Rod.Problem.t ->
+  algorithm ->
+  int array
+(** One placement.  Random inputs for the baselines are drawn from
+    [rng]: the balancers get a rate point uniform in the ideal simplex,
+    Correlation a 32-step random rate series. *)
+
+val mean_ratio :
+  ?runs:int ->
+  ?samples:int ->
+  rng:Random.State.t ->
+  graph:Query.Graph.t ->
+  problem:Rod.Problem.t ->
+  algorithm ->
+  float
+(** Average feasible-set ratio (vs ideal) over [runs] placements
+    (default 10; ROD always runs once), each scored by QMC with
+    [samples] points (default 4096). *)

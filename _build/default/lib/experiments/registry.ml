@@ -1,0 +1,33 @@
+type t = {
+  id : string;
+  name : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+let all =
+  [
+    { id = "fig2"; name = Fig2_traces.name; run = Fig2_traces.run };
+    { id = "fig5"; name = Fig5_example.name; run = Fig5_example.run };
+    { id = "fig9"; name = Fig9_distance.name; run = Fig9_distance.run };
+    { id = "fig14"; name = Fig14_resiliency.name; run = Fig14_resiliency.run };
+    { id = "fig15"; name = Fig15_inputs.name; run = Fig15_inputs.run };
+    { id = "tblopt"; name = Tbl_optimal.name; run = Tbl_optimal.run };
+    { id = "explat"; name = Exp_latency.name; run = Exp_latency.run };
+    { id = "explb"; name = Exp_lowerbound.name; run = Exp_lowerbound.run };
+    { id = "expclu"; name = Exp_clustering.name; run = Exp_clustering.run };
+    { id = "expnl"; name = Exp_nonlinear.name; run = Exp_nonlinear.run };
+    { id = "expdyn"; name = Exp_dynamic.name; run = Exp_dynamic.run };
+    { id = "expcal"; name = Exp_calibration.name; run = Exp_calibration.run };
+    { id = "expabl"; name = Exp_ablation.name; run = Exp_ablation.run };
+    { id = "exphet"; name = Exp_heterogeneous.name; run = Exp_heterogeneous.run };
+    { id = "expspe"; name = Exp_validation.name; run = Exp_validation.run };
+    { id = "exppar"; name = Exp_partition.name; run = Exp_partition.run };
+    { id = "expinc"; name = Exp_incremental.name; run = Exp_incremental.run };
+    { id = "expfail"; name = Exp_failure.name; run = Exp_failure.run };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,16 @@
+(** The catalogue of reproduced tables and figures, consumed by the
+    bench binary and the CLI's [experiment] subcommand. *)
+
+type t = {
+  id : string;  (** Short identifier, e.g. "fig14". *)
+  name : string;  (** Human-readable title. *)
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+val all : t list
+(** Every experiment, in the paper's order. *)
+
+val find : string -> t option
+(** Lookup by identifier (case-insensitive). *)
+
+val ids : unit -> string list

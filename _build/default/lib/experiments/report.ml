@@ -1,0 +1,91 @@
+let csv_dir = ref None
+
+let current_section = ref "untitled"
+
+let table_counter = ref 0
+
+let set_csv_dir dir = csv_dir := dir
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> c
+      | 'A' .. 'Z' -> Char.lowercase_ascii c
+      | _ -> '-')
+    title
+
+let section fmt title =
+  current_section := slug title;
+  table_counter := 0;
+  let rule = String.make (String.length title + 4) '=' in
+  Format.fprintf fmt "@.%s@.= %s =@.%s@." rule title rule
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~headers ~rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    incr table_counter;
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "%s_%d.csv" !current_section !table_counter)
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let line cells =
+          output_string oc (String.concat "," (List.map csv_escape cells));
+          output_char oc '\n'
+        in
+        line headers;
+        List.iter line rows)
+
+let note fmt text = Format.fprintf fmt "%s@." text
+
+let table fmt ~headers ~rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length headers then
+        invalid_arg "Report.table: row arity differs from headers")
+    rows;
+  write_csv ~headers ~rows;
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad width s = s ^ String.make (width - String.length s) ' ' in
+  let print_row cells =
+    let padded = List.map2 pad widths cells in
+    Format.fprintf fmt "| %s |@." (String.concat " | " padded)
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  Format.fprintf fmt "%s@." rule;
+  print_row headers;
+  Format.fprintf fmt "%s@." rule;
+  List.iter print_row rows;
+  Format.fprintf fmt "%s@." rule
+
+let fcell x =
+  if Float.is_integer x && abs_float x < 1e7 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+let bar x =
+  let clipped = Float.max 0. (Float.min 1. x) in
+  String.make (int_of_float (Float.round (30. *. clipped))) '#'

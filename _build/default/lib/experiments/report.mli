@@ -1,0 +1,29 @@
+(** Plain-text rendering of experiment results: titled sections, aligned
+    tables and crude ASCII series plots, printed to a formatter (the
+    bench binary tees them into EXPERIMENTS-style output). *)
+
+val set_csv_dir : string option -> unit
+(** When set to [Some dir], every subsequent {!table} also writes a CSV
+    file [dir/<section-slug>_<n>.csv] (the directory must exist).
+    Intended for piping experiment results into external plotting. *)
+
+val section : Format.formatter -> string -> unit
+(** A visually separated heading; also names the CSV files of the
+    tables that follow. *)
+
+val note : Format.formatter -> string -> unit
+
+val table :
+  Format.formatter -> headers:string list -> rows:string list list -> unit
+(** Column-aligned table with a header rule.  Every row must have the
+    same arity as [headers]. *)
+
+val fcell : float -> string
+(** Compact float cell: 4 significant digits. *)
+
+val pct : float -> string
+(** A ratio as a percentage with one decimal. *)
+
+val bar : float -> string
+(** A crude magnitude bar (0..1 mapped onto 0..30 [#] characters,
+    clipped) for eyeballing trends in series tables. *)

@@ -1,0 +1,73 @@
+module Problem = Rod.Problem
+
+let name = "TBLOPT ROD vs exhaustive optimum"
+
+let run ?(quick = false) fmt =
+  Report.section fmt name;
+  Report.note fmt
+    "Small random instances on two nodes, scored on a shared QMC sample;\n\
+     the paper reports ROD/optimal averaging 0.95 with minimum 0.82.";
+  let instances = if quick then 6 else 20 in
+  let samples = if quick then 1024 else 2048 in
+  let rng = Random.State.make [| 20 |] in
+  let configs = [ (2, 4); (2, 6); (3, 4); (5, 2) ] in
+  let rows = ref [] in
+  let all_ratios = ref [] in
+  let all_polished = ref [] in
+  List.iter
+    (fun (d, ops_per_tree) ->
+      let pairs =
+        List.init instances (fun i ->
+            ignore i;
+            let graph =
+              Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree
+            in
+            let problem =
+              Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:2 ~cap:1.)
+            in
+            let best = Rod.Optimal.search ~samples problem in
+            let rod =
+              Rod.Optimal.ratio_of_assignment ~samples problem
+                (Rod.Rod_algorithm.place problem)
+            in
+            let polished =
+              (Rod.Local_search.rod_polished ~samples problem)
+                .Rod.Local_search.ratio
+            in
+            if best.Rod.Optimal.ratio <= 0. then (1., 1.)
+            else
+              (rod /. best.Rod.Optimal.ratio, polished /. best.Rod.Optimal.ratio))
+      in
+      let ratios = List.map fst pairs and polished = List.map snd pairs in
+      all_ratios := ratios @ !all_ratios;
+      all_polished := polished @ !all_polished;
+      let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int instances in
+      let low xs = List.fold_left Float.min infinity xs in
+      rows :=
+        [
+          string_of_int d;
+          string_of_int (d * ops_per_tree);
+          string_of_int instances;
+          Report.fcell (mean ratios);
+          Report.fcell (low ratios);
+          Report.fcell (mean polished);
+          Report.fcell (low polished);
+        ]
+        :: !rows)
+    configs;
+  Report.table fmt
+    ~headers:
+      [ "#inputs"; "#ops"; "instances"; "mean ROD/opt"; "min ROD/opt";
+        "mean ROD+LS/opt"; "min ROD+LS/opt" ]
+    ~rows:(List.rev !rows);
+  let overall xs =
+    List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
+  Report.note fmt
+    (Printf.sprintf
+       "overall: ROD mean %s min %s (paper: 0.95 / 0.82); with local-search \
+        polishing: mean %s min %s"
+       (Report.fcell (overall !all_ratios))
+       (Report.fcell (List.fold_left Float.min infinity !all_ratios))
+       (Report.fcell (overall !all_polished))
+       (Report.fcell (List.fold_left Float.min infinity !all_polished)))

@@ -1,0 +1,1 @@
+lib/feasible/geometry.ml: Array Float Linalg List

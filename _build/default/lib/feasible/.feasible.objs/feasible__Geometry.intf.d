@@ -1,0 +1,1 @@
+lib/feasible/geometry.mli: Linalg

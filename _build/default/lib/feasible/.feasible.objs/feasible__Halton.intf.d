@@ -1,0 +1,1 @@
+lib/feasible/halton.mli:

@@ -1,0 +1,1 @@
+lib/feasible/polygon.ml: Array Float Linalg List

@@ -1,0 +1,1 @@
+lib/feasible/polygon.mli: Linalg

@@ -1,0 +1,1 @@
+lib/feasible/simplex.ml: Array Linalg

@@ -1,0 +1,1 @@
+lib/feasible/volume.ml: Array Float Halton Linalg Random Simplex

@@ -1,0 +1,1 @@
+lib/feasible/volume.mli: Linalg Random

@@ -1,0 +1,44 @@
+module Vec = Linalg.Vec
+
+let axis_distance w k =
+  if k < 0 || k >= Vec.dim w then invalid_arg "Geometry.axis_distance: bad axis";
+  if w.(k) = 0. then infinity else 1. /. w.(k)
+
+let min_axis_distance rows k =
+  List.fold_left (fun acc w -> Float.min acc (axis_distance w k)) infinity rows
+
+let plane_distance w =
+  let n = Vec.norm2 w in
+  if n = 0. then infinity else 1. /. n
+
+let plane_distance_from ~point w =
+  let n = Vec.norm2 w in
+  if n = 0. then infinity else (1. -. Vec.dot w point) /. n
+
+let min_plane_distance ?point rows =
+  let dist =
+    match point with
+    | None -> plane_distance
+    | Some p -> plane_distance_from ~point:p
+  in
+  List.fold_left (fun acc w -> Float.min acc (dist w)) infinity rows
+
+let ideal_plane_distance ?point d =
+  if d < 1 then invalid_arg "Geometry.ideal_plane_distance: d < 1";
+  let s = match point with None -> 0. | Some p -> Vec.sum p in
+  (1. -. s) /. sqrt (float_of_int d)
+
+let below_ideal w = Vec.for_all (fun x -> x <= 1.) w
+
+let hypersphere_volume ~dim ~radius =
+  if dim < 0 then invalid_arg "Geometry.hypersphere_volume: negative dim";
+  if radius < 0. then 0.
+  else
+    (* V_d = pi^(d/2) / Gamma(d/2 + 1) * r^d, via the recurrence
+       V_d = V_{d-2} * 2 pi / d. *)
+    let rec unit_volume d =
+      if d = 0 then 1.
+      else if d = 1 then 2.
+      else unit_volume (d - 2) *. 2. *. Float.pi /. float_of_int d
+    in
+    unit_volume dim *. (radius ** float_of_int dim)

@@ -1,0 +1,23 @@
+let primes =
+  [| 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71 |]
+
+let radical_inverse ~base i =
+  if base < 2 then invalid_arg "Halton.radical_inverse: base < 2";
+  if i < 0 then invalid_arg "Halton.radical_inverse: negative index";
+  let fbase = float_of_int base in
+  let rec loop i inv_scale acc =
+    if i = 0 then acc
+    else
+      let digit = i mod base in
+      loop (i / base) (inv_scale /. fbase)
+        (acc +. (float_of_int digit *. inv_scale))
+  in
+  loop i (1. /. fbase) 0.
+
+let point ~dim i =
+  if dim < 1 || dim > Array.length primes then
+    invalid_arg "Halton.point: dim outside [1, 20]";
+  if i < 0 then invalid_arg "Halton.point: negative index";
+  Array.init dim (fun k -> radical_inverse ~base:primes.(k) (i + 1))
+
+let sequence ~dim ~n = Array.init n (fun i -> point ~dim i)

@@ -1,0 +1,91 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type point = float * float
+
+let clip poly ~a ~b ~c =
+  match poly with
+  | [] -> []
+  | _ ->
+    let inside (x, y) = (a *. x) +. (b *. y) <= c +. 1e-12 in
+    let intersect (x1, y1) (x2, y2) =
+      (* Point where a*x + b*y = c on the segment. *)
+      let f1 = (a *. x1) +. (b *. y1) -. c in
+      let f2 = (a *. x2) +. (b *. y2) -. c in
+      let t = f1 /. (f1 -. f2) in
+      (x1 +. (t *. (x2 -. x1)), y1 +. (t *. (y2 -. y1)))
+    in
+    let n = List.length poly in
+    let arr = Array.of_list poly in
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      let cur = arr.(i) in
+      let next = arr.((i + 1) mod n) in
+      let cur_in = inside cur and next_in = inside next in
+      if cur_in then begin
+        out := cur :: !out;
+        if not next_in then out := intersect cur next :: !out
+      end
+      else if next_in then out := intersect cur next :: !out
+    done;
+    List.rev !out
+
+let area poly =
+  match poly with
+  | [] | [ _ ] | [ _; _ ] -> 0.
+  | _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let x1, y1 = arr.(i) in
+      let x2, y2 = arr.((i + 1) mod n) in
+      acc := !acc +. ((x1 *. y2) -. (x2 *. y1))
+    done;
+    abs_float !acc /. 2.
+
+let bounding_box ~ln ~caps ~lower =
+  let n = Mat.rows ln in
+  let bound axis =
+    let best = ref infinity in
+    for i = 0 to n - 1 do
+      let coeff = Mat.get ln i axis in
+      if coeff > 0. then best := Float.min !best (caps.(i) /. coeff)
+    done;
+    if !best = infinity then
+      invalid_arg "Polygon: feasible set unbounded (no positive coefficient)";
+    !best
+  in
+  let bx = bound 0 and by = bound 1 in
+  let lx, ly = lower in
+  (Float.max bx lx, Float.max by ly)
+
+let initial_polygon ~ln ~caps ~lower =
+  let lx, ly = lower in
+  let bx, by = bounding_box ~ln ~caps ~lower in
+  let bx = bx +. 1. and by = by +. 1. in
+  [ (lx, ly); (bx, ly); (bx, by); (lx, by) ]
+
+let clip_all ~ln ~caps poly =
+  let result = ref poly in
+  for i = 0 to Mat.rows ln - 1 do
+    result := clip !result ~a:(Mat.get ln i 0) ~b:(Mat.get ln i 1) ~c:caps.(i)
+  done;
+  !result
+
+let prepare ~ln ~caps ~lower =
+  if Mat.cols ln <> 2 then invalid_arg "Polygon: ln must have two columns";
+  if Mat.rows ln <> Vec.dim caps then
+    invalid_arg "Polygon: ln rows <> capacity entries";
+  let lower =
+    match lower with
+    | None -> (0., 0.)
+    | Some b ->
+      if Vec.dim b <> 2 then invalid_arg "Polygon: lower bound must be 2-d";
+      (b.(0), b.(1))
+  in
+  clip_all ~ln ~caps (initial_polygon ~ln ~caps ~lower)
+
+let feasible_vertices ~ln ~caps ?lower () = prepare ~ln ~caps ~lower
+
+let feasible_area ~ln ~caps ?lower () = area (prepare ~ln ~caps ~lower)

@@ -1,0 +1,27 @@
+(** Exact feasible-set areas in two dimensions.
+
+    For [d = 2] the feasible set [{ r >= 0 : L^n r <= C }] is a convex
+    polygon, so its area can be computed exactly by half-plane clipping.
+    Used to draw Figure 5/6 style results and to validate the QMC
+    estimator. *)
+
+type point = float * float
+
+val clip : point list -> a:float -> b:float -> c:float -> point list
+(** Sutherland–Hodgman clip of a convex polygon (counter-clockwise
+    vertex list) against the half-plane [a*x + b*y <= c]. *)
+
+val area : point list -> float
+(** Shoelace area of a polygon given as a vertex list (absolute value). *)
+
+val feasible_area :
+  ln:Linalg.Mat.t -> caps:Linalg.Vec.t -> ?lower:Linalg.Vec.t -> unit -> float
+(** Exact area of [{ r >= lower : L^n r <= C }] for a 2-column [ln].
+    The region must be bounded (every axis constrained by some row with
+    a positive coefficient); raises [Invalid_argument] otherwise. *)
+
+val feasible_vertices :
+  ln:Linalg.Mat.t -> caps:Linalg.Vec.t -> ?lower:Linalg.Vec.t -> unit ->
+  point list
+(** The polygon's vertices, counter-clockwise — handy for printing the
+    Figure 5 feasible-set shapes. *)

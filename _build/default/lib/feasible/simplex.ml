@@ -1,0 +1,49 @@
+module Vec = Linalg.Vec
+
+let of_cube u =
+  let d = Array.length u in
+  if d = 0 then invalid_arg "Simplex.of_cube: empty point";
+  let sorted = Array.copy u in
+  Array.sort compare sorted;
+  Array.init d (fun k -> if k = 0 then sorted.(0) else sorted.(k) -. sorted.(k - 1))
+
+let volume d =
+  if d < 0 then invalid_arg "Simplex.volume: negative dimension";
+  let rec fact acc k = if k <= 1 then acc else fact (acc *. float_of_int k) (k - 1) in
+  1. /. fact 1. d
+
+let check_l l =
+  if Vec.dim l = 0 then invalid_arg "Simplex: empty coefficient vector";
+  if Vec.exists (fun x -> x <= 0.) l then
+    invalid_arg "Simplex: load coefficients must be strictly positive"
+
+let budget ~l ~c_total ~lower =
+  match lower with
+  | None -> c_total
+  | Some b ->
+    if Vec.dim b <> Vec.dim l then
+      invalid_arg "Simplex: lower bound dimension mismatch";
+    if Vec.exists (fun x -> x < 0.) b then
+      invalid_arg "Simplex: negative lower bound";
+    c_total -. Vec.dot l b
+
+let ideal_volume ~l ~c_total ?lower () =
+  check_l l;
+  let d = Vec.dim l in
+  let slack = budget ~l ~c_total ~lower in
+  if slack <= 0. then 0.
+  else
+    let prod = Array.fold_left ( *. ) 1. l in
+    (slack ** float_of_int d) *. volume d /. prod
+
+let to_ideal ~l ~c_total ?lower x =
+  check_l l;
+  if Array.length x <> Vec.dim l then
+    invalid_arg "Simplex.to_ideal: dimension mismatch";
+  let slack = budget ~l ~c_total ~lower in
+  if slack < 0. then invalid_arg "Simplex.to_ideal: lower bound is infeasible";
+  let base k = match lower with None -> 0. | Some b -> b.(k) in
+  Array.mapi (fun k xk -> base k +. (xk *. slack /. l.(k))) x
+
+let sample_ideal ~l ~c_total ?lower ~cube_point () =
+  to_ideal ~l ~c_total ?lower (of_cube cube_point)

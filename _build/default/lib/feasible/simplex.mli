@@ -1,0 +1,43 @@
+(** Uniform sampling over the solid standard simplex
+    [S_d = { x >= 0 : sum x_k <= 1 }] and over the paper's {e ideal
+    feasible set} [F* = { R >= B : sum_k l_k r_k <= C_T }] (Theorem 1).
+
+    The unit-cube-to-simplex map is the classical uniform-spacings
+    transform: sort the cube coordinates and take consecutive gaps; the
+    [d+1] gaps are jointly Dirichlet(1,...,1), so the first [d] are
+    uniform on [S_d].  Applied to Halton points this gives quasi-Monte
+    Carlo integration over the simplex; applied to pseudo-random points,
+    plain Monte Carlo. *)
+
+val of_cube : float array -> float array
+(** Map a point of [[0,1]^d] to the solid simplex [S_d].  The input is
+    not modified. *)
+
+val volume : int -> float
+(** [volume d] is [1 / d!], the volume of [S_d]. *)
+
+val ideal_volume : l:Linalg.Vec.t -> c_total:float -> ?lower:Linalg.Vec.t ->
+  unit -> float
+(** Volume of the ideal feasible set
+    [{ R >= lower : l . R <= c_total }]: [(c_total - l.lower)^d / (d! prod l_k)].
+    Zero when the lower bound already exceeds the capacity hyperplane.
+    Requires strictly positive [l]. *)
+
+val to_ideal :
+  l:Linalg.Vec.t ->
+  c_total:float ->
+  ?lower:Linalg.Vec.t ->
+  float array ->
+  float array
+(** [to_ideal ~l ~c_total ~lower x] maps a point [x] of [S_d] uniformly
+    onto the ideal feasible set:
+    [r_k = lower_k + x_k * (c_total - l.lower) / l_k]. *)
+
+val sample_ideal :
+  l:Linalg.Vec.t ->
+  c_total:float ->
+  ?lower:Linalg.Vec.t ->
+  cube_point:float array ->
+  unit ->
+  float array
+(** Composition of {!of_cube} and {!to_ideal}. *)

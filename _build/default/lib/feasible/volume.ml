@@ -1,0 +1,75 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type estimate = {
+  ratio : float;
+  volume : float;
+  ideal_volume : float;
+  samples : int;
+  feasible_samples : int;
+  std_error : float;
+}
+
+let is_feasible ~ln ~caps r =
+  let n = Mat.rows ln in
+  let rec check i =
+    i >= n || (Vec.dot (Mat.row ln i) r <= caps.(i) +. 1e-12 && check (i + 1))
+  in
+  check 0
+
+let estimate_with ~next_cube_point ~ln ~caps ?l ?lower ~samples () =
+  if samples < 1 then invalid_arg "Volume: samples < 1";
+  let l = match l with Some l -> l | None -> Mat.col_sums ln in
+  let c_total = Vec.sum caps in
+  let ideal = Simplex.ideal_volume ~l ~c_total ?lower () in
+  if ideal = 0. then
+    { ratio = 0.; volume = 0.; ideal_volume = 0.; samples; feasible_samples = 0;
+      std_error = 0. }
+  else begin
+    let feasible = ref 0 in
+    for i = 0 to samples - 1 do
+      let cube_point = next_cube_point i in
+      let r = Simplex.sample_ideal ~l ~c_total ?lower ~cube_point () in
+      if is_feasible ~ln ~caps r then incr feasible
+    done;
+    let ratio = float_of_int !feasible /. float_of_int samples in
+    {
+      ratio;
+      volume = ratio *. ideal;
+      ideal_volume = ideal;
+      samples;
+      feasible_samples = !feasible;
+      std_error = sqrt (ratio *. (1. -. ratio) /. float_of_int samples);
+    }
+  end
+
+let ratio_qmc ~ln ~caps ?l ?lower ~samples () =
+  let dim = Mat.cols ln in
+  estimate_with ~next_cube_point:(fun i -> Halton.point ~dim i) ~ln ~caps ?l
+    ?lower ~samples ()
+
+let ratio_mc ~rng ~ln ~caps ?l ?lower ~samples () =
+  let dim = Mat.cols ln in
+  let draw _ = Array.init dim (fun _ -> Random.State.float rng 1.) in
+  estimate_with ~next_cube_point:draw ~ln ~caps ?l ?lower ~samples ()
+
+let max_scale ~ln ~caps ~direction =
+  if Vec.dim direction <> Mat.cols ln then
+    invalid_arg "Volume.max_scale: direction dimension mismatch";
+  if Vec.exists (fun x -> x < 0.) direction || Vec.for_all (fun x -> x = 0.) direction
+  then invalid_arg "Volume.max_scale: direction must be nonnegative, nonzero";
+  let best = ref infinity in
+  for i = 0 to Mat.rows ln - 1 do
+    let along = Vec.dot (Mat.row ln i) direction in
+    if along > 0. then best := Float.min !best (caps.(i) /. along)
+  done;
+  !best
+
+let ratio_of_points ~ln ~caps ~points =
+  if Array.length points = 0 then invalid_arg "Volume.ratio_of_points: no points";
+  let feasible =
+    Array.fold_left
+      (fun acc r -> if is_feasible ~ln ~caps r then acc + 1 else acc)
+      0 points
+  in
+  float_of_int feasible /. float_of_int (Array.length points)

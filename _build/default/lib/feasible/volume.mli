@@ -1,0 +1,66 @@
+(** Feasible-set size estimation (the optimization objective of the
+    whole paper, §2.4).
+
+    Given node load coefficients [L^n] and capacities [C], the feasible
+    set is [F = { R in D : L^n R <= C }] where the workload set [D] is
+    the positive orthant, optionally truncated below by a lower-bound
+    point [B] (§6.1).  Theorem 1 bounds [F] by the {e ideal simplex}
+    [F_ideal = { R >= B : l . R <= C_T }] with [l] the column sums of [L^n],
+    so we estimate [vol(F) / vol(F_ideal)] by sampling [F_ideal] uniformly —
+    with Halton points (quasi-Monte Carlo, as in the paper's simulator)
+    or pseudo-random points (as in its Borealis prototype runs). *)
+
+type estimate = {
+  ratio : float;  (** [vol(F) / vol(F_ideal)], in [0, 1]. *)
+  volume : float;  (** Absolute volume, [ratio * vol(F_ideal)]. *)
+  ideal_volume : float;  (** [vol(F_ideal)]. *)
+  samples : int;
+  feasible_samples : int;
+  std_error : float;
+      (** Binomial standard error of [ratio],
+          [sqrt (ratio * (1 - ratio) / samples)].  Exact for the Monte
+          Carlo estimator; a conservative upper bound for the
+          low-discrepancy (QMC) one. *)
+}
+
+val is_feasible :
+  ln:Linalg.Mat.t -> caps:Linalg.Vec.t -> Linalg.Vec.t -> bool
+(** [is_feasible ~ln ~caps r] checks [L^n r <= C] row-wise. *)
+
+val ratio_qmc :
+  ln:Linalg.Mat.t ->
+  caps:Linalg.Vec.t ->
+  ?l:Linalg.Vec.t ->
+  ?lower:Linalg.Vec.t ->
+  samples:int ->
+  unit ->
+  estimate
+(** Quasi-Monte Carlo estimate.  [l] defaults to the column sums of
+    [ln]; pass it explicitly when comparing several plans of the same
+    problem so they share one ideal simplex.  Requires every [l_k > 0]. *)
+
+val ratio_mc :
+  rng:Random.State.t ->
+  ln:Linalg.Mat.t ->
+  caps:Linalg.Vec.t ->
+  ?l:Linalg.Vec.t ->
+  ?lower:Linalg.Vec.t ->
+  samples:int ->
+  unit ->
+  estimate
+(** Plain Monte Carlo estimate with a supplied RNG. *)
+
+val ratio_of_points :
+  ln:Linalg.Mat.t ->
+  caps:Linalg.Vec.t ->
+  points:Linalg.Vec.t array ->
+  float
+(** Fraction of the given workload points that are feasible — the
+    prototype methodology: probe a fixed set of rate points. *)
+
+val max_scale :
+  ln:Linalg.Mat.t -> caps:Linalg.Vec.t -> direction:Linalg.Vec.t -> float
+(** The feasibility boundary along a ray: the largest [t] such that
+    [t * direction] is feasible, i.e. [min_i C_i / (ln_i . direction)]
+    ([infinity] if the ray never meets a constraint).  [direction] must
+    be nonnegative and nonzero. *)

@@ -1,0 +1,90 @@
+type t = float array array
+
+let create rows cols x = Array.init rows (fun _ -> Array.make cols x)
+
+let zeros rows cols = create rows cols 0.
+
+let identity n = Array.init n (fun i -> Vec.basis n i)
+
+let init rows cols f = Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+
+let of_rows = function
+  | [] -> invalid_arg "Mat.of_rows: empty row list"
+  | first :: _ as rows ->
+    let cols = Vec.dim first in
+    let check r =
+      if Vec.dim r <> cols then invalid_arg "Mat.of_rows: ragged rows";
+      Array.copy r
+    in
+    Array.of_list (List.map check rows)
+
+let of_arrays a = of_rows (Array.to_list a)
+
+let rows m = Array.length m
+
+let cols m = if rows m = 0 then 0 else Array.length m.(0)
+
+let row m i = m.(i)
+
+let row_copy m i = Array.copy m.(i)
+
+let col m k = Array.map (fun r -> r.(k)) m
+
+let copy m = Array.map Array.copy m
+
+let get m i j = m.(i).(j)
+
+let set m i j x = m.(i).(j) <- x
+
+let transpose m =
+  let r = rows m and c = cols m in
+  init c r (fun i j -> m.(j).(i))
+
+let matmul a b =
+  if cols a <> rows b then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul: inner dimensions %d <> %d" (cols a) (rows b));
+  let n = rows a and p = cols b and k = cols a in
+  init n p (fun i j ->
+      let acc = ref 0. in
+      for t = 0 to k - 1 do
+        acc := !acc +. (a.(i).(t) *. b.(t).(j))
+      done;
+      !acc)
+
+let matvec a x =
+  if cols a <> Vec.dim x then
+    invalid_arg
+      (Printf.sprintf "Mat.matvec: dimensions %d <> %d" (cols a) (Vec.dim x));
+  Array.map (fun r -> Vec.dot r x) a
+
+let col_sums m =
+  let acc = Vec.zeros (cols m) in
+  Array.iter (fun r -> Vec.add_inplace r acc) m;
+  acc
+
+let row_sums m = Array.map Vec.sum m
+
+let map f m = Array.map (Array.map f) m
+
+let scale a m = map (fun x -> a *. x) m
+
+let add a b =
+  if rows a <> rows b || cols a <> cols b then
+    invalid_arg "Mat.add: dimension mismatch";
+  init (rows a) (cols a) (fun i j -> a.(i).(j) +. b.(i).(j))
+
+let equal ?(eps = 1e-9) a b =
+  rows a = rows b && cols a = cols b
+  && Array.for_all2 (fun ra rb -> Vec.equal ~eps ra rb) a b
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Format.fprintf fmt "@,";
+      Vec.pp fmt r)
+    m;
+  Format.fprintf fmt "@]"
+
+let to_string m = Format.asprintf "%a" pp m

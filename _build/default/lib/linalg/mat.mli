@@ -1,0 +1,67 @@
+(** Dense row-major float matrices.
+
+    A matrix is an array of row vectors, all of equal length.  Used for
+    operator/node load-coefficient matrices ([m x d] and [n x d]) and
+    0/1 allocation matrices ([n x m]). *)
+
+type t = float array array
+
+val create : int -> int -> float -> t
+(** [create rows cols x] is a [rows x cols] matrix filled with [x]. *)
+
+val zeros : int -> int -> t
+
+val identity : int -> t
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] has entry [f i j] at row [i], column [j]. *)
+
+val of_rows : Vec.t list -> t
+(** Build from a non-empty list of equal-length rows (rows are copied). *)
+
+val of_arrays : float array array -> t
+(** Validates rectangularity and copies. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val row : t -> int -> Vec.t
+(** [row m i] is the [i]-th row, shared (not copied). *)
+
+val row_copy : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+(** [col m k] is a fresh vector holding column [k]. *)
+
+val copy : t -> t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val transpose : t -> t
+
+val matmul : t -> t -> t
+(** [matmul a b] with [cols a = rows b]. *)
+
+val matvec : t -> Vec.t -> Vec.t
+(** [matvec a x] is [a x]. *)
+
+val col_sums : t -> Vec.t
+(** Vector of per-column sums — for load matrices this is [l_k], the
+    total load coefficient of each input stream. *)
+
+val row_sums : t -> Vec.t
+
+val map : (float -> float) -> t -> t
+
+val scale : float -> t -> t
+
+val add : t -> t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,109 @@
+type t = float array
+
+let create n x = Array.make n x
+
+let zeros n = create n 0.
+
+let ones n = create n 1.
+
+let init = Array.init
+
+let basis n k =
+  if k < 0 || k >= n then invalid_arg "Vec.basis: axis out of range";
+  let v = zeros n in
+  v.(k) <- 1.;
+  v
+
+let dim = Array.length
+
+let copy = Array.copy
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let check_dims name x y =
+  if dim x <> dim y then
+    invalid_arg (Printf.sprintf "Vec.%s: dimensions %d <> %d" name (dim x) (dim y))
+
+let dot x y =
+  check_dims "dot" x y;
+  let acc = ref 0. in
+  for i = 0 to dim x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm1 x = Array.fold_left (fun acc v -> acc +. abs_float v) 0. x
+
+let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (abs_float v)) 0. x
+
+let map2 f x y =
+  check_dims "map2" x y;
+  Array.init (dim x) (fun i -> f x.(i) y.(i))
+
+let add x y = map2 ( +. ) x y
+
+let sub x y = map2 ( -. ) x y
+
+let scale a x = Array.map (fun v -> a *. v) x
+
+let mul x y = map2 ( *. ) x y
+
+let div x y = map2 ( /. ) x y
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  for i = 0 to dim x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let add_inplace x y = axpy 1. x y
+
+let sum x = Array.fold_left ( +. ) 0. x
+
+let mean x =
+  if dim x = 0 then invalid_arg "Vec.mean: empty vector";
+  sum x /. float_of_int (dim x)
+
+let min_elt x =
+  if dim x = 0 then invalid_arg "Vec.min_elt: empty vector";
+  Array.fold_left Float.min x.(0) x
+
+let max_elt x =
+  if dim x = 0 then invalid_arg "Vec.max_elt: empty vector";
+  Array.fold_left Float.max x.(0) x
+
+let arg_best better x =
+  if dim x = 0 then invalid_arg "Vec.argmin/argmax: empty vector";
+  let best = ref 0 in
+  for i = 1 to dim x - 1 do
+    if better x.(i) x.(!best) then best := i
+  done;
+  !best
+
+let argmin x = arg_best ( < ) x
+
+let argmax x = arg_best ( > ) x
+
+let for_all = Array.for_all
+
+let exists = Array.exists
+
+let map = Array.map
+
+let equal ?(eps = 1e-9) x y =
+  dim x = dim y && Array.for_all2 (fun a b -> abs_float (a -. b) <= eps) x y
+
+let pp fmt x =
+  Format.fprintf fmt "[@[<hov>";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf fmt ";@ ";
+      Format.fprintf fmt "%.4g" v)
+    x;
+  Format.fprintf fmt "@]]"
+
+let to_string x = Format.asprintf "%a" pp x

@@ -1,0 +1,94 @@
+(** Dense float vectors.
+
+    Thin wrappers around [float array] with the handful of operations the
+    placement algorithms need: dot products, norms, element-wise
+    arithmetic.  All binary operations require equal dimensions and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n x] is the [n]-vector with every component equal to [x]. *)
+
+val zeros : int -> t
+(** [zeros n] is the [n]-vector of zeros. *)
+
+val ones : int -> t
+(** [ones n] is the [n]-vector of ones. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+
+val basis : int -> int -> t
+(** [basis n k] is the [n]-dimensional unit vector along axis [k]. *)
+
+val dim : t -> int
+(** Number of components. *)
+
+val copy : t -> t
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val dot : t -> t -> float
+(** Inner product. *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm1 : t -> float
+(** Sum of absolute values. *)
+
+val norm_inf : t -> float
+(** Maximum absolute component. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Element-wise (Hadamard) product. *)
+
+val div : t -> t -> t
+(** Element-wise quotient; the caller must ensure the divisor has no
+    zero component. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val add_inplace : t -> t -> unit
+(** [add_inplace x y] performs [y <- x + y] in place. *)
+
+val sum : t -> float
+
+val mean : t -> float
+
+val min_elt : t -> float
+
+val max_elt : t -> float
+
+val argmin : t -> int
+(** Index of a minimal component (lowest index on ties). *)
+
+val argmax : t -> int
+(** Index of a maximal component (lowest index on ties). *)
+
+val for_all : (float -> bool) -> t -> bool
+
+val exists : (float -> bool) -> t -> bool
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Component-wise comparison within absolute tolerance [eps]
+    (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[x0; x1; ...]] with 4 significant digits. *)
+
+val to_string : t -> string

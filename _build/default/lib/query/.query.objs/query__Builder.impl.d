@@ -1,0 +1,1 @@
+lib/query/builder.ml: Graph List Op Printf

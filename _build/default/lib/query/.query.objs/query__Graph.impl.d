@@ -1,0 +1,1 @@
+lib/query/graph.ml: Array Format List Op Printf

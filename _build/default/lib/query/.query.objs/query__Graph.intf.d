@@ -1,0 +1,1 @@
+lib/query/graph.mli: Format Op

@@ -1,0 +1,1 @@
+lib/query/graph_dot.ml: Array Buffer Fun Graph List Op Printf String

@@ -1,0 +1,1 @@
+lib/query/graph_dot.mli: Graph

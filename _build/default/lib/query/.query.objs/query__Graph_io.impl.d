@@ -1,0 +1,1 @@
+lib/query/graph_io.ml: Array Buffer Fun Graph List Op Printf String

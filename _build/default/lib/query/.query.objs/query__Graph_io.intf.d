@@ -1,0 +1,1 @@
+lib/query/graph_io.mli: Graph

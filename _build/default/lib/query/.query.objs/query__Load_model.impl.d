@@ -1,0 +1,1 @@
+lib/query/load_model.ml: Array Format Graph Hashtbl Linalg List Op Printf

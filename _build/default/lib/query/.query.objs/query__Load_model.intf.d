@@ -1,0 +1,1 @@
+lib/query/load_model.mli: Format Graph Linalg

@@ -1,0 +1,1 @@
+lib/query/op.ml: Array Format Linalg Printf

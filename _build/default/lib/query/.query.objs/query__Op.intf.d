@@ -1,0 +1,1 @@
+lib/query/op.mli: Format

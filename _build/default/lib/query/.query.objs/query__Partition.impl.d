@@ -1,0 +1,1 @@
+lib/query/partition.ml: Array Graph List Op Printf

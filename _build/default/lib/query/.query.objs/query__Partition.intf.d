@@ -1,0 +1,1 @@
+lib/query/partition.mli: Graph

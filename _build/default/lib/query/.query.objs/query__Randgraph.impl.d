@@ -1,0 +1,1 @@
+lib/query/randgraph.ml: Array Graph List Op Printf Queue Random

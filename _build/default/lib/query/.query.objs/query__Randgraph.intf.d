@@ -1,0 +1,1 @@
+lib/query/randgraph.mli: Graph Random

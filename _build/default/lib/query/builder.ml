@@ -1,0 +1,160 @@
+open Graph
+
+let example1 ~c1 ~c2 ~c3 ~c4 ~s1 ~s3 =
+  create ~n_inputs:2
+    ~ops:
+      [
+        (Op.filter ~name:"o1" ~cost:c1 ~sel:s1 (), [ Sys_input 0 ]);
+        (Op.filter ~name:"o2" ~cost:c2 ~sel:1. (), [ Op_output 0 ]);
+        (Op.filter ~name:"o3" ~cost:c3 ~sel:s3 (), [ Sys_input 1 ]);
+        (Op.filter ~name:"o4" ~cost:c4 ~sel:1. (), [ Op_output 2 ]);
+      ]
+    ()
+
+let example2 () = example1 ~c1:4. ~c2:6. ~c3:9. ~c4:4. ~s1:1. ~s3:0.5
+
+let example2_plans =
+  [
+    ("plan-a {o1,o4}|{o2,o3}", [| 0; 1; 1; 0 |]);
+    ("plan-b {o1,o3}|{o2,o4}", [| 0; 1; 0; 1 |]);
+    ("plan-c {o1,o2}|{o3,o4}", [| 0; 0; 1; 1 |]);
+  ]
+
+let example3 () =
+  create ~n_inputs:2
+    ~ops:
+      [
+        ( Op.var_sel ~name:"o1" ~cost:2. ~sel_lo:0.2 ~sel_hi:1. ~sel_now:0.6 (),
+          [ Sys_input 0 ] );
+        (Op.map ~name:"o2" ~cost:3. (), [ Op_output 0 ]);
+        (Op.filter ~name:"o3" ~cost:4. ~sel:0.8 (), [ Sys_input 1 ]);
+        (Op.map ~name:"o4" ~cost:1. (), [ Op_output 2 ]);
+        ( Op.join ~name:"o5" ~window:2. ~cost_per_pair:0.5 ~sel:0.1 (),
+          [ Op_output 1; Op_output 3 ] );
+        (Op.map ~name:"o6" ~cost:2. (), [ Op_output 4 ]);
+      ]
+    ()
+
+let chain ?(xfer = 0.) ~n_ops ~cost ~sel () =
+  if n_ops < 1 then invalid_arg "Builder.chain: n_ops < 1";
+  let op i =
+    let name = Printf.sprintf "stage%d" i in
+    let src = if i = 0 then Sys_input 0 else Op_output (i - 1) in
+    (Op.filter ~name ~xfer ~cost ~sel (), [ src ])
+  in
+  create ~n_inputs:1 ~ops:(List.init n_ops op) ()
+
+let diamond ~cost =
+  create ~n_inputs:1
+    ~ops:
+      [
+        (Op.filter ~name:"left" ~cost ~sel:0.5 (), [ Sys_input 0 ]);
+        (Op.filter ~name:"right" ~cost ~sel:0.5 (), [ Sys_input 0 ]);
+        ( Op.union ~name:"merge" ~cost:(cost /. 2.) ~n_inputs:2 (),
+          [ Op_output 0; Op_output 1 ] );
+      ]
+    ()
+
+(* Per monitored link: parse -> {1s, 10s, 60s aggregates} -> threshold
+   filter; one global union of all threshold streams. *)
+let traffic_monitoring ~n_links =
+  if n_links < 1 then invalid_arg "Builder.traffic_monitoring: n_links < 1";
+  let ops = ref [] in
+  let count = ref 0 in
+  let push op = ops := op :: !ops; incr count; !count - 1 in
+  let alert_streams = ref [] in
+  for link = 0 to n_links - 1 do
+    let label suffix = Printf.sprintf "link%d.%s" link suffix in
+    let parse =
+      push (Op.map ~name:(label "parse") ~cost:0.3e-3 (), [ Sys_input link ])
+    in
+    let windows = [ ("agg1s", 0.20); ("agg10s", 0.05); ("agg60s", 0.01) ] in
+    let threshold agg_idx granularity =
+      push
+        ( Op.filter
+            ~name:(label (granularity ^ ".thresh"))
+            ~cost:0.1e-3 ~sel:0.1 (),
+          [ Op_output agg_idx ] )
+    in
+    List.iter
+      (fun (granularity, sel) ->
+        let agg =
+          push
+            ( Op.aggregate ~name:(label granularity) ~cost:0.5e-3 ~sel (),
+              [ Op_output parse ] )
+        in
+        alert_streams := Op_output (threshold agg granularity) :: !alert_streams)
+      windows
+  done;
+  let alerts = List.rev !alert_streams in
+  let _union =
+    push
+      ( Op.union ~name:"alerts" ~cost:0.05e-3 ~n_inputs:(List.length alerts) (),
+        alerts )
+  in
+  create ~n_inputs:n_links ~ops:(List.rev !ops) ()
+
+let financial_compliance ~n_rules =
+  if n_rules < 1 then invalid_arg "Builder.financial_compliance: n_rules < 1";
+  let ops = ref [] in
+  let count = ref 0 in
+  let push op = ops := op :: !ops; incr count; !count - 1 in
+  (* Shared front end over two market feeds. *)
+  let norm0 = push (Op.map ~name:"normalize.A" ~cost:0.4e-3 (), [ Sys_input 0 ]) in
+  let norm1 = push (Op.map ~name:"normalize.B" ~cost:0.4e-3 (), [ Sys_input 1 ]) in
+  let merged =
+    push
+      ( Op.union ~name:"merge" ~cost:0.1e-3 ~n_inputs:2 (),
+        [ Op_output norm0; Op_output norm1 ] )
+  in
+  let sessions =
+    push (Op.map ~name:"sessionize" ~cost:0.3e-3 (), [ Op_output merged ])
+  in
+  let enrich =
+    push (Op.map ~name:"enrich" ~cost:0.5e-3 (), [ Op_output sessions ])
+  in
+  let dedup =
+    push (Op.filter ~name:"dedup" ~cost:0.2e-3 ~sel:0.9 (), [ Op_output enrich ])
+  in
+  let audit =
+    push (Op.map ~name:"audit-tap" ~cost:0.1e-3 (), [ Op_output dedup ])
+  in
+  ignore audit;
+  let violations = ref [] in
+  for rule = 0 to n_rules - 1 do
+    let label suffix = Printf.sprintf "rule%d.%s" rule suffix in
+    (* Deterministic per-rule variation so rules are not identical. *)
+    let spread k = 0.5 +. (float_of_int ((rule * 7919) mod k) /. float_of_int k) in
+    let select =
+      push
+        ( Op.filter ~name:(label "select")
+            ~cost:(0.2e-3 *. spread 13)
+            ~sel:(0.2 +. (0.05 *. spread 11))
+            (),
+          [ Op_output dedup ] )
+    in
+    let window =
+      push
+        ( Op.aggregate ~name:(label "window")
+            ~cost:(0.4e-3 *. spread 17)
+            ~sel:(0.05 +. (0.03 *. spread 7))
+            (),
+          [ Op_output select ] )
+    in
+    let check =
+      push
+        ( Op.filter ~name:(label "check")
+            ~cost:(0.3e-3 *. spread 19)
+            ~sel:0.02 (),
+          [ Op_output window ] )
+    in
+    violations := Op_output check :: !violations
+  done;
+  let alerts = List.rev !violations in
+  let _sink =
+    push
+      ( Op.union ~name:"violations" ~cost:0.05e-3
+          ~n_inputs:(List.length alerts) (),
+        alerts )
+  in
+  create ~n_inputs:2 ~ops:(List.rev !ops) ()

@@ -1,0 +1,47 @@
+(** Ready-made query graphs: the paper's worked examples plus the two
+    application workloads its evaluation and motivation describe. *)
+
+val example1 :
+  c1:float -> c2:float -> c3:float -> c4:float -> s1:float -> s3:float -> Graph.t
+(** Figure 4: two independent chains [I1 -> o1 -> o2] and
+    [I2 -> o3 -> o4]; [o1]/[o3] have selectivities [s1]/[s3], the chain
+    tails have selectivity 1.  Loads: [c1 r1], [c2 s1 r1], [c3 r2],
+    [c4 s3 r2]. *)
+
+val example2 : unit -> Graph.t
+(** Example 2's instantiation: [c = (4, 6, 9, 4)], [s1 = 1], [s3 = 0.5],
+    giving [L^o = [(4,0); (6,0); (0,9); (0,2)]]. *)
+
+val example2_plans : (string * int array) list
+(** Three two-node placements of {!example2} ops, in the spirit of
+    Table 2 / Figure 5 (the paper's exact plans (b) and (c) are not
+    recoverable from the text, so we use the three natural partitions):
+    (a) [{o1,o4} | {o2,o3}], (b) [{o1,o3} | {o2,o4}],
+    (c) [{o1,o2} | {o3,o4}].  Each array maps operator index to node. *)
+
+val example3 : unit -> Graph.t
+(** Figure 13 / Example 3: a nonlinear graph.  [I1 -> o1 -> o2 -> o5],
+    [I2 -> o3 -> o4 -> o5], [o5 -> o6], where [o1] has non-constant
+    selectivity and [o5] is a time-window join.  Its load model needs
+    two introduced variables. *)
+
+val chain :
+  ?xfer:float -> n_ops:int -> cost:float -> sel:float -> unit -> Graph.t
+(** Single input stream feeding a linear pipeline of [n_ops] identical
+    operators. *)
+
+val diamond : cost:float -> Graph.t
+(** One input fanned out to two filters whose outputs are unioned — the
+    smallest graph exercising fan-out and multi-input operators. *)
+
+val traffic_monitoring : n_links:int -> Graph.t
+(** An aggregation-heavy network-traffic-monitoring workload in the
+    style of §7.1: per monitored link, a parse/filter front end feeding
+    per-window aggregates at three granularities plus a threshold
+    detector; a global union merges alerts. *)
+
+val financial_compliance : n_rules:int -> Graph.t
+(** A wide compliance application as motivated in §7.3.1: two market
+    feeds, a shared normalisation front end and [n_rules] shallow
+    per-rule subtrees (filter -> aggregate -> check), yielding roughly
+    [8 + 3*n_rules] operators. *)

@@ -1,0 +1,64 @@
+(* Pastel fill colors cycled per node. *)
+let palette =
+  [|
+    "#aec7e8"; "#ffbb78"; "#98df8a"; "#ff9896"; "#c5b0d5"; "#c49c94";
+    "#f7b6d2"; "#dbdb8d"; "#9edae5"; "#cccccc";
+  |]
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let op_label graph j =
+  let op = Graph.op graph j in
+  match op.Op.kind with
+  | Op.Linear { costs; selectivities } when Array.length costs = 1 ->
+    Printf.sprintf "%s\\nc=%.3g s=%.3g" op.Op.name costs.(0) selectivities.(0)
+  | Op.Linear _ -> Printf.sprintf "%s\\n(union)" op.Op.name
+  | Op.Join { window; cost_per_pair; sel_per_pair } ->
+    Printf.sprintf "%s\\njoin w=%.3g c=%.3g s=%.3g" op.Op.name window
+      cost_per_pair sel_per_pair
+  | Op.Var_selectivity { cost; sel_lo; sel_hi; _ } ->
+    Printf.sprintf "%s\\nc=%.3g s in [%.2g,%.2g]" op.Op.name cost sel_lo sel_hi
+
+let to_dot ?assignment ?(rankdir = "LR") graph =
+  (match assignment with
+  | Some a when Array.length a <> Graph.n_ops graph ->
+    invalid_arg "Graph_dot.to_dot: assignment length"
+  | Some _ | None -> ());
+  let buffer = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  out "digraph query {\n  rankdir=%s;\n  node [fontsize=10];\n" rankdir;
+  for k = 0 to Graph.n_inputs graph - 1 do
+    out "  I%d [shape=invtriangle, label=\"I%d\"];\n" k k
+  done;
+  for j = 0 to Graph.n_ops graph - 1 do
+    let style =
+      match assignment with
+      | None -> "shape=box"
+      | Some a ->
+        Printf.sprintf
+          "shape=box, style=filled, fillcolor=\"%s\", xlabel=\"node %d\""
+          palette.(a.(j) mod Array.length palette)
+          a.(j)
+    in
+    out "  o%d [%s, label=\"%s\"];\n" j style (escape (op_label graph j))
+  done;
+  List.iter
+    (fun (src, dst) ->
+      match src with
+      | Graph.Sys_input k -> out "  I%d -> o%d;\n" k dst
+      | Graph.Op_output u -> out "  o%d -> o%d;\n" u dst)
+    (Graph.arcs graph);
+  (* Sinks point at an application marker. *)
+  List.iter
+    (fun j ->
+      out "  app%d [shape=cds, label=\"app\"];\n  o%d -> app%d;\n" j j j)
+    (Graph.sinks graph);
+  out "}\n";
+  Buffer.contents buffer
+
+let save ?assignment graph ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?assignment graph))

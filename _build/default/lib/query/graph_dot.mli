@@ -1,0 +1,10 @@
+(** Graphviz rendering of query graphs — one box per operator, colored
+    by node when a placement is supplied.  Feed the output to
+    [dot -Tsvg] to see what the placer did. *)
+
+val to_dot :
+  ?assignment:int array -> ?rankdir:string -> Graph.t -> string
+(** [rankdir] defaults to ["LR"].  With [assignment], operators are
+    filled with a per-node pastel color and labelled with their node. *)
+
+val save : ?assignment:int array -> Graph.t -> path:string -> unit

@@ -1,0 +1,209 @@
+let float_to_string x = Printf.sprintf "%.17g" x
+
+let floats_to_string xs =
+  String.concat "," (List.map float_to_string (Array.to_list xs))
+
+let source_to_string = function
+  | Graph.Sys_input k -> Printf.sprintf "I%d" k
+  | Graph.Op_output j -> Printf.sprintf "o%d" j
+
+let check_name name =
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '=' then
+        invalid_arg
+          (Printf.sprintf "Graph_io: operator name %S contains reserved characters"
+             name))
+    name
+
+let op_to_string graph j =
+  let op = Graph.op graph j in
+  check_name op.Op.name;
+  let inputs =
+    String.concat "," (List.map source_to_string (Graph.sources graph j))
+  in
+  let kind =
+    match op.Op.kind with
+    | Op.Linear { costs; selectivities } ->
+      Printf.sprintf "linear costs=%s sels=%s" (floats_to_string costs)
+        (floats_to_string selectivities)
+    | Op.Join { window; cost_per_pair; sel_per_pair } ->
+      Printf.sprintf "join window=%s cpp=%s spp=%s" (float_to_string window)
+        (float_to_string cost_per_pair)
+        (float_to_string sel_per_pair)
+    | Op.Var_selectivity { cost; sel_lo; sel_hi; sel_now } ->
+      Printf.sprintf "varsel cost=%s lo=%s hi=%s now=%s" (float_to_string cost)
+        (float_to_string sel_lo) (float_to_string sel_hi)
+        (float_to_string sel_now)
+  in
+  Printf.sprintf "op name=%s inputs=%s %s xfer=%s" op.Op.name inputs kind
+    (float_to_string op.Op.out_xfer_cost)
+
+let to_string graph =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "rodgraph v1\n";
+  Buffer.add_string buffer
+    (Printf.sprintf "inputs %d xfer=%s\n" (Graph.n_inputs graph)
+       (floats_to_string graph.Graph.input_xfer_cost));
+  for j = 0 to Graph.n_ops graph - 1 do
+    Buffer.add_string buffer (op_to_string graph j);
+    Buffer.add_char buffer '\n'
+  done;
+  Buffer.contents buffer
+
+(* --- parsing --- *)
+
+let fail line_no msg = failwith (Printf.sprintf "Graph_io: line %d: %s" line_no msg)
+
+let parse_float line_no what s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> fail line_no (Printf.sprintf "bad float for %s: %S" what s)
+
+let parse_floats line_no what s =
+  Array.of_list
+    (List.map (parse_float line_no what) (String.split_on_char ',' s))
+
+let parse_kv line_no token =
+  match String.index_opt token '=' with
+  | Some i ->
+    ( String.sub token 0 i,
+      String.sub token (i + 1) (String.length token - i - 1) )
+  | None -> fail line_no (Printf.sprintf "expected key=value, got %S" token)
+
+let parse_source line_no s =
+  let tail () =
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some k -> k
+    | None -> fail line_no (Printf.sprintf "bad stream reference %S" s)
+  in
+  if String.length s >= 2 && s.[0] = 'I' then Graph.Sys_input (tail ())
+  else if String.length s >= 2 && s.[0] = 'o' then Graph.Op_output (tail ())
+  else fail line_no (Printf.sprintf "bad stream reference %S" s)
+
+let lookup line_no kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> v
+  | None -> fail line_no (Printf.sprintf "missing field %S" key)
+
+let parse_op line_no tokens =
+  match tokens with
+  | name_tok :: inputs_tok :: kind :: rest ->
+    let _, name = parse_kv line_no name_tok in
+    let _, inputs_str = parse_kv line_no inputs_tok in
+    let sources =
+      List.map (parse_source line_no) (String.split_on_char ',' inputs_str)
+    in
+    let kvs = List.map (parse_kv line_no) rest in
+    let get = lookup line_no kvs in
+    let xfer = parse_float line_no "xfer" (get "xfer") in
+    let op =
+      match kind with
+      | "linear" ->
+        let costs = parse_floats line_no "costs" (get "costs") in
+        let selectivities = parse_floats line_no "sels" (get "sels") in
+        if Array.length costs <> Array.length selectivities then
+          fail line_no "costs/sels arity mismatch";
+        if Array.length costs = 1 then
+          Op.delay ~name ~xfer ~cost:costs.(0) ~sel:selectivities.(0) ()
+        else begin
+          (* General multi-input linear operator: rebuild through union
+             then fix the parameter arrays. *)
+          let base = Op.union ~name ~xfer ~cost:0. ~n_inputs:(Array.length costs) () in
+          { base with Op.kind = Op.Linear { costs; selectivities } }
+        end
+      | "join" ->
+        Op.join ~name ~xfer
+          ~window:(parse_float line_no "window" (get "window"))
+          ~cost_per_pair:(parse_float line_no "cpp" (get "cpp"))
+          ~sel:(parse_float line_no "spp" (get "spp"))
+          ()
+      | "varsel" ->
+        Op.var_sel ~name ~xfer
+          ~cost:(parse_float line_no "cost" (get "cost"))
+          ~sel_lo:(parse_float line_no "lo" (get "lo"))
+          ~sel_hi:(parse_float line_no "hi" (get "hi"))
+          ~sel_now:(parse_float line_no "now" (get "now"))
+          ()
+      | other -> fail line_no (Printf.sprintf "unknown operator kind %S" other)
+    in
+    (op, sources)
+  | _ -> fail line_no "malformed operator line"
+
+let significant_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter (fun (_, line) ->
+         line <> "" && not (String.length line > 0 && line.[0] = '#'))
+
+let of_string text =
+  match significant_lines text with
+  | (l1, header) :: (l2, inputs_line) :: op_lines ->
+    if header <> "rodgraph v1" then fail l1 "expected header 'rodgraph v1'";
+    let n_inputs, input_xfer_cost =
+      match String.split_on_char ' ' inputs_line |> List.filter (( <> ) "") with
+      | [ "inputs"; count; xfer_tok ] ->
+        let n =
+          match int_of_string_opt count with
+          | Some n -> n
+          | None -> fail l2 "bad input count"
+        in
+        let _, xfer_str = parse_kv l2 xfer_tok in
+        (n, parse_floats l2 "xfer" xfer_str)
+      | _ -> fail l2 "expected 'inputs <d> xfer=...'"
+    in
+    let ops =
+      List.map
+        (fun (line_no, line) ->
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | "op" :: tokens -> parse_op line_no tokens
+          | _ -> fail line_no "expected an 'op' line")
+        op_lines
+    in
+    Graph.create ~input_xfer_cost ~n_inputs ~ops ()
+  | _ -> failwith "Graph_io: truncated input"
+
+let save graph ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string graph))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~path = of_string (read_file path)
+
+let assignment_to_string assignment =
+  "rodplan v1\n"
+  ^ String.concat " " (List.map string_of_int (Array.to_list assignment))
+  ^ "\n"
+
+let assignment_of_string text =
+  match significant_lines text with
+  | (l1, header) :: rest ->
+    if header <> "rodplan v1" then fail l1 "expected header 'rodplan v1'";
+    let numbers =
+      List.concat_map
+        (fun (line_no, line) ->
+          String.split_on_char ' ' line
+          |> List.filter (( <> ) "")
+          |> List.map (fun tok ->
+                 match int_of_string_opt tok with
+                 | Some n -> n
+                 | None -> fail line_no (Printf.sprintf "bad node index %S" tok)))
+        rest
+    in
+    Array.of_list numbers
+  | [] -> failwith "Graph_io: empty plan"
+
+let save_assignment assignment ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (assignment_to_string assignment))
+
+let load_assignment ~path = assignment_of_string (read_file path)

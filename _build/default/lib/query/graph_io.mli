@@ -1,0 +1,35 @@
+(** Plain-text serialization of query graphs (and of placement
+    assignments), so plans can be computed offline and shipped to a
+    deployment — the paper's setting is exactly a static plan computed
+    ahead of time.
+
+    Format (line-oriented, whitespace-separated, [#] comments):
+    {v
+    rodgraph v1
+    inputs 2 xfer=0,0
+    op name=o1 inputs=I0 linear costs=4 sels=1 xfer=0
+    op name=o5 inputs=o1,o3 join window=2 cpp=0.5 spp=0.1 xfer=0
+    op name=o7 inputs=I1 varsel cost=2 lo=0.2 hi=1 now=0.6 xfer=0
+    v}
+    Operator lines appear in index order; [I<k>] denotes system input
+    [k] and [o<j>] operator [j]'s output.  Floats round-trip exactly
+    (printed with full precision).  Operator names must contain no
+    whitespace. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Failure on malformed input (with a line number). *)
+
+val save : Graph.t -> path:string -> unit
+
+val load : path:string -> Graph.t
+
+val assignment_to_string : int array -> string
+(** One line: [rodplan v1] followed by the node of each operator. *)
+
+val assignment_of_string : string -> int array
+
+val save_assignment : int array -> path:string -> unit
+
+val load_assignment : path:string -> int array

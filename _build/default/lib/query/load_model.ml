@@ -1,0 +1,183 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type var_origin =
+  | System of int
+  | Join_pairs of int
+  | Cut_output of int
+
+type t = {
+  graph : Graph.t;
+  lo : Mat.t;
+  out_rate : Mat.t;
+  var_origins : var_origin array;
+}
+
+(* Sparse linear forms over a growing variable space: association lists
+   from variable index to coefficient, kept merge-friendly. *)
+module Sparse = struct
+  type t = (int * float) list
+
+  let var k : t = [ (k, 1.) ]
+
+  let scale a (v : t) : t = List.map (fun (k, c) -> (k, a *. c)) v
+
+  let add (x : t) (y : t) : t =
+    let tbl = Hashtbl.create 8 in
+    let bump (k, c) =
+      let c0 = try Hashtbl.find tbl k with Not_found -> 0. in
+      Hashtbl.replace tbl k (c0 +. c)
+    in
+    List.iter bump x;
+    List.iter bump y;
+    Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let zero : t = []
+
+  let to_vec d (v : t) =
+    let out = Vec.zeros d in
+    List.iter (fun (k, c) -> out.(k) <- out.(k) +. c) v;
+    out
+end
+
+let derive graph =
+  let m = Graph.n_ops graph in
+  let d_sys = Graph.n_inputs graph in
+  let next_var = ref d_sys in
+  let extra_origins = ref [] in
+  let fresh_var origin =
+    let k = !next_var in
+    incr next_var;
+    extra_origins := origin :: !extra_origins;
+    k
+  in
+  let op_out : Sparse.t array = Array.make m Sparse.zero in
+  let op_load : Sparse.t array = Array.make m Sparse.zero in
+  let source_rate = function
+    | Graph.Sys_input k -> Sparse.var k
+    | Graph.Op_output j -> op_out.(j)
+  in
+  let process j =
+    let op = Graph.op graph j in
+    let srcs = Array.of_list (Graph.sources graph j) in
+    match op.Op.kind with
+    | Op.Linear { costs; selectivities } ->
+      let load = ref Sparse.zero and out = ref Sparse.zero in
+      Array.iteri
+        (fun i src ->
+          let rate = source_rate src in
+          load := Sparse.add !load (Sparse.scale costs.(i) rate);
+          out := Sparse.add !out (Sparse.scale selectivities.(i) rate))
+        srcs;
+      op_load.(j) <- !load;
+      op_out.(j) <- !out
+    | Op.Join { cost_per_pair; sel_per_pair; window = _ } ->
+      let pairs = fresh_var (Join_pairs j) in
+      op_load.(j) <- Sparse.scale cost_per_pair (Sparse.var pairs);
+      op_out.(j) <- Sparse.scale sel_per_pair (Sparse.var pairs)
+    | Op.Var_selectivity { cost; _ } ->
+      let rate = source_rate srcs.(0) in
+      op_load.(j) <- Sparse.scale cost rate;
+      op_out.(j) <- Sparse.var (fresh_var (Cut_output j))
+  in
+  List.iter process (Graph.topo_order graph);
+  let d_total = !next_var in
+  let lo = Mat.init m d_total (fun _ _ -> 0.) in
+  let out_rate = Mat.init m d_total (fun _ _ -> 0.) in
+  for j = 0 to m - 1 do
+    let lv = Sparse.to_vec d_total op_load.(j) in
+    let ov = Sparse.to_vec d_total op_out.(j) in
+    for k = 0 to d_total - 1 do
+      Mat.set lo j k lv.(k);
+      Mat.set out_rate j k ov.(k)
+    done
+  done;
+  let var_origins =
+    Array.append
+      (Array.init d_sys (fun k -> System k))
+      (Array.of_list (List.rev !extra_origins))
+  in
+  { graph; lo; out_rate; var_origins }
+
+let d_total model = Array.length model.var_origins
+
+let d_system model = Graph.n_inputs model.graph
+
+let n_ops model = Mat.rows model.lo
+
+let load_coefficients model = model.lo
+
+let total_coefficients model = Mat.col_sums model.lo
+
+let source_rate_vec model = function
+  | Graph.Sys_input k -> Vec.basis (d_total model) k
+  | Graph.Op_output j -> Mat.row_copy model.out_rate j
+
+(* Actual (nonlinear) evaluation of every stream rate in topological
+   order, then read the introduced variables off the concrete rates. *)
+let actual_out_rates model ~sys_rates =
+  let graph = model.graph in
+  if Vec.dim sys_rates <> Graph.n_inputs graph then
+    invalid_arg "Load_model: sys_rates dimension mismatch";
+  let out = Array.make (Graph.n_ops graph) 0. in
+  let rate_of = function
+    | Graph.Sys_input k -> sys_rates.(k)
+    | Graph.Op_output j -> out.(j)
+  in
+  let process j =
+    let op = Graph.op graph j in
+    let srcs = Graph.sources graph j in
+    match (op.Op.kind, srcs) with
+    | Op.Linear { selectivities; _ }, srcs ->
+      out.(j) <-
+        List.fold_left ( +. ) 0.
+          (List.mapi (fun i src -> selectivities.(i) *. rate_of src) srcs)
+    | Op.Join { window; sel_per_pair; _ }, [ u; v ] ->
+      out.(j) <- sel_per_pair *. window *. rate_of u *. rate_of v
+    | Op.Join _, _ -> assert false
+    | Op.Var_selectivity { sel_now; _ }, [ u ] -> out.(j) <- sel_now *. rate_of u
+    | Op.Var_selectivity _, _ -> assert false
+  in
+  List.iter process (Graph.topo_order graph);
+  out
+
+let eval_vars model ~sys_rates =
+  let graph = model.graph in
+  let out = actual_out_rates model ~sys_rates in
+  let rate_of = function
+    | Graph.Sys_input k -> sys_rates.(k)
+    | Graph.Op_output j -> out.(j)
+  in
+  Array.map
+    (function
+      | System k -> sys_rates.(k)
+      | Cut_output j -> out.(j)
+      | Join_pairs j -> (
+        match (Graph.op graph j).Op.kind, Graph.sources graph j with
+        | Op.Join { window; _ }, [ u; v ] -> window *. rate_of u *. rate_of v
+        | _ -> assert false))
+    model.var_origins
+
+let stream_rate_at model ~sys_rates src =
+  match src with
+  | Graph.Sys_input k -> sys_rates.(k)
+  | Graph.Op_output j -> (actual_out_rates model ~sys_rates).(j)
+
+let op_load_at model ~sys_rates j =
+  Vec.dot (Mat.row model.lo j) (eval_vars model ~sys_rates)
+
+let pp fmt model =
+  Format.fprintf fmt "@[<v>load model: %d ops, %d vars (%d system)@,"
+    (n_ops model) (d_total model) (d_system model);
+  Array.iteri
+    (fun k origin ->
+      let describe =
+        match origin with
+        | System i -> Printf.sprintf "system input %d" i
+        | Join_pairs j -> Printf.sprintf "pair rate of join o%d" j
+        | Cut_output j -> Printf.sprintf "output rate of o%d" j
+      in
+      Format.fprintf fmt "  x%d = %s@," k describe)
+    model.var_origins;
+  Format.fprintf fmt "L^o =@,%a@]" Mat.pp model.lo

@@ -1,0 +1,72 @@
+(** Linear load models of query graphs (§2.2 and §6.2 of the paper).
+
+    For a purely linear graph, every operator's load and output rate is a
+    linear function of the [d] system input rates, so the model lives in
+    a [d]-dimensional variable space.  Nonlinear operators are handled by
+    the paper's {e linearization} technique: each nonlinear point in the
+    graph introduces one fresh rate variable, cutting the graph into
+    linear pieces.  Concretely:
+
+    - a time-window join introduces a variable for its {e candidate pair
+      rate} [p = window * r_u * r_v]; the join's load is
+      [cost_per_pair * p] and its output rate [sel_per_pair * p], both
+      linear in [p].  (The paper uses the output rate as the variable;
+      the pair rate is equivalent up to the constant factor
+      [sel_per_pair] and also covers joins with zero selectivity.)
+    - an operator with non-constant selectivity keeps its (linear) load
+      but introduces a variable for its output rate.
+
+    The resulting model has [d_total = d + #nonlinear points] variables;
+    the first [d] are the system input rates. *)
+
+type var_origin =
+  | System of int  (** System input stream [k]. *)
+  | Join_pairs of int  (** Pair-rate variable of join operator [j]. *)
+  | Cut_output of int
+      (** Output-rate variable of variable-selectivity operator [j]. *)
+
+type t = private {
+  graph : Graph.t;
+  lo : Linalg.Mat.t;
+      (** [m x d_total] operator load-coefficient matrix: row [j] is
+          operator [j]'s load as a linear function of the variables. *)
+  out_rate : Linalg.Mat.t;
+      (** [m x d_total]: row [j] is operator [j]'s output rate as a
+          linear function of the variables. *)
+  var_origins : var_origin array;  (** Length [d_total]. *)
+}
+
+val derive : Graph.t -> t
+(** Builds the (linearized) load model of a graph. *)
+
+val d_total : t -> int
+(** Number of variables in the model. *)
+
+val d_system : t -> int
+(** Number of system input streams (= [Graph.n_inputs]). *)
+
+val n_ops : t -> int
+
+val load_coefficients : t -> Linalg.Mat.t
+(** The [m x d_total] matrix [L^o] (shared, treat as read-only). *)
+
+val total_coefficients : t -> Linalg.Vec.t
+(** [l_k = sum_j l^o_{jk}] for each variable [k] — the column sums of
+    [L^o] (Table 1 of the paper). *)
+
+val source_rate_vec : t -> Graph.source -> Linalg.Vec.t
+(** The rate of a stream as a linear function of the variables. *)
+
+val eval_vars : t -> sys_rates:Linalg.Vec.t -> Linalg.Vec.t
+(** Concrete values of all [d_total] variables at a given system rate
+    point, evaluating the {e actual} (nonlinear) semantics of joins and
+    the current selectivity of drifting operators. *)
+
+val stream_rate_at : t -> sys_rates:Linalg.Vec.t -> Graph.source -> float
+(** Actual numeric rate of any stream at a system rate point. *)
+
+val op_load_at : t -> sys_rates:Linalg.Vec.t -> int -> float
+(** Actual CPU load (seconds of CPU per second) of operator [j] at a
+    system rate point. *)
+
+val pp : Format.formatter -> t -> unit

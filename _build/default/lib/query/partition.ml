@@ -1,0 +1,70 @@
+let splittable graph j =
+  match (Graph.op graph j).Op.kind with
+  | Op.Linear { costs; _ } -> Array.length costs = 1
+  | Op.Join _ | Op.Var_selectivity _ -> false
+
+let split_op ?(route_cost = 1e-5) ?(merge_cost = 0.) graph ~op:j ~ways =
+  if ways < 2 then invalid_arg "Partition.split_op: ways < 2";
+  if j < 0 || j >= Graph.n_ops graph then
+    invalid_arg "Partition.split_op: bad operator index";
+  if not (splittable graph j) then
+    invalid_arg "Partition.split_op: only single-input linear operators split";
+  if route_cost < 0. || merge_cost < 0. then
+    invalid_arg "Partition.split_op: negative cost";
+  let m = Graph.n_ops graph in
+  let original = Graph.op graph j in
+  let source =
+    match Graph.sources graph j with [ s ] -> s | _ -> assert false
+  in
+  let spec = Op.linear_exn original in
+  (* Slot [j] becomes the merge union, so every existing reference to
+     [Op_output j] keeps meaning "this operator's (merged) output".
+     Shards live at indices [m .. m+ways-1], instances just after; the
+     union's forward references are fine (validity is topological, not
+     positional). *)
+  let shard i =
+    ( Op.filter
+        ~name:(Printf.sprintf "%s.shard%d" original.Op.name i)
+        ~cost:(route_cost /. float_of_int ways)
+        ~sel:(1. /. float_of_int ways)
+        (),
+      [ source ] )
+  in
+  let instance i =
+    ( {
+        original with
+        Op.name = Printf.sprintf "%s.part%d" original.Op.name i;
+        kind =
+          Op.Linear
+            {
+              costs = Array.copy spec.Op.costs;
+              selectivities = Array.copy spec.Op.selectivities;
+            };
+      },
+      [ Graph.Op_output (m + i) ] )
+  in
+  let union =
+    ( Op.union
+        ~name:(original.Op.name ^ ".merge")
+        ~xfer:original.Op.out_xfer_cost ~cost:merge_cost ~n_inputs:ways (),
+      List.init ways (fun i -> Graph.Op_output (m + ways + i)) )
+  in
+  let kept =
+    List.init m (fun j' ->
+        if j' = j then union
+        else (Graph.op graph j', Graph.sources graph j'))
+  in
+  let appended = List.init ways shard @ List.init ways instance in
+  Graph.create
+    ~input_xfer_cost:graph.Graph.input_xfer_cost
+    ~n_inputs:(Graph.n_inputs graph)
+    ~ops:(kept @ appended) ()
+
+let split_all ?route_cost ?merge_cost ~ways graph =
+  let m0 = Graph.n_ops graph in
+  let result = ref graph in
+  for j = 0 to m0 - 1 do
+    if splittable !result j then
+      result := split_op ?route_cost ?merge_cost !result ~op:j ~ways
+  done;
+  !result

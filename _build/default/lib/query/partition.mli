@@ -1,0 +1,36 @@
+(** Data-parallel operator partitioning (§7.3.1: "parallelization
+    techniques (e.g., range-based data partitioning) significantly
+    increase the number of operator instances, thus creating much
+    wider, larger graphs").
+
+    [split_op] replaces one linear operator by [ways] instances, each
+    fed by a {e shard} filter modelling hash/range routing: the shard
+    passes [1/ways] of the stream (selectivity [1/ways]) and charges
+    [route_cost / ways] per tuple, so the total routing overhead is
+    [route_cost] per input tuple regardless of the fan-out.  Instance
+    outputs are merged by a zero-ish-cost union, so downstream wiring
+    is unchanged.
+
+    The transformation preserves the graph's end-to-end stream rates
+    exactly and adds only the routing/merge overhead to the total load —
+    but it splits the operator's load coefficient across [ways]
+    independently placeable units, which is what lets ROD balance
+    narrow graphs.  Joins and drifting-selectivity operators are left
+    unsplit (partitioning a windowed join changes its semantics). *)
+
+val split_op :
+  ?route_cost:float ->
+  ?merge_cost:float ->
+  Graph.t ->
+  op:int ->
+  ways:int ->
+  Graph.t
+(** Split a single-input linear operator.  @raise Invalid_argument for
+    nonlinear or multi-input operators, or [ways < 2]. *)
+
+val split_all :
+  ?route_cost:float -> ?merge_cost:float -> ways:int -> Graph.t -> Graph.t
+(** Split every splittable operator [ways] ways (single-input linear
+    operators only; others are kept as they are). *)
+
+val splittable : Graph.t -> int -> bool

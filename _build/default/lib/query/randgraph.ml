@@ -1,0 +1,92 @@
+type params = {
+  n_inputs : int;
+  ops_per_tree : int;
+  cost_lo : float;
+  cost_hi : float;
+  sel_lo : float;
+  sel_hi : float;
+  xfer_cost : float;
+}
+
+let default =
+  {
+    n_inputs = 5;
+    ops_per_tree = 20;
+    cost_lo = 1e-4;
+    cost_hi = 1e-3;
+    sel_lo = 0.5;
+    sel_hi = 1.0;
+    xfer_cost = 0.;
+  }
+
+let uniform rng lo hi = lo +. Random.State.float rng (hi -. lo)
+
+(* Grow one tree of [budget] operators rooted at [root_src] in
+   breadth-first order: each expanded node draws 1..3 children, capped by
+   the remaining budget; nodes still owed children wait in a queue.  The
+   queue can never empty while budget remains because every expansion
+   enqueues at least one child. *)
+let grow_tree ~rng ~budget ~root_src ~make_op push =
+  if budget < 1 then invalid_arg "Randgraph: ops_per_tree < 1";
+  let remaining = ref budget in
+  let frontier = Queue.create () in
+  let spawn src =
+    let idx = push (make_op (), [ src ]) in
+    decr remaining;
+    Queue.add idx frontier;
+    idx
+  in
+  ignore (spawn root_src);
+  while !remaining > 0 do
+    let parent = Queue.pop frontier in
+    let want = 1 + Random.State.int rng 3 in
+    let n_children = min want !remaining in
+    for _ = 1 to n_children do
+      ignore (spawn (Graph.Op_output parent))
+    done
+  done
+
+let generate ~rng p =
+  if p.n_inputs < 1 then invalid_arg "Randgraph: n_inputs < 1";
+  let ops = ref [] in
+  let count = ref 0 in
+  let push op =
+    ops := op :: !ops;
+    incr count;
+    !count - 1
+  in
+  for tree = 0 to p.n_inputs - 1 do
+    (* Pre-draw which of the tree's operators keep selectivity one: half
+       of them, randomly selected (§7.1). *)
+    let unit_sel = Array.make p.ops_per_tree false in
+    let half = p.ops_per_tree / 2 in
+    let order = Array.init p.ops_per_tree (fun i -> i) in
+    for i = p.ops_per_tree - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    for i = 0 to half - 1 do
+      unit_sel.(order.(i)) <- true
+    done;
+    let made = ref 0 in
+    let make_op () =
+      let idx = !made in
+      incr made;
+      let cost = uniform rng p.cost_lo p.cost_hi in
+      let sel =
+        if unit_sel.(idx) then 1. else uniform rng p.sel_lo p.sel_hi
+      in
+      Op.delay
+        ~name:(Printf.sprintf "t%d.o%d" tree idx)
+        ~xfer:p.xfer_cost ~cost ~sel ()
+    in
+    grow_tree ~rng ~budget:p.ops_per_tree ~root_src:(Graph.Sys_input tree)
+      ~make_op push
+  done;
+  let input_xfer_cost = Array.make p.n_inputs p.xfer_cost in
+  Graph.create ~input_xfer_cost ~n_inputs:p.n_inputs ~ops:(List.rev !ops) ()
+
+let generate_trees ~rng ~n_inputs ~ops_per_tree =
+  generate ~rng { default with n_inputs; ops_per_tree }

@@ -1,0 +1,34 @@
+(** Random query-graph generation following the paper's experimental
+    setup (§7.1):
+
+    - the graph is a collection of operator trees, one rooted at each
+      system input stream;
+    - every tree has the same number of operators ([ops_per_tree]);
+    - each tree node spawns one to three downstream operators with equal
+      probability (until the tree's operator budget is exhausted);
+    - operators are "delay" operators with per-tuple cost uniform in
+      [0.1 ms, 1 ms]; half of them (randomly chosen per tree) have
+      selectivity one, the rest have selectivity uniform in [0.5, 1]. *)
+
+type params = {
+  n_inputs : int;  (** [d]: number of input streams (= trees). *)
+  ops_per_tree : int;  (** Operators per tree; total [m = d * ops_per_tree]. *)
+  cost_lo : float;  (** Minimum per-tuple cost (seconds). *)
+  cost_hi : float;  (** Maximum per-tuple cost (seconds). *)
+  sel_lo : float;  (** Minimum selectivity for non-unit operators. *)
+  sel_hi : float;  (** Maximum selectivity for non-unit operators. *)
+  xfer_cost : float;
+      (** Per-tuple network transfer cost on every stream (0 when
+          communication is free). *)
+}
+
+val default : params
+(** The paper's setting: costs in [1e-4, 1e-3] s, half unit selectivity,
+    half uniform in [0.5, 1], no communication cost. *)
+
+val generate : rng:Random.State.t -> params -> Graph.t
+(** Draws a random graph.  Deterministic given the RNG state. *)
+
+val generate_trees :
+  rng:Random.State.t -> n_inputs:int -> ops_per_tree:int -> Graph.t
+(** [generate_trees] with all other parameters at {!default}. *)

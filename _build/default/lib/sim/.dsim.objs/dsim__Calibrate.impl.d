@@ -1,0 +1,1 @@
+lib/sim/calibrate.ml: Array Engine Float Linalg List Option Query Random Sim_metrics Workload

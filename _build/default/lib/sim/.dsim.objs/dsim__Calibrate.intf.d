@@ -1,0 +1,1 @@
+lib/sim/calibrate.mli: Linalg Query Random Sim_metrics

@@ -1,0 +1,1 @@
+lib/sim/dynamic.ml: Array Engine List

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Linalg Query Sim_metrics

@@ -1,0 +1,1 @@
+lib/sim/probe.ml: Array Engine Float Linalg Query Sim_metrics Workload

@@ -1,0 +1,1 @@
+lib/sim/probe.mli: Engine Linalg Query Random Sim_metrics Workload

@@ -1,0 +1,1 @@
+lib/sim/sim_metrics.ml: Array Float Format Linalg Workload

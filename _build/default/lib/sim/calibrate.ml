@@ -1,0 +1,173 @@
+module Vec = Linalg.Vec
+module Graph = Query.Graph
+module Op = Query.Op
+
+type estimate = {
+  costs : float array;
+  selectivities : float array;
+  cost_per_pair : float option;
+  sel_per_pair : float option;
+  support : int;
+}
+
+let of_stats graph metrics =
+  let stats = metrics.Sim_metrics.op_stats in
+  if Array.length stats <> Graph.n_ops graph then
+    invalid_arg "Calibrate.of_stats: statistics from a different graph";
+  Array.mapi
+    (fun j (stat : Sim_metrics.op_stat) ->
+      let op = Graph.op graph j in
+      let arity = Op.arity op in
+      let per_input f fallback =
+        Array.init arity (fun i ->
+            if stat.Sim_metrics.consumed.(i) > 0 then f i else fallback i)
+      in
+      match op.Op.kind with
+      | Op.Join { cost_per_pair; sel_per_pair; _ } ->
+        let pairs = stat.Sim_metrics.pairs in
+        let total_cpu = Array.fold_left ( +. ) 0. stat.Sim_metrics.cpu in
+        let total_emitted = Array.fold_left ( + ) 0 stat.Sim_metrics.emitted in
+        let cpp =
+          if pairs > 0 then total_cpu /. float_of_int pairs else cost_per_pair
+        in
+        let spp =
+          if pairs > 0 then float_of_int total_emitted /. float_of_int pairs
+          else sel_per_pair
+        in
+        {
+          costs = Array.make arity 0.;
+          selectivities = Array.make arity 0.;
+          cost_per_pair = Some cpp;
+          sel_per_pair = Some spp;
+          support = pairs;
+        }
+      | Op.Linear { costs; selectivities } ->
+        {
+          costs =
+            per_input
+              (fun i ->
+                stat.Sim_metrics.cpu.(i)
+                /. float_of_int stat.Sim_metrics.consumed.(i))
+              (fun i -> costs.(i));
+          selectivities =
+            per_input
+              (fun i ->
+                float_of_int stat.Sim_metrics.emitted.(i)
+                /. float_of_int stat.Sim_metrics.consumed.(i))
+              (fun i -> selectivities.(i));
+          cost_per_pair = None;
+          sel_per_pair = None;
+          support = Array.fold_left ( + ) 0 stat.Sim_metrics.consumed;
+        }
+      | Op.Var_selectivity { cost; sel_now; _ } ->
+        {
+          costs =
+            per_input
+              (fun i ->
+                stat.Sim_metrics.cpu.(i)
+                /. float_of_int stat.Sim_metrics.consumed.(i))
+              (fun _ -> cost);
+          selectivities =
+            per_input
+              (fun i ->
+                float_of_int stat.Sim_metrics.emitted.(i)
+                /. float_of_int stat.Sim_metrics.consumed.(i))
+              (fun _ -> sel_now);
+          cost_per_pair = None;
+          sel_per_pair = None;
+          support = Array.fold_left ( + ) 0 stat.Sim_metrics.consumed;
+        })
+    stats
+
+let measure ?(seed = 1) ?(duration = 30.) ?rng ~graph ~n_nodes ~rates () =
+  let rng =
+    match rng with Some rng -> rng | None -> Random.State.make [| seed |]
+  in
+  let m = Graph.n_ops graph in
+  (* Random balanced placement, as in the paper's trial runs. *)
+  let assignment = Array.init m (fun j -> j mod n_nodes) in
+  for i = m - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = assignment.(i) in
+    assignment.(i) <- assignment.(j);
+    assignment.(j) <- tmp
+  done;
+  let caps = Vec.create n_nodes 1. in
+  let arrivals =
+    Array.map
+      (fun rate ->
+        Workload.Generators.poisson_arrivals ~rng
+          ~trace:(Workload.Trace.create ~dt:duration [| rate |]))
+      rates
+  in
+  let metrics =
+    Engine.run ~graph ~assignment ~caps ~arrivals
+      ~config:{ Engine.default_config with seed; warmup = 0. }
+      ~until:duration ()
+  in
+  of_stats graph metrics
+
+let estimated_graph graph estimates =
+  if Array.length estimates <> Graph.n_ops graph then
+    invalid_arg "Calibrate.estimated_graph: estimate count mismatch";
+  let rebuild j op =
+    let e = estimates.(j) in
+    match op.Op.kind with
+    | Op.Linear _ ->
+      {
+        op with
+        Op.kind = Op.Linear { costs = e.costs; selectivities = e.selectivities };
+      }
+    | Op.Join join ->
+      {
+        op with
+        Op.kind =
+          Op.Join
+            {
+              join with
+              cost_per_pair = Option.value e.cost_per_pair ~default:join.Op.cost_per_pair;
+              sel_per_pair = Option.value e.sel_per_pair ~default:join.Op.sel_per_pair;
+            };
+      }
+    | Op.Var_selectivity vs ->
+      {
+        op with
+        Op.kind =
+          Op.Var_selectivity
+            {
+              vs with
+              cost = e.costs.(0);
+              sel_now = Float.max vs.Op.sel_lo (Float.min vs.Op.sel_hi e.selectivities.(0));
+            };
+      }
+  in
+  let ops =
+    List.init (Graph.n_ops graph) (fun j ->
+        (rebuild j (Graph.op graph j), Graph.sources graph j))
+  in
+  Graph.create ~input_xfer_cost:graph.Graph.input_xfer_cost
+    ~n_inputs:(Graph.n_inputs graph) ~ops ()
+
+let max_relative_error graph estimates =
+  let err_ref = ref 0. in
+  let record truth est =
+    if truth > 0. then
+      err_ref := Float.max !err_ref (abs_float (est -. truth) /. truth)
+  in
+  Array.iteri
+    (fun j e ->
+      if e.support > 0 then begin
+        let op = Graph.op graph j in
+        match op.Op.kind with
+        | Op.Linear { costs; selectivities } ->
+          Array.iteri (fun i c -> record c e.costs.(i)) costs;
+          Array.iteri (fun i s -> record s e.selectivities.(i)) selectivities
+        | Op.Join { cost_per_pair; sel_per_pair; _ } ->
+          Option.iter (record cost_per_pair) e.cost_per_pair;
+          Option.iter (record sel_per_pair) e.sel_per_pair
+        | Op.Var_selectivity { cost; sel_now; _ } ->
+          record cost e.costs.(0);
+          record sel_now e.selectivities.(0)
+      end)
+    estimates;
+  !err_ref

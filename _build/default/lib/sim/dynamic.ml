@@ -1,0 +1,38 @@
+let balance ?(imbalance_threshold = 0.2) ?(max_moves_per_tick = 1) () ~time
+    ~utilization ~op_cpu ~assignment =
+  ignore time;
+  let n = Array.length utilization in
+  if n < 2 then []
+  else begin
+    let hottest = ref 0 and coolest = ref 0 in
+    for i = 1 to n - 1 do
+      if utilization.(i) > utilization.(!hottest) then hottest := i;
+      if utilization.(i) < utilization.(!coolest) then coolest := i
+    done;
+    if utilization.(!hottest) -. utilization.(!coolest) <= imbalance_threshold
+    then []
+    else begin
+      (* Hottest operators of the overloaded node first. *)
+      let candidates = ref [] in
+      Array.iteri
+        (fun op node ->
+          if node = !hottest && op_cpu.(op) > 0. then
+            candidates := (op_cpu.(op), op) :: !candidates)
+        assignment;
+      let sorted = List.sort (fun (a, _) (b, _) -> compare b a) !candidates in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | (_, op) :: rest -> (op, !coolest) :: take (k - 1) rest
+      in
+      take max_moves_per_tick sorted
+    end
+  end
+
+let config ?(interval = 1.) ?(migration_delay = 0.3) ?imbalance_threshold
+    ?max_moves_per_tick () =
+  {
+    Engine.interval;
+    migration_delay;
+    decide = balance ?imbalance_threshold ?max_moves_per_tick ();
+  }

@@ -1,0 +1,31 @@
+(** Ready-made controllers for {!Engine}'s dynamic load distribution —
+    the reactive alternative the paper contrasts static resilient
+    placement against (§1: migration overhead is "on the order of a few
+    hundred milliseconds", which is why reacting to short bursts is a
+    losing game). *)
+
+val balance :
+  ?imbalance_threshold:float ->
+  ?max_moves_per_tick:int ->
+  unit ->
+  time:float ->
+  utilization:float array ->
+  op_cpu:float array ->
+  assignment:int array ->
+  (int * int) list
+(** A greedy utilization balancer: when the most loaded node exceeds the
+    least loaded by more than [imbalance_threshold] (default 0.2 of
+    capacity), move the hottest operators of the most loaded node toward
+    the least loaded one — at most [max_moves_per_tick] (default 1)
+    moves per wake-up, mirroring conservative production balancers. *)
+
+val config :
+  ?interval:float ->
+  ?migration_delay:float ->
+  ?imbalance_threshold:float ->
+  ?max_moves_per_tick:int ->
+  unit ->
+  Engine.dynamic_config
+(** The balancer packaged as an engine config.  Defaults: 1 s control
+    interval, 300 ms migration pause (the paper's "few hundred
+    milliseconds"). *)

@@ -1,0 +1,361 @@
+module Vec = Linalg.Vec
+module Graph = Query.Graph
+module Op = Query.Op
+
+type config = {
+  net_delay : float;
+  seed : int;
+  warmup : float;
+  shed_above : int option;
+}
+
+let default_config =
+  { net_delay = 1e-3; seed = 0x5eed; warmup = 0.; shed_above = None }
+
+type dynamic_config = {
+  interval : float;
+  migration_delay : float;
+  decide :
+    time:float ->
+    utilization:float array ->
+    op_cpu:float array ->
+    assignment:int array ->
+    (int * int) list;
+}
+
+type work_item = {
+  op : int;
+  input_idx : int;
+  origin : float;
+}
+
+type node_state = {
+  capacity : float;
+  queue : work_item Queue.t;
+  mutable current : work_item option;
+  mutable busy_time : float;  (* within the measurement window *)
+  mutable busy_accum : float;  (* total, for controller utilization *)
+}
+
+type service_outcome = {
+  cpu : float;  (* CPU seconds charged *)
+  emitted : int;  (* output tuples *)
+  pairs : int;  (* join candidate pairs examined (0 otherwise) *)
+}
+
+type event =
+  | Deliver of work_item  (* routed to the operator's current node *)
+  | Complete of int * work_item * service_outcome
+  | Tick  (* dynamic controller wake-up *)
+  | Migration_done of int  (* operator whose state transfer finished *)
+
+(* Sliding windows of a join operator: tuple timestamps per input side. *)
+type join_state = {
+  window : float;
+  sides : float Queue.t array;
+}
+
+let consumers_with_index graph =
+  let tbl = Hashtbl.create 64 in
+  for j = 0 to Graph.n_ops graph - 1 do
+    List.iteri
+      (fun idx src ->
+        let existing =
+          match Hashtbl.find_opt tbl src with Some l -> l | None -> []
+        in
+        Hashtbl.replace tbl src ((j, idx) :: existing))
+      (Graph.sources graph j)
+  done;
+  fun src ->
+    match Hashtbl.find_opt tbl src with
+    | Some l -> List.rev l
+    | None -> []
+
+let bernoulli rng p = Random.State.float rng 1. < p
+
+(* Output count of a linear operator with the given selectivity. *)
+let emit_count rng sel =
+  let base = int_of_float (floor sel) in
+  let frac = sel -. float_of_int base in
+  base + if frac > 0. && bernoulli rng frac then 1 else 0
+
+let binomial rng n p =
+  if p <= 0. || n = 0 then 0
+  else if p >= 1. then n
+  else begin
+    let count = ref 0 in
+    for _ = 1 to n do
+      if bernoulli rng p then incr count
+    done;
+    !count
+  end
+
+let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
+    ~until () =
+  let m = Graph.n_ops graph in
+  let d = Graph.n_inputs graph in
+  let n = Vec.dim caps in
+  if Array.length assignment <> m then invalid_arg "Engine.run: assignment length";
+  Array.iter
+    (fun node ->
+      if node < 0 || node >= n then invalid_arg "Engine.run: bad node index")
+    assignment;
+  if Array.length arrivals <> d then
+    invalid_arg "Engine.run: arrivals per input stream expected";
+  if until <= config.warmup then invalid_arg "Engine.run: until <= warmup";
+  (match dynamic with
+  | Some dc when dc.interval <= 0. || dc.migration_delay < 0. ->
+    invalid_arg "Engine.run: bad dynamic config"
+  | Some _ | None -> ());
+  let assignment = Array.copy assignment in
+  let rng = Random.State.make [| config.seed |] in
+  let consumers = consumers_with_index graph in
+  let nodes =
+    Array.init n (fun i ->
+        { capacity = caps.(i); queue = Queue.create (); current = None;
+          busy_time = 0.; busy_accum = 0. })
+  in
+  (* Dynamic load-distribution state: operators mid-migration buffer
+     their input until the state transfer completes. *)
+  let migrating = Array.make m false in
+  let buffers = Array.init m (fun _ -> Queue.create ()) in
+  let op_cpu_window = Array.make m 0. in
+  let last_busy = Array.make n 0. in
+  let migrations_count = ref 0 in
+  let dropped_count = ref 0 in
+  let joins = Hashtbl.create 4 in
+  for j = 0 to m - 1 do
+    match (Graph.op graph j).Op.kind with
+    | Op.Join { window; _ } ->
+      Hashtbl.add joins j
+        { window; sides = [| Queue.create (); Queue.create () |] }
+    | Op.Linear _ | Op.Var_selectivity _ -> ()
+  done;
+  let events = Event_queue.create () in
+  let op_stats =
+    Array.init m (fun j ->
+        Sim_metrics.make_op_stat ~arity:(Op.arity (Graph.op graph j)))
+  in
+  let latencies = Sim_metrics.Samples.create () in
+  let arrivals_count = ref 0 in
+  let items_processed = ref 0 in
+  let outputs_count = ref 0 in
+  let backlog = ref 0 in
+  let max_backlog = ref 0 in
+  let measured t = t >= config.warmup && t <= until in
+  (* Source tuples: deliver to every consumer of each input stream. *)
+  Array.iteri
+    (fun k times ->
+      let readers = consumers (Graph.Sys_input k) in
+      List.iter
+        (fun t ->
+          if t <= until then begin
+            if measured t then incr arrivals_count;
+            List.iter
+              (fun (op, input_idx) ->
+                Event_queue.push events ~time:t
+                  (Deliver { op; input_idx; origin = t }))
+              readers
+          end)
+        times)
+    arrivals;
+  (* Service of one item: CPU seconds and the number of output tuples
+     (both decided when service begins). *)
+  let service now item =
+    let op = Graph.op graph item.op in
+    match op.Op.kind with
+    | Op.Linear { costs; selectivities } ->
+      {
+        cpu = costs.(item.input_idx);
+        emitted = emit_count rng selectivities.(item.input_idx);
+        pairs = 0;
+      }
+    | Op.Var_selectivity { cost; sel_now; _ } ->
+      { cpu = cost; emitted = emit_count rng sel_now; pairs = 0 }
+    | Op.Join { cost_per_pair; sel_per_pair; window = _ } ->
+      let state = Hashtbl.find joins item.op in
+      (* Tuples pair when their timestamps differ by at most window/2:
+         both sides probe, each candidate pair is examined exactly once
+         (when its later tuple arrives), and the pair rate is
+         w * r_u * r_v — matching the load model of §6.2. *)
+      let horizon = now -. (state.window /. 2.) in
+      let expire q =
+        while (not (Queue.is_empty q)) && Queue.peek q < horizon do
+          ignore (Queue.pop q)
+        done
+      in
+      Array.iter expire state.sides;
+      let own = state.sides.(item.input_idx) in
+      let opposite = state.sides.(1 - item.input_idx) in
+      let pairs = Queue.length opposite in
+      Queue.add now own;
+      {
+        cpu = cost_per_pair *. float_of_int pairs;
+        emitted = binomial rng pairs sel_per_pair;
+        pairs;
+      }
+  in
+  let start_service node_idx now =
+    let node = nodes.(node_idx) in
+    match Queue.take_opt node.queue with
+    | None -> ()
+    | Some item ->
+      let outcome = service now item in
+      let wall = outcome.cpu /. node.capacity in
+      let finish = now +. wall in
+      (* Busy time clipped to the measurement window. *)
+      let lo = Float.max now config.warmup and hi = Float.min finish until in
+      if hi > lo then node.busy_time <- node.busy_time +. (hi -. lo);
+      node.busy_accum <- node.busy_accum +. wall;
+      node.current <- Some item;
+      Event_queue.push events ~time:finish (Complete (node_idx, item, outcome))
+  in
+  (* Route to the operator's current node (re-routing in-flight tuples
+     after a migration), or into its buffer while it migrates. *)
+  let deliver now item =
+    if migrating.(item.op) then Queue.add item buffers.(item.op)
+    else begin
+      let node_idx = assignment.(item.op) in
+      let node = nodes.(node_idx) in
+      match config.shed_above with
+      | Some limit when Queue.length node.queue >= limit ->
+        if measured now then incr dropped_count
+      | Some _ | None ->
+        Queue.add item node.queue;
+        if node.current = None then start_service node_idx now
+    end;
+    let total =
+      Array.fold_left (fun acc nd -> acc + Queue.length nd.queue) 0 nodes
+      + Array.fold_left (fun acc buf -> acc + Queue.length buf) 0 buffers
+    in
+    if total > !max_backlog then max_backlog := total
+  in
+  let emit now item count =
+    let src = Graph.Op_output item.op in
+    match consumers src with
+    | [] ->
+      (* Sink operator: outputs leave the system. *)
+      if measured now then begin
+        outputs_count := !outputs_count + count;
+        for _ = 1 to count do
+          Sim_metrics.Samples.add latencies (now -. item.origin)
+        done
+      end
+    | readers ->
+      for _ = 1 to count do
+        List.iter
+          (fun (op, input_idx) ->
+            let delay =
+              if assignment.(op) = assignment.(item.op) then 0.
+              else config.net_delay
+            in
+            Event_queue.push events ~time:(now +. delay)
+              (Deliver { op; input_idx; origin = item.origin }))
+          readers
+      done
+  in
+  (* Start an operator migration: its queued work moves into its buffer
+     (the in-service item, if any, finishes on the old node) and no work
+     is served until the state transfer completes. *)
+  let start_migration now op dest =
+    if (not migrating.(op)) && dest <> assignment.(op) && dest >= 0 && dest < n
+    then begin
+      let delay =
+        match dynamic with Some dc -> dc.migration_delay | None -> 0.
+      in
+      let old_queue = nodes.(assignment.(op)).queue in
+      let kept = Queue.create () in
+      Queue.iter
+        (fun item ->
+          if item.op = op then Queue.add item buffers.(op)
+          else Queue.add item kept)
+        old_queue;
+      Queue.clear old_queue;
+      Queue.transfer kept old_queue;
+      migrating.(op) <- true;
+      assignment.(op) <- dest;
+      incr migrations_count;
+      Event_queue.push events ~time:(now +. delay) (Migration_done op)
+    end
+  in
+  let handle_tick now =
+    match dynamic with
+    | None -> ()
+    | Some dc ->
+      let utilization =
+        Array.mapi
+          (fun i node ->
+            let used = (node.busy_accum -. last_busy.(i)) /. dc.interval in
+            last_busy.(i) <- node.busy_accum;
+            Float.min 1. used)
+          nodes
+      in
+      let decisions =
+        dc.decide ~time:now ~utilization ~op_cpu:(Array.copy op_cpu_window)
+          ~assignment:(Array.copy assignment)
+      in
+      Array.fill op_cpu_window 0 m 0.;
+      List.iter (fun (op, dest) -> start_migration now op dest) decisions;
+      if now +. dc.interval <= until then
+        Event_queue.push events ~time:(now +. dc.interval) Tick
+  in
+  let handle now = function
+    | Deliver item -> deliver now item
+    | Complete (node_idx, item, outcome) ->
+      nodes.(node_idx).current <- None;
+      op_cpu_window.(item.op) <- op_cpu_window.(item.op) +. outcome.cpu;
+      if measured now then begin
+        incr items_processed;
+        let stat = op_stats.(item.op) in
+        stat.Sim_metrics.consumed.(item.input_idx) <-
+          stat.Sim_metrics.consumed.(item.input_idx) + 1;
+        stat.Sim_metrics.emitted.(item.input_idx) <-
+          stat.Sim_metrics.emitted.(item.input_idx) + outcome.emitted;
+        stat.Sim_metrics.cpu.(item.input_idx) <-
+          stat.Sim_metrics.cpu.(item.input_idx) +. outcome.cpu;
+        stat.Sim_metrics.pairs <- stat.Sim_metrics.pairs + outcome.pairs
+      end;
+      emit now item outcome.emitted;
+      start_service node_idx now
+    | Tick -> handle_tick now
+    | Migration_done op ->
+      migrating.(op) <- false;
+      let pending = buffers.(op) in
+      let flush = Queue.create () in
+      Queue.transfer pending flush;
+      Queue.iter (fun item -> deliver now item) flush
+  in
+  (match dynamic with
+  | Some dc -> Event_queue.push events ~time:dc.interval Tick
+  | None -> ());
+  let rec loop () =
+    match Event_queue.peek_time events with
+    | Some t when t <= until -> (
+      match Event_queue.pop events with
+      | Some (time, event) ->
+        handle time event;
+        loop ()
+      | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  Array.iter
+    (fun node ->
+      backlog := !backlog + Queue.length node.queue;
+      if node.current <> None then incr backlog)
+    nodes;
+  Array.iter (fun buf -> backlog := !backlog + Queue.length buf) buffers;
+  let span = until -. config.warmup in
+  {
+    Sim_metrics.duration = span;
+    utilization = Array.map (fun node -> node.busy_time /. span) nodes;
+    latencies;
+    arrivals = !arrivals_count;
+    items_processed = !items_processed;
+    outputs = !outputs_count;
+    backlog = !backlog;
+    max_backlog = !max_backlog;
+    op_stats;
+    migrations = !migrations_count;
+    dropped = !dropped_count;
+  }

@@ -1,0 +1,76 @@
+(** A discrete-event simulator of a distributed stream-processing
+    engine — the substrate standing in for the Borealis prototype.
+
+    Model (matching the paper's assumptions in §2.1):
+    - each node is a serial CPU of a given capacity; processing a tuple
+      whose operator cost is [w] CPU-seconds occupies the node for
+      [w / capacity] wall-seconds; work items queue FIFO per node;
+    - the interconnect has ample bandwidth; a tuple crossing nodes is
+      delayed by a fixed [net_delay] but never queues;
+    - linear operators emit output tuples according to their
+      selectivity (Bernoulli draws, expectation = selectivity);
+    - time-window joins keep real sliding windows of tuple timestamps:
+      an arriving tuple is matched against the opposite side's tuples
+      whose timestamps are within [window/2] (cost [cost_per_pair] per
+      candidate pair, Bernoulli [sel] per output), so each candidate
+      pair is examined exactly once and the pair rate is
+      [window * r_u * r_v] — the load model of §6.2;
+    - every tuple carries the timestamp of the source tuple that caused
+      it; the latency of a sink output is completion time minus that
+      origin — the "latency of individual results" the paper optimizes.
+
+    Runs are deterministic given the config's [seed]. *)
+
+type config = {
+  net_delay : float;  (** One-way network latency, seconds (default 1 ms). *)
+  seed : int;  (** Selectivity/join randomness. *)
+  warmup : float;  (** Statistics ignore events before this time. *)
+  shed_above : int option;
+      (** Load shedding: when set, a tuple arriving at a node whose
+          queue already holds this many items is dropped (and counted),
+          trading answer completeness for bounded latency — the standard
+          overload alternative to placement that the paper's related
+          work discusses.  [None] (default) = lossless queues. *)
+}
+
+val default_config : config
+
+type dynamic_config = {
+  interval : float;  (** Controller wake-up period, seconds. *)
+  migration_delay : float;
+      (** Pause while an operator's state moves between nodes (the paper
+          reports "a few hundred milliseconds" base overhead in
+          Borealis); the operator processes nothing during the pause and
+          its input queues up. *)
+  decide :
+    time:float ->
+    utilization:float array ->
+    op_cpu:float array ->
+    assignment:int array ->
+    (int * int) list;
+      (** Called every [interval] with per-node utilization over the
+          last interval, per-operator CPU seconds over the last interval
+          and the current assignment (read-only copies); returns
+          [(operator, destination)] migrations to start.  Operators
+          already migrating are skipped. *)
+}
+(** Optional dynamic load distribution running {e inside} the
+    simulation — the reactive scheme the paper argues cannot keep up
+    with short-term bursts.  Tuples addressed to a migrating operator
+    buffer until the pause ends; in-flight tuples are re-routed to the
+    operator's current node on delivery. *)
+
+val run :
+  graph:Query.Graph.t ->
+  assignment:int array ->
+  caps:Linalg.Vec.t ->
+  arrivals:float list array ->
+  ?config:config ->
+  ?dynamic:dynamic_config ->
+  until:float ->
+  unit ->
+  Sim_metrics.t
+(** Simulate the placed graph fed by per-input-stream arrival timestamp
+    lists (ascending, as produced by {!Workload.Generators}), up to
+    absolute time [until].  Work still queued at [until] is reported as
+    backlog. *)

@@ -1,0 +1,20 @@
+(** A binary-heap priority queue of timestamped events.
+
+    Events with equal timestamps are dequeued in insertion order
+    (a monotone sequence number breaks ties), which keeps simulation
+    runs fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option

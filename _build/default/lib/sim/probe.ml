@@ -1,0 +1,63 @@
+module Vec = Linalg.Vec
+
+type verdict = {
+  feasible : bool;
+  metrics : Sim_metrics.t;
+}
+
+let probe_point ?(duration = 20.) ?(util_threshold = 0.98) ?config ~graph
+    ~assignment ~caps ~rates () =
+  if Vec.dim rates <> Query.Graph.n_inputs graph then
+    invalid_arg "Probe.probe_point: rate dimension mismatch";
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { Engine.default_config with warmup = 1. }
+  in
+  let until = config.Engine.warmup +. duration in
+  let arrivals =
+    Array.map
+      (fun rate ->
+        let trace =
+          Workload.Trace.create ~dt:until [| Float.max rate 0. |]
+        in
+        Workload.Generators.deterministic_arrivals ~trace)
+      rates
+  in
+  let metrics = Engine.run ~graph ~assignment ~caps ~arrivals ~config ~until () in
+  { feasible = Sim_metrics.max_utilization metrics < util_threshold; metrics }
+
+let feasible_fraction ?duration ?util_threshold ?config ~graph ~assignment ~caps
+    ~points () =
+  if Array.length points = 0 then
+    invalid_arg "Probe.feasible_fraction: no points";
+  let ok =
+    Array.fold_left
+      (fun acc rates ->
+        let v =
+          probe_point ?duration ?util_threshold ?config ~graph ~assignment ~caps
+            ~rates ()
+        in
+        if v.feasible then acc + 1 else acc)
+      0 points
+  in
+  float_of_int ok /. float_of_int (Array.length points)
+
+let simulate_traces ?config ?rng ~graph ~assignment ~caps ~traces () =
+  if Array.length traces <> Query.Graph.n_inputs graph then
+    invalid_arg "Probe.simulate_traces: one trace per input stream expected";
+  let until =
+    Array.fold_left
+      (fun acc trace -> Float.min acc (Workload.Trace.duration trace))
+      infinity traces
+  in
+  let arrivals =
+    Array.map
+      (fun trace ->
+        match rng with
+        | Some rng -> Workload.Generators.poisson_arrivals ~rng ~trace
+        | None -> Workload.Generators.deterministic_arrivals ~trace)
+      traces
+  in
+  let config = match config with Some c -> c | None -> Engine.default_config in
+  Engine.run ~graph ~assignment ~caps ~arrivals ~config ~until ()

@@ -1,0 +1,52 @@
+(** Feasibility probing — the paper's Borealis methodology (§7.1):
+    "For each workload point, we run the system for a sufficiently long
+    period and monitor the CPU utilization of all the nodes.  The system
+    is deemed feasible if none of the nodes experience 100% utilization."
+
+    We run the discrete-event engine at a constant rate point with
+    deterministic arrivals and call the point feasible when every node's
+    utilization stays below a threshold (default 98%). *)
+
+type verdict = {
+  feasible : bool;
+  metrics : Sim_metrics.t;
+}
+
+val probe_point :
+  ?duration:float ->
+  ?util_threshold:float ->
+  ?config:Engine.config ->
+  graph:Query.Graph.t ->
+  assignment:int array ->
+  caps:Linalg.Vec.t ->
+  rates:Linalg.Vec.t ->
+  unit ->
+  verdict
+(** Simulate [duration] seconds (default 20) at the given constant input
+    rates with one second of warm-up. *)
+
+val feasible_fraction :
+  ?duration:float ->
+  ?util_threshold:float ->
+  ?config:Engine.config ->
+  graph:Query.Graph.t ->
+  assignment:int array ->
+  caps:Linalg.Vec.t ->
+  points:Linalg.Vec.t array ->
+  unit ->
+  float
+(** Fraction of the given rate points that probe feasible — the measured
+    counterpart of the analytic feasible-set ratio. *)
+
+val simulate_traces :
+  ?config:Engine.config ->
+  ?rng:Random.State.t ->
+  graph:Query.Graph.t ->
+  assignment:int array ->
+  caps:Linalg.Vec.t ->
+  traces:Workload.Trace.t array ->
+  unit ->
+  Sim_metrics.t
+(** Drive each input stream with (Poisson) arrivals following its trace
+    and simulate until the shortest trace ends.  When [rng] is omitted,
+    deterministic evenly-spaced arrivals are used instead. *)

@@ -1,0 +1,92 @@
+module Samples = struct
+  type t = {
+    mutable data : float array;
+    mutable stored : int;
+    mutable count : int;
+    mutable sum : float;
+    mutable max_value : float;
+    capacity_limit : int;
+  }
+
+  let create ?(capacity_limit = 1 lsl 20) () =
+    {
+      data = [||];
+      stored = 0;
+      count = 0;
+      sum = 0.;
+      max_value = neg_infinity;
+      capacity_limit;
+    }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x > t.max_value then t.max_value <- x;
+    if t.stored < t.capacity_limit then begin
+      if t.stored = Array.length t.data then begin
+        let fresh = Array.make (max 1024 (2 * Array.length t.data)) 0. in
+        Array.blit t.data 0 fresh 0 t.stored;
+        t.data <- fresh
+      end;
+      t.data.(t.stored) <- x;
+      t.stored <- t.stored + 1
+    end
+
+  let count t = t.count
+
+  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+  let max_value t = if t.count = 0 then 0. else t.max_value
+
+  let to_array t = Array.sub t.data 0 t.stored
+
+  let percentile t p =
+    if t.stored = 0 then 0. else Workload.Stats.percentile (to_array t) p
+end
+
+type op_stat = {
+  consumed : int array;
+  emitted : int array;
+  cpu : float array;
+  mutable pairs : int;
+}
+
+let make_op_stat ~arity =
+  {
+    consumed = Array.make arity 0;
+    emitted = Array.make arity 0;
+    cpu = Array.make arity 0.;
+    pairs = 0;
+  }
+
+type t = {
+  duration : float;
+  utilization : float array;
+  latencies : Samples.t;
+  arrivals : int;
+  items_processed : int;
+  outputs : int;
+  backlog : int;
+  max_backlog : int;
+  op_stats : op_stat array;
+  migrations : int;
+  dropped : int;
+}
+
+let max_utilization t = Array.fold_left Float.max 0. t.utilization
+
+let mean_latency t = Samples.mean t.latencies
+
+let p95_latency t = Samples.percentile t.latencies 95.
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>simulated %.3gs: %d arrivals, %d items, %d outputs@,\
+     utilization max %.1f%% %a@,\
+     latency mean %.4gs p95 %.4gs max %.4gs (n=%d)@,\
+     backlog end %d peak %d@]"
+    t.duration t.arrivals t.items_processed t.outputs
+    (100. *. max_utilization t)
+    Linalg.Vec.pp t.utilization (mean_latency t) (p95_latency t)
+    (Samples.max_value t.latencies)
+    (Samples.count t.latencies) t.backlog t.max_backlog

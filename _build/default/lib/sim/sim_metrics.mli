@@ -1,0 +1,57 @@
+(** Measurement plumbing for the simulator: a growable sample buffer and
+    the per-run statistics record. *)
+
+module Samples : sig
+  type t
+
+  val create : ?capacity_limit:int -> unit -> t
+  (** Collects float samples; beyond [capacity_limit] (default 2^20)
+      further samples update only the running count/mean/max (reservoir
+      quality is unnecessary for our summaries). *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+
+  val max_value : t -> float
+
+  val percentile : t -> float -> float
+  (** Over the stored prefix of samples. *)
+
+  val to_array : t -> float array
+end
+
+type op_stat = {
+  consumed : int array;  (** Tuples processed, per input arc. *)
+  emitted : int array;  (** Output tuples attributed to each input arc. *)
+  cpu : float array;  (** CPU seconds spent, per input arc. *)
+  mutable pairs : int;  (** Join candidate pairs examined (joins only). *)
+}
+(** Per-operator execution statistics — the raw material for measuring
+    costs and selectivities from trial runs (§7.1). *)
+
+type t = {
+  duration : float;  (** Measured interval (after warm-up). *)
+  utilization : float array;  (** Per node: busy time / duration. *)
+  latencies : Samples.t;  (** End-to-end latency of sink outputs. *)
+  arrivals : int;  (** Source tuples injected (after warm-up). *)
+  items_processed : int;  (** Work items completed (after warm-up). *)
+  outputs : int;  (** Tuples emitted by sink operators. *)
+  backlog : int;  (** Work items still queued at the end. *)
+  max_backlog : int;  (** Peak total queued items. *)
+  op_stats : op_stat array;  (** Index-aligned with the graph's operators. *)
+  migrations : int;  (** Operator migrations started (dynamic runs). *)
+  dropped : int;  (** Tuples shed at full queues (when shedding is on). *)
+}
+
+val make_op_stat : arity:int -> op_stat
+
+val max_utilization : t -> float
+
+val mean_latency : t -> float
+
+val p95_latency : t -> float
+
+val pp : Format.formatter -> t -> unit

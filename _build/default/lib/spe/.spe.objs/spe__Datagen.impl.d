@@ -1,0 +1,1 @@
+lib/spe/datagen.ml: Array List Printf Random Tuple Value Workload

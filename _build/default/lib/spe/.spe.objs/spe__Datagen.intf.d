@@ -1,0 +1,1 @@
+lib/spe/datagen.mli: Random Tuple Workload

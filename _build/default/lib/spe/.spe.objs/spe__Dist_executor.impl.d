@@ -1,0 +1,1 @@
+lib/spe/dist_executor.ml: Array Dsim Executor Float Linalg List Network Query Queue Sop Tuple

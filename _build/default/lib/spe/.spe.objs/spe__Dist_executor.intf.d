@@ -1,0 +1,1 @@
+lib/spe/dist_executor.mli: Dsim Linalg Network Query Tuple

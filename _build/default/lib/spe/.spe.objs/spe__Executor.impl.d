@@ -1,0 +1,1 @@
+lib/spe/executor.ml: Array Float Hashtbl List Network Option Printf Query Queue Sop Tuple Value

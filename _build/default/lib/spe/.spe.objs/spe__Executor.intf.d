@@ -1,0 +1,1 @@
+lib/spe/executor.mli: Network Sop Tuple

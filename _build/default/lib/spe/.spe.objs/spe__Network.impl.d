@@ -1,0 +1,1 @@
+lib/spe/network.ml: Array List Printf Query Sop

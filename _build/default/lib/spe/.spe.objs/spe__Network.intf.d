@@ -1,0 +1,1 @@
+lib/spe/network.mli: Query Sop

@@ -1,0 +1,1 @@
+lib/spe/profiler.ml: Array Executor List Network Query Sop Unix

@@ -1,0 +1,1 @@
+lib/spe/profiler.mli: Executor Network Query Tuple

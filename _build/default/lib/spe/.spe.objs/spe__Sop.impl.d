@@ -1,0 +1,1 @@
+lib/spe/sop.ml: Option Tuple

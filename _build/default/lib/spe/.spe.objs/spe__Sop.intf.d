@@ -1,0 +1,1 @@
+lib/spe/sop.mli: Tuple

@@ -1,0 +1,1 @@
+lib/spe/tuple.ml: Array Float Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/spe/tuple.mli: Format Value

@@ -1,0 +1,1 @@
+lib/spe/value.ml: Float Format Printf String

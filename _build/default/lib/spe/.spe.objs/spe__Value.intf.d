@@ -1,0 +1,1 @@
+lib/spe/value.mli: Format

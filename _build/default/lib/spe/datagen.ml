@@ -1,0 +1,51 @@
+let packets ~rng ~trace ?(hosts = 16) () =
+  let times = Workload.Generators.poisson_arrivals ~rng ~trace in
+  let host () = Printf.sprintf "h%02d" (Random.State.int rng hosts) in
+  let bytes () =
+    (* Bimodal-ish: many small control packets, some full frames. *)
+    if Random.State.float rng 1. < 0.6 then 40 + Random.State.int rng 160
+    else 500 + Random.State.int rng 1001
+  in
+  let proto () =
+    match Random.State.int rng 10 with
+    | 0 -> "icmp"
+    | 1 | 2 -> "udp"
+    | _ -> "tcp"
+  in
+  List.map
+    (fun ts ->
+      Tuple.make ~ts
+        [
+          ("src", Value.Str (host ()));
+          ("dst", Value.Str (host ()));
+          ("bytes", Value.Int (bytes ()));
+          ("proto", Value.Str (proto ()));
+        ])
+    times
+
+let default_symbols = [ "ACME"; "GLOBO"; "INITECH"; "UMBRL"; "WAYNE"; "STARK" ]
+
+let trades ~rng ~trace ?(symbols = default_symbols) () =
+  if symbols = [] then invalid_arg "Datagen.trades: no symbols";
+  let times = Workload.Generators.poisson_arrivals ~rng ~trace in
+  let arr = Array.of_list symbols in
+  let prices = Array.map (fun _ -> 50. +. Random.State.float rng 100.) arr in
+  List.map
+    (fun ts ->
+      let i = Random.State.int rng (Array.length arr) in
+      (* Multiplicative random walk keeps prices positive. *)
+      prices.(i) <- prices.(i) *. (1. +. ((Random.State.float rng 0.02) -. 0.01));
+      Tuple.make ~ts
+        [
+          ("symbol", Value.Str arr.(i));
+          ("price", Value.Float prices.(i));
+          ("qty", Value.Int (1 + Random.State.int rng 500));
+        ])
+    times
+
+let ticks ~rate ~duration f =
+  if rate <= 0. || duration <= 0. then invalid_arg "Datagen.ticks: bad rate/duration";
+  let count = int_of_float (rate *. duration) in
+  List.init count (fun i ->
+      let ts = (float_of_int i +. 0.5) /. rate in
+      f ts)

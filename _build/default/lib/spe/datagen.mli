@@ -1,0 +1,20 @@
+(** Synthetic tuple streams for driving the engine: packet records and
+    trade records with timestamps drawn from a rate {!Workload.Trace}
+    (Poisson arrivals) or evenly spaced. *)
+
+val packets :
+  rng:Random.State.t -> trace:Workload.Trace.t -> ?hosts:int -> unit ->
+  Tuple.t list
+(** Network packet records: fields [src]/[dst] (host names out of
+    [hosts], default 16), [bytes] (int, 40-1500, heavy on small),
+    [proto] ("tcp"/"udp"/"icmp"). *)
+
+val trades :
+  rng:Random.State.t -> trace:Workload.Trace.t -> ?symbols:string list ->
+  unit -> Tuple.t list
+(** Market trade records: fields [symbol], [price] (random walk per
+    symbol), [qty] (int).  Default symbols: six well-known tickers. *)
+
+val ticks : rate:float -> duration:float -> (float -> Tuple.t) -> Tuple.t list
+(** Deterministic evenly-spaced stream: [ticks ~rate ~duration f] calls
+    [f] at each timestamp. *)

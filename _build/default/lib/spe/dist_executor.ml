@@ -1,0 +1,174 @@
+module Vec = Linalg.Vec
+module Graph = Query.Graph
+module Event_queue = Dsim.Event_queue
+module Samples = Dsim.Sim_metrics.Samples
+
+type config = {
+  net_delay : float;
+  warmup : float;
+}
+
+let default_config = { net_delay = 1e-3; warmup = 0. }
+
+type result = {
+  outputs : (int * Tuple.t) list;
+  utilization : float array;
+  latencies : Samples.t;
+  arrivals : int;
+  backlog : int;
+}
+
+let cost_model_of_graph graph op input_idx =
+  match (Graph.op graph op).Query.Op.kind with
+  | Query.Op.Linear { costs; _ } -> costs.(input_idx)
+  | Query.Op.Join { cost_per_pair; _ } -> cost_per_pair
+  | Query.Op.Var_selectivity { cost; _ } -> cost
+
+type work_item = {
+  op : int;
+  input_idx : int;
+  tuple : Tuple.t;
+  origin : float;  (* event time of the source tuple *)
+}
+
+type node_state = {
+  capacity : float;
+  queue : work_item Queue.t;
+  mutable busy : bool;
+  mutable busy_time : float;
+}
+
+type event =
+  | Deliver of work_item
+  | Complete of int * work_item * Tuple.t list  (* node, item, outputs *)
+
+let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
+    ~until () =
+  let m = Network.n_ops network in
+  let d = Network.n_inputs network in
+  let n = Vec.dim caps in
+  if Array.length assignment <> m then
+    invalid_arg "Dist_executor.run: assignment length";
+  Array.iter
+    (fun node ->
+      if node < 0 || node >= n then
+        invalid_arg "Dist_executor.run: bad node index")
+    assignment;
+  if Array.length inputs <> d then
+    invalid_arg "Dist_executor.run: one tuple list per input stream";
+  if until <= config.warmup then invalid_arg "Dist_executor.run: until <= warmup";
+  let states = Array.init m (fun j -> Executor.replay_state (Network.op network j)) in
+  let stats = Array.init m (fun j -> Executor.replay_stat (Network.op network j)) in
+  let nodes =
+    Array.init n (fun i ->
+        { capacity = caps.(i); queue = Queue.create (); busy = false;
+          busy_time = 0. })
+  in
+  let events = Event_queue.create () in
+  let outputs = ref [] in
+  let latencies = Samples.create () in
+  let arrivals = ref 0 in
+  let measured t = t >= config.warmup && t <= until in
+  (* Source tuples arrive at their timestamps. *)
+  Array.iteri
+    (fun k tuples ->
+      let readers = Network.consumers network (Graph.Sys_input k) in
+      List.iter
+        (fun tuple ->
+          let ts = Tuple.ts tuple in
+          if ts <= until then begin
+            if measured ts then incr arrivals;
+            List.iter
+              (fun (op, input_idx) ->
+                Event_queue.push events ~time:ts
+                  (Deliver { op; input_idx; tuple; origin = ts }))
+              readers
+          end)
+        tuples)
+    inputs;
+  let service item =
+    let sop = Network.op network item.op in
+    let stat = stats.(item.op) in
+    let pairs_before = stat.Executor.pairs in
+    let produced =
+      Executor.replay_process sop states.(item.op) stat item.input_idx item.tuple
+    in
+    let cpu =
+      match sop with
+      | Sop.Equi_join _ ->
+        cost item.op item.input_idx
+        *. float_of_int (stat.Executor.pairs - pairs_before)
+      | _ -> cost item.op item.input_idx
+    in
+    (cpu, produced)
+  in
+  let start_service node_idx now =
+    let node = nodes.(node_idx) in
+    match Queue.take_opt node.queue with
+    | None -> node.busy <- false
+    | Some item ->
+      node.busy <- true;
+      let cpu, produced = service item in
+      let wall = cpu /. node.capacity in
+      let finish = now +. wall in
+      let lo = Float.max now config.warmup and hi = Float.min finish until in
+      if hi > lo then node.busy_time <- node.busy_time +. (hi -. lo);
+      Event_queue.push events ~time:finish (Complete (node_idx, item, produced))
+  in
+  let deliver now item =
+    let node_idx = assignment.(item.op) in
+    let node = nodes.(node_idx) in
+    Queue.add item node.queue;
+    if not node.busy then start_service node_idx now
+  in
+  let emit now item produced =
+    match Network.consumers network (Graph.Op_output item.op) with
+    | [] ->
+      if measured now then
+        List.iter
+          (fun t ->
+            outputs := (item.op, t) :: !outputs;
+            Samples.add latencies (now -. item.origin))
+          produced
+    | readers ->
+      List.iter
+        (fun t ->
+          List.iter
+            (fun (op, input_idx) ->
+              let delay =
+                if assignment.(op) = assignment.(item.op) then 0.
+                else config.net_delay
+              in
+              Event_queue.push events ~time:(now +. delay)
+                (Deliver { op; input_idx; tuple = t; origin = item.origin }))
+            readers)
+        produced
+  in
+  let handle now = function
+    | Deliver item -> deliver now item
+    | Complete (node_idx, item, produced) ->
+      emit now item produced;
+      start_service node_idx now
+  in
+  let rec loop () =
+    match Event_queue.peek_time events with
+    | Some t when t <= until -> (
+      match Event_queue.pop events with
+      | Some (time, event) ->
+        handle time event;
+        loop ()
+      | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  let backlog =
+    Array.fold_left (fun acc node -> acc + Queue.length node.queue) 0 nodes
+  in
+  let span = until -. config.warmup in
+  {
+    outputs = List.rev !outputs;
+    utilization = Array.map (fun node -> node.busy_time /. span) nodes;
+    latencies;
+    arrivals = !arrivals;
+    backlog;
+  }

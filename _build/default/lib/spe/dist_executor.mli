@@ -1,0 +1,52 @@
+(** Distributed semantic execution: the {!Executor}'s real operator
+    semantics combined with the simulator's timing model (serial CPUs
+    per node, FIFO queues, fixed network hop delay).
+
+    Where {!Dsim.Engine} abstracts operators into costs and Bernoulli
+    selectivity draws, this engine pushes {e actual tuples} through
+    {!Sop} operators placed on nodes, charging each tuple the per-tuple
+    CPU cost of its operator (costs come from a {!Profiler} run or any
+    {!Query.Graph} cost model).  Selectivity and join fan-out emerge
+    from the data itself.
+
+    Its purpose is validation: the paper checked its simulator against
+    Borealis; we check {!Dsim.Engine} against this engine (experiment
+    EXPSPE).  Results carry both the computed output tuples and the
+    performance metrics. *)
+
+type config = {
+  net_delay : float;  (** One-way hop latency, seconds (default 1 ms). *)
+  warmup : float;  (** Metrics ignore events before this time. *)
+}
+
+val default_config : config
+
+type result = {
+  outputs : (int * Tuple.t) list;  (** Sink outputs, in emission order. *)
+  utilization : float array;  (** Per node, within the measured window. *)
+  latencies : Dsim.Sim_metrics.Samples.t;
+      (** Sink-output latency: completion time minus the event-time of
+          the source tuple that triggered it. *)
+  arrivals : int;
+  backlog : int;  (** Work items unserved at [until]. *)
+}
+
+val cost_model_of_graph :
+  Query.Graph.t -> int -> int -> float
+(** [cost_model_of_graph graph op input_idx] reads per-tuple costs out
+    of a cost-model graph (for joins, the per-pair cost). *)
+
+val run :
+  network:Network.t ->
+  assignment:int array ->
+  caps:Linalg.Vec.t ->
+  cost:(int -> int -> float) ->
+  inputs:Tuple.t list array ->
+  ?config:config ->
+  until:float ->
+  unit ->
+  result
+(** Tuples arrive at their own timestamps (ascending per stream).
+    [cost op input_idx] is CPU seconds per tuple (per candidate pair
+    for joins).  Open aggregate windows at [until] are counted as
+    backlog state, not flushed. *)

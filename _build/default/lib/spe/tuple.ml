@@ -1,0 +1,73 @@
+type t = {
+  ts : float;
+  fields : (string * Value.t) array;
+}
+
+let make ~ts bindings =
+  let fields = Array.of_list bindings in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) fields;
+  for i = 1 to Array.length fields - 1 do
+    if fst fields.(i) = fst fields.(i - 1) then
+      invalid_arg
+        (Printf.sprintf "Tuple.make: duplicate field %S" (fst fields.(i)))
+  done;
+  { ts; fields }
+
+let ts t = t.ts
+
+(* Fields are few; linear probe beats binary search bookkeeping. *)
+let find_opt t name =
+  let rec scan i =
+    if i >= Array.length t.fields then None
+    else
+      let k, v = t.fields.(i) in
+      if String.equal k name then Some v else scan (i + 1)
+  in
+  scan 0
+
+let find t name =
+  match find_opt t name with Some v -> v | None -> raise Not_found
+
+let mem t name = find_opt t name <> None
+
+let number t name = Value.to_float (find t name)
+
+let set t name value =
+  let bindings =
+    (name, value)
+    :: List.filter (fun (k, _) -> not (String.equal k name))
+         (Array.to_list t.fields)
+  in
+  make ~ts:t.ts bindings
+
+let remove t name =
+  make ~ts:t.ts
+    (List.filter (fun (k, _) -> not (String.equal k name))
+       (Array.to_list t.fields))
+
+let with_ts t ts = { t with ts }
+
+let project t names =
+  make ~ts:t.ts
+    (List.filter (fun (k, _) -> List.mem k names) (Array.to_list t.fields))
+
+let merge ~prefix_left ~prefix_right left right =
+  let rename prefix (k, v) = (prefix ^ k, v) in
+  make
+    ~ts:(Float.max left.ts right.ts)
+    (List.map (rename prefix_left) (Array.to_list left.fields)
+    @ List.map (rename prefix_right) (Array.to_list right.fields))
+
+let names t = Array.to_list (Array.map fst t.fields)
+
+let equal a b =
+  a.ts = b.ts
+  && Array.length a.fields = Array.length b.fields
+  && Array.for_all2
+       (fun (ka, va) (kb, vb) -> String.equal ka kb && Value.equal va vb)
+       a.fields b.fields
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>{ts=%g" t.ts;
+  Array.iter (fun (k, v) -> Format.fprintf fmt "; %s=%a" k Value.pp v) t.fields;
+  Format.fprintf fmt "}@]"

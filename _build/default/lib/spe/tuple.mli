@@ -1,0 +1,45 @@
+(** Stream tuples: a timestamp plus named fields.
+
+    Field sets are small (network/market records), so fields are stored
+    as a sorted association array — cheap to build, cheap to probe, and
+    order-independent equality for free. *)
+
+type t = private {
+  ts : float;  (** Event timestamp, seconds. *)
+  fields : (string * Value.t) array;  (** Sorted by field name. *)
+}
+
+val make : ts:float -> (string * Value.t) list -> t
+(** Duplicated field names raise [Invalid_argument]. *)
+
+val ts : t -> float
+
+val find : t -> string -> Value.t
+(** @raise Not_found if the field is absent. *)
+
+val find_opt : t -> string -> Value.t option
+
+val mem : t -> string -> bool
+
+val number : t -> string -> float
+(** [find] followed by {!Value.to_float}. *)
+
+val set : t -> string -> Value.t -> t
+(** Functional update (adds or replaces). *)
+
+val remove : t -> string -> t
+
+val with_ts : t -> float -> t
+
+val project : t -> string list -> t
+(** Keep only the listed fields (missing fields are ignored). *)
+
+val merge : prefix_left:string -> prefix_right:string -> t -> t -> t
+(** Join output: all fields of both tuples with the given name
+    prefixes; the timestamp is the later of the two. *)
+
+val names : t -> string list
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Str s -> invalid_arg (Printf.sprintf "Value.to_float: string %S" s)
+
+let to_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | Str s -> invalid_arg (Printf.sprintf "Value.to_int: string %S" s)
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | (Int _ | Float _ | Str _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Str x, Str y -> String.compare x y
+  | Str _, (Int _ | Float _) -> 1
+  | (Int _ | Float _), Str _ -> -1
+  | (Int _ | Float _), (Int _ | Float _) ->
+    Float.compare (to_float a) (to_float b)
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

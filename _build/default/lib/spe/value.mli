@@ -1,0 +1,28 @@
+(** Runtime values carried by stream tuples.
+
+    The engine is dynamically typed (like Aurora/Borealis tuples seen
+    from the scheduler): fields hold integers, floats or strings, and
+    operators that need a specific type coerce or fail loudly. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+
+val to_float : t -> float
+(** Numeric view; [Int] widens, [Str] raises [Invalid_argument]. *)
+
+val to_int : t -> int
+(** [Float] truncates, [Str] raises [Invalid_argument]. *)
+
+val to_string : t -> string
+(** Printable form (strings unquoted). *)
+
+val equal : t -> t -> bool
+(** Structural, with no numeric coercion ([Int 1 <> Float 1.]). *)
+
+val compare : t -> t -> int
+(** Total order: by numeric value within numeric types, [Int]/[Float]
+    compared as floats; strings after numbers. *)
+
+val pp : Format.formatter -> t -> unit

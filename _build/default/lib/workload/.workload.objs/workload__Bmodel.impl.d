@@ -1,0 +1,1 @@
+lib/workload/bmodel.ml: Array Random Trace

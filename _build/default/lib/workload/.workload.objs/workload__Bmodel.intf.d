@@ -1,0 +1,1 @@
+lib/workload/bmodel.mli: Random Trace

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Buffer Fun List Printf String Trace

@@ -1,0 +1,1 @@
+lib/workload/traces.ml: Bmodel List Trace

@@ -1,0 +1,1 @@
+lib/workload/traces.mli: Random Trace

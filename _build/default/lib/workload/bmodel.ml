@@ -1,0 +1,52 @@
+let check_bias bias =
+  if bias < 0.5 || bias >= 1.0 then
+    invalid_arg "Bmodel: bias must lie in [0.5, 1.0)"
+
+let generate ~rng ~bias ~levels ~total =
+  check_bias bias;
+  if levels < 0 || levels > 24 then invalid_arg "Bmodel: levels outside [0, 24]";
+  if total < 0. then invalid_arg "Bmodel: negative total";
+  let n = 1 lsl levels in
+  let values = Array.make n total in
+  (* Split segments in place, level by level: the segment [pos, pos+len)
+     currently carries its volume in values.(pos). *)
+  let len = ref n in
+  while !len > 1 do
+    let half = !len / 2 in
+    let pos = ref 0 in
+    while !pos < n do
+      let volume = values.(!pos) in
+      let big_left = Random.State.bool rng in
+      let left = if big_left then bias *. volume else (1. -. bias) *. volume in
+      values.(!pos) <- left;
+      values.(!pos + half) <- volume -. left;
+      pos := !pos + !len
+    done;
+    len := half
+  done;
+  values
+
+let trace ~rng ~bias ~levels ~mean_rate ~dt =
+  if mean_rate < 0. then invalid_arg "Bmodel.trace: negative mean rate";
+  let n = 1 lsl levels in
+  let total = mean_rate *. float_of_int n in
+  Trace.create ~dt (generate ~rng ~bias ~levels ~total)
+
+let second_moment_ratio ~bias ~levels =
+  (2. *. ((bias *. bias) +. ((1. -. bias) *. (1. -. bias))))
+  ** float_of_int levels
+
+let cv_of_bias ~bias ~levels =
+  check_bias bias;
+  sqrt (second_moment_ratio ~bias ~levels -. 1.)
+
+let bias_for_cv ~cv ~levels =
+  if cv < 0. then invalid_arg "Bmodel.bias_for_cv: negative cv";
+  let rec bisect lo hi iters =
+    if iters = 0 then (lo +. hi) /. 2.
+    else
+      let mid = (lo +. hi) /. 2. in
+      if cv_of_bias ~bias:mid ~levels < cv then bisect mid hi (iters - 1)
+      else bisect lo mid (iters - 1)
+  in
+  bisect 0.5 0.999 60

@@ -1,0 +1,36 @@
+(** The b-model: a biased multiplicative cascade that generates
+    self-similar, bursty time series (Wang et al., "Data Mining Meets
+    Performance Evaluation: Fast Algorithms for Modeling Bursty
+    Traffic").
+
+    Starting from the total volume over the whole period, the cascade
+    recursively splits each segment's volume between its two halves in
+    proportions [bias : 1 - bias], assigning the larger share to a
+    uniformly random side.  [bias = 0.5] yields a flat series;
+    increasing bias toward 1 increases burstiness at {e every}
+    time-scale, which is exactly the self-similar behaviour of the
+    paper's PKT/TCP/HTTP traces (Figure 2). *)
+
+val generate :
+  rng:Random.State.t -> bias:float -> levels:int -> total:float -> float array
+(** [generate ~rng ~bias ~levels ~total] returns [2^levels] nonnegative
+    values summing to [total].  Requires [0.5 <= bias < 1.0],
+    [0 <= levels <= 24] and [total >= 0]. *)
+
+val trace :
+  rng:Random.State.t ->
+  bias:float ->
+  levels:int ->
+  mean_rate:float ->
+  dt:float ->
+  Trace.t
+(** A trace of [2^levels] intervals of length [dt] whose rates average
+    [mean_rate]. *)
+
+val cv_of_bias : bias:float -> levels:int -> float
+(** Analytic coefficient of variation of a b-model series:
+    [sqrt ((2 (bias^2 + (1-bias)^2))^levels - 1)] — used to pick a bias
+    matching a target burstiness. *)
+
+val bias_for_cv : cv:float -> levels:int -> float
+(** Inverse of {!cv_of_bias} (bisection on [0.5, 0.999]). *)

@@ -1,0 +1,99 @@
+let constant ~n ~dt ~rate = Trace.create ~dt (Array.make n rate)
+
+(* Knuth's product method is fine for the small per-interval means used
+   here; fall back to a normal approximation for large means. *)
+let poisson_draw rng lambda =
+  if lambda <= 0. then 0
+  else if lambda < 30. then begin
+    let limit = exp (-.lambda) in
+    let count = ref 0 in
+    let p = ref (Random.State.float rng 1.) in
+    while !p > limit do
+      incr count;
+      p := !p *. Random.State.float rng 1.
+    done;
+    !count
+  end
+  else begin
+    let u1 = Random.State.float rng 1. and u2 = Random.State.float rng 1. in
+    let u1 = if u1 = 0. then epsilon_float else u1 in
+    let gauss = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+    max 0 (int_of_float (Float.round (lambda +. (sqrt lambda *. gauss))))
+  end
+
+let poisson_counts ~rng ~n ~dt ~mean_rate =
+  if mean_rate < 0. then invalid_arg "Generators.poisson_counts: negative rate";
+  let rates =
+    Array.init n (fun _ ->
+        float_of_int (poisson_draw rng (mean_rate *. dt)) /. dt)
+  in
+  Trace.create ~dt rates
+
+let sinusoid ~n ~dt ~mean_rate ~amplitude ~period =
+  if amplitude < 0. || amplitude > 1. then
+    invalid_arg "Generators.sinusoid: amplitude outside [0,1]";
+  if period <= 0. then invalid_arg "Generators.sinusoid: period <= 0";
+  let rates =
+    Array.init n (fun i ->
+        let t = (float_of_int i +. 0.5) *. dt in
+        mean_rate *. (1. +. (amplitude *. sin (2. *. Float.pi *. t /. period))))
+  in
+  Trace.create ~dt rates
+
+let flash_crowd ~rng ~n ~dt ~base_rate ~spike_prob ~spike_factor ~decay =
+  if base_rate < 0. then invalid_arg "Generators.flash_crowd: negative rate";
+  if spike_prob < 0. || spike_prob > 1. then
+    invalid_arg "Generators.flash_crowd: spike_prob outside [0,1]";
+  if spike_factor < 1. then
+    invalid_arg "Generators.flash_crowd: spike_factor < 1";
+  if decay < 0. || decay >= 1. then
+    invalid_arg "Generators.flash_crowd: decay outside [0,1)";
+  let boost = ref 0. in
+  let rates =
+    Array.init n (fun _ ->
+        if Random.State.float rng 1. < spike_prob then
+          boost := !boost +. ((spike_factor -. 1.) *. base_rate);
+        let rate = base_rate +. !boost in
+        boost := !boost *. decay;
+        rate)
+  in
+  Trace.create ~dt rates
+
+let poisson_arrivals ~rng ~trace =
+  let acc = ref [] in
+  let dt = trace.Trace.dt in
+  Array.iteri
+    (fun i rate ->
+      if rate > 0. then begin
+        let start = float_of_int i *. dt in
+        let t = ref start in
+        let finish = start +. dt in
+        let rec step () =
+          let u = Random.State.float rng 1. in
+          let u = if u = 0. then epsilon_float else u in
+          t := !t +. (-.log u /. rate);
+          if !t < finish then begin
+            acc := !t :: !acc;
+            step ()
+          end
+        in
+        step ()
+      end)
+    trace.Trace.rates;
+  List.rev !acc
+
+let deterministic_arrivals ~trace =
+  let acc = ref [] in
+  let dt = trace.Trace.dt in
+  Array.iteri
+    (fun i rate ->
+      let count = int_of_float (Float.round (rate *. dt)) in
+      if count > 0 then begin
+        let spacing = dt /. float_of_int count in
+        let start = float_of_int i *. dt in
+        for k = 0 to count - 1 do
+          acc := (start +. ((float_of_int k +. 0.5) *. spacing)) :: !acc
+        done
+      end)
+    trace.Trace.rates;
+  List.rev !acc

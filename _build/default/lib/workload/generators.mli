@@ -1,0 +1,39 @@
+(** Additional rate-trace generators used by the experiments: smooth and
+    bursty alternatives to the self-similar {!Bmodel} cascade. *)
+
+val constant : n:int -> dt:float -> rate:float -> Trace.t
+
+val poisson_counts :
+  rng:Random.State.t -> n:int -> dt:float -> mean_rate:float -> Trace.t
+(** Rates obtained by counting Poisson arrivals per interval: short-term
+    noise, no long-range dependence (Hurst ~ 0.5). *)
+
+val sinusoid :
+  n:int -> dt:float -> mean_rate:float -> amplitude:float -> period:float ->
+  Trace.t
+(** Deterministic diurnal-style oscillation:
+    [rate(t) = mean * (1 + amplitude * sin (2 pi t / period))]; requires
+    [0 <= amplitude <= 1]. *)
+
+val flash_crowd :
+  rng:Random.State.t ->
+  n:int ->
+  dt:float ->
+  base_rate:float ->
+  spike_prob:float ->
+  spike_factor:float ->
+  decay:float ->
+  Trace.t
+(** Baseline rate with random multiplicative spikes that decay
+    geometrically by [decay] per interval — the "flash crowd reacting to
+    breaking news" pattern of §1. *)
+
+val poisson_arrivals :
+  rng:Random.State.t -> trace:Trace.t -> float list
+(** Arrival timestamps over the trace duration, drawn from an
+    inhomogeneous Poisson process whose intensity is piecewise constant
+    at the trace's rates.  Ascending; drives the simulator sources. *)
+
+val deterministic_arrivals : trace:Trace.t -> float list
+(** Evenly spaced arrivals within each interval at the interval's rate —
+    useful for reproducible simulator tests. *)

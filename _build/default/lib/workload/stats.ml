@@ -1,0 +1,99 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty series")
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let covariance xs ys =
+  check_nonempty "covariance" xs;
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Stats.covariance: length mismatch";
+  let mx = mean xs and my = mean ys in
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. mx) *. (ys.(i) -. my))) xs;
+  !acc /. float_of_int (Array.length xs)
+
+let variance xs = covariance xs xs
+
+let std xs = sqrt (variance xs)
+
+let correlation xs ys =
+  let sx = std xs and sy = std ys in
+  if sx = 0. || sy = 0. then 0. else covariance xs ys /. (sx *. sy)
+
+let autocorrelation xs lag =
+  check_nonempty "autocorrelation" xs;
+  let n = Array.length xs in
+  if lag < 0 || lag >= n then invalid_arg "Stats.autocorrelation: bad lag";
+  if lag = 0 then 1.
+  else
+    let head = Array.sub xs 0 (n - lag) in
+    let tail = Array.sub xs lag (n - lag) in
+    correlation head tail
+
+let normalize xs =
+  let m = mean xs in
+  if m = 0. then Array.copy xs else Array.map (fun x -> x /. m) xs
+
+let coefficient_of_variation xs =
+  let m = mean xs in
+  if m = 0. then 0. else std xs /. m
+
+(* Rescaled range of one window. *)
+let rs_of_window xs =
+  let n = Array.length xs in
+  let m = mean xs in
+  let running = ref 0. and lo = ref 0. and hi = ref 0. in
+  Array.iter
+    (fun x ->
+      running := !running +. (x -. m);
+      if !running < !lo then lo := !running;
+      if !running > !hi then hi := !running)
+    xs;
+  let r = !hi -. !lo in
+  let s = std xs in
+  ignore n;
+  if s = 0. then None else Some (r /. s)
+
+let hurst_rs xs =
+  let n = Array.length xs in
+  if n < 32 then invalid_arg "Stats.hurst_rs: need at least 32 samples";
+  (* Dyadic window sizes from 8 up to n/4; average R/S over disjoint
+     windows of each size, then fit log(R/S) ~ H log(size). *)
+  let points = ref [] in
+  let size = ref 8 in
+  while !size <= n / 4 do
+    let w = !size in
+    let count = n / w in
+    let acc = ref 0. and used = ref 0 in
+    for i = 0 to count - 1 do
+      match rs_of_window (Array.sub xs (i * w) w) with
+      | Some rs ->
+        acc := !acc +. rs;
+        incr used
+      | None -> ()
+    done;
+    if !used > 0 then
+      points := (log (float_of_int w), log (!acc /. float_of_int !used)) :: !points;
+    size := !size * 2
+  done;
+  match !points with
+  | [] | [ _ ] -> 0.5
+  | pts ->
+    let xs' = Array.of_list (List.map fst pts) in
+    let ys' = Array.of_list (List.map snd pts) in
+    let vx = variance xs' in
+    if vx = 0. then 0.5 else covariance xs' ys' /. vx
+
+let percentile xs p =
+  check_nonempty "percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = p /. 100. *. float_of_int (n - 1) in
+  let i = int_of_float (floor pos) in
+  let frac = pos -. float_of_int i in
+  if i >= n - 1 then sorted.(n - 1)
+  else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))

@@ -1,0 +1,35 @@
+(** Basic statistics over float arrays: moments, correlation and a
+    rescaled-range (R/S) Hurst-exponent estimator used to check that the
+    synthetic traces are self-similar like the paper's real traces. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Population variance (divides by [n]). *)
+
+val std : float array -> float
+
+val covariance : float array -> float array -> float
+
+val correlation : float array -> float array -> float
+(** Pearson correlation; [0.] if either series is constant. *)
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation xs lag] for [0 <= lag < length xs]. *)
+
+val normalize : float array -> float array
+(** Scales a nonnegative series to mean 1; the identity on an all-zero
+    series. *)
+
+val coefficient_of_variation : float array -> float
+(** [std / mean]; the "standard deviation of the normalized rates" the
+    paper reports in Figure 2. *)
+
+val hurst_rs : float array -> float
+(** Rescaled-range estimate of the Hurst exponent: slope of
+    [log (R/S)] against [log window] over dyadic window sizes.  Around
+    0.5 for i.i.d. noise, substantially above 0.5 for self-similar
+    (long-range-dependent) series.  Requires at least 32 samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation. *)

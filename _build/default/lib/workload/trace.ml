@@ -1,0 +1,75 @@
+type t = {
+  dt : float;
+  rates : float array;
+}
+
+let create ~dt rates =
+  if dt <= 0. then invalid_arg "Trace.create: dt must be positive";
+  if Array.length rates = 0 then invalid_arg "Trace.create: empty trace";
+  Array.iter
+    (fun r -> if r < 0. then invalid_arg "Trace.create: negative rate")
+    rates;
+  { dt; rates = Array.copy rates }
+
+let length t = Array.length t.rates
+
+let duration t = t.dt *. float_of_int (length t)
+
+let rate_at t time =
+  if time < 0. then invalid_arg "Trace.rate_at: negative time";
+  let i = int_of_float (time /. t.dt) in
+  let i = min i (length t - 1) in
+  t.rates.(i)
+
+let mean_rate t = Stats.mean t.rates
+
+let cv t = Stats.coefficient_of_variation t.rates
+
+let normalize t = { t with rates = Stats.normalize t.rates }
+
+let scale factor t =
+  if factor < 0. then invalid_arg "Trace.scale: negative factor";
+  { t with rates = Array.map (fun r -> factor *. r) t.rates }
+
+let coarsen t k =
+  if k < 1 then invalid_arg "Trace.coarsen: k < 1";
+  let groups = length t / k in
+  if groups = 0 then invalid_arg "Trace.coarsen: trace shorter than k";
+  let rates =
+    Array.init groups (fun g ->
+        let acc = ref 0. in
+        for i = g * k to ((g + 1) * k) - 1 do
+          acc := !acc +. t.rates.(i)
+        done;
+        !acc /. float_of_int k)
+  in
+  { dt = t.dt *. float_of_int k; rates }
+
+let slice t pos len =
+  if pos < 0 || len < 1 || pos + len > length t then
+    invalid_arg "Trace.slice: out of range";
+  { t with rates = Array.sub t.rates pos len }
+
+let check_compatible name a b =
+  if a.dt <> b.dt then
+    invalid_arg (Printf.sprintf "Trace.%s: different sampling intervals" name)
+
+let add a b =
+  check_compatible "add" a b;
+  if length a <> length b then invalid_arg "Trace.add: different lengths";
+  { a with rates = Array.map2 ( +. ) a.rates b.rates }
+
+let concat a b =
+  check_compatible "concat" a b;
+  { a with rates = Array.append a.rates b.rates }
+
+let map_rates f t =
+  let rates = Array.map f t.rates in
+  Array.iter
+    (fun r -> if r < 0. then invalid_arg "Trace.map_rates: negative rate")
+    rates;
+  { t with rates }
+
+let pp_summary fmt t =
+  Format.fprintf fmt "trace(dt=%gs, n=%d, mean=%.3g tps, cv=%.3f)" t.dt
+    (length t) (mean_rate t) (cv t)

@@ -1,0 +1,56 @@
+(** Rate traces: a stream's arrival rate sampled at a fixed interval.
+
+    Values are rates in tuples/second; [dt] is the sampling interval in
+    seconds.  Traces drive both the feasible-set experiments (as
+    sequences of workload points) and the discrete-event simulator (as
+    time-varying source rates). *)
+
+type t = {
+  dt : float;  (** Sampling interval, seconds; positive. *)
+  rates : float array;  (** One rate per interval; nonnegative. *)
+}
+
+val create : dt:float -> float array -> t
+(** Validates positivity of [dt] and nonnegativity of rates. *)
+
+val length : t -> int
+
+val duration : t -> float
+(** [dt * length]. *)
+
+val rate_at : t -> float -> float
+(** [rate_at trace time] is the rate of the interval containing [time];
+    times past the end clamp to the last interval. *)
+
+val mean_rate : t -> float
+
+val cv : t -> float
+(** Coefficient of variation of the rates (Figure 2's burstiness
+    statistic). *)
+
+val normalize : t -> t
+(** Rescale to mean rate 1. *)
+
+val scale : float -> t -> t
+(** Multiply every rate by a factor. *)
+
+val coarsen : t -> int -> t
+(** [coarsen trace k] averages groups of [k] consecutive intervals,
+    producing a trace at time-scale [k * dt] (used to examine
+    self-similarity across time-scales).  Trailing partial groups are
+    dropped. *)
+
+val slice : t -> int -> int -> t
+(** [slice trace pos len]. *)
+
+val add : t -> t -> t
+(** Interval-wise sum of two traces with equal [dt] and length —
+    superimposing workloads (e.g. base load plus a spike train). *)
+
+val concat : t -> t -> t
+(** Play one trace after the other (equal [dt] required). *)
+
+val map_rates : (float -> float) -> t -> t
+(** Transform every rate (the result must stay nonnegative). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+let to_string trace =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (Printf.sprintf "# rodtrace dt=%.17g\n" trace.Trace.dt);
+  Array.iter
+    (fun rate -> Buffer.add_string buffer (Printf.sprintf "%.17g\n" rate))
+    trace.Trace.rates;
+  Buffer.contents buffer
+
+let of_string text =
+  match String.split_on_char '\n' text with
+  | header :: rest ->
+    let dt =
+      match String.split_on_char '=' (String.trim header) with
+      | [ prefix; value ] when String.trim prefix = "# rodtrace dt" -> (
+        match float_of_string_opt value with
+        | Some dt -> dt
+        | None -> failwith "Trace_io: bad dt value")
+      | _ -> failwith "Trace_io: expected header '# rodtrace dt=...'"
+    in
+    let rates =
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then None
+          else
+            match float_of_string_opt line with
+            | Some r -> Some r
+            | None -> failwith (Printf.sprintf "Trace_io: bad rate %S" line))
+        rest
+    in
+    Trace.create ~dt (Array.of_list rates)
+  | [] -> failwith "Trace_io: empty input"
+
+let save trace ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

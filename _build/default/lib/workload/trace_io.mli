@@ -1,0 +1,20 @@
+(** Trace files: a one-line header with the sampling interval followed
+    by one rate per line — trivially loadable into plotting tools and
+    round-trippable, so synthesized workloads can be pinned down and
+    reused across runs.
+
+    {v
+    # rodtrace dt=0.5
+    12.5
+    13.75
+    ...
+    v} *)
+
+val to_string : Trace.t -> string
+
+val of_string : string -> Trace.t
+(** @raise Failure on malformed input. *)
+
+val save : Trace.t -> path:string -> unit
+
+val load : path:string -> Trace.t

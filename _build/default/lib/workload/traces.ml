@@ -1,0 +1,23 @@
+type kind =
+  | Pkt
+  | Tcp
+  | Http
+
+let all = [ Pkt; Tcp; Http ]
+
+let name = function
+  | Pkt -> "PKT"
+  | Tcp -> "TCP"
+  | Http -> "HTTP"
+
+let target_cv = function
+  | Pkt -> 0.25
+  | Tcp -> 0.45
+  | Http -> 0.75
+
+let synthesize ?(levels = 10) ?(dt = 1.) ~rng kind =
+  let bias = Bmodel.bias_for_cv ~cv:(target_cv kind) ~levels in
+  Trace.normalize (Bmodel.trace ~rng ~bias ~levels ~mean_rate:1. ~dt)
+
+let synthesize_all ?levels ?dt ~rng () =
+  List.map (fun kind -> (kind, synthesize ?levels ?dt ~rng kind)) all

@@ -1,0 +1,30 @@
+(** Synthetic stand-ins for the three Internet Traffic Archive traces of
+    Figure 2 (a wide-area packet trace, a wide-area TCP connection trace
+    and an HTTP request trace).
+
+    The real traces are not redistributable, so we synthesise
+    self-similar series with the b-model cascade, calibrated so that
+    each trace's coefficient of variation (the "std" the paper annotates
+    in Figure 2) matches the figure's ordering PKT < TCP < HTTP and
+    approximate magnitudes.  All traces are normalized to mean rate 1
+    and can be rescaled with {!Trace.scale}. *)
+
+type kind =
+  | Pkt  (** Wide-area packet trace: mildest variation (cv ~ 0.25). *)
+  | Tcp  (** Wide-area TCP connection trace (cv ~ 0.45). *)
+  | Http  (** HTTP request trace: burstiest (cv ~ 0.75). *)
+
+val all : kind list
+
+val name : kind -> string
+
+val target_cv : kind -> float
+(** The calibration target for each trace's coefficient of variation. *)
+
+val synthesize :
+  ?levels:int -> ?dt:float -> rng:Random.State.t -> kind -> Trace.t
+(** A normalized (mean 1) self-similar trace of [2^levels] intervals
+    (default [levels = 10], [dt = 1.]). *)
+
+val synthesize_all :
+  ?levels:int -> ?dt:float -> rng:Random.State.t -> unit -> (kind * Trace.t) list

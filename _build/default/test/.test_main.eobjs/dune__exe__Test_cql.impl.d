@@ -1,0 +1,1 @@
+test/test_cql.ml: Alcotest Array Cql Format List Option Printf QCheck QCheck_alcotest Random Rod Spe String Workload

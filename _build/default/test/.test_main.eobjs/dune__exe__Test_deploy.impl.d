@@ -1,0 +1,1 @@
+test/test_deploy.ml: Alcotest Array Deploy Filename Fun Linalg List Printf Query Rod Spe String Sys Unix

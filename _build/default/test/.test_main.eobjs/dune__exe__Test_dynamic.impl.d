@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Dsim Linalg Option Printf Query Random Rod Spe Workload

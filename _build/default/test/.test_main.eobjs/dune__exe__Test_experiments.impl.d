@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Buffer Experiments Filename Format Fun List Printf Query Random Rod String Sys Unix

@@ -1,0 +1,1 @@
+test/test_feasible.ml: Alcotest Array Feasible Float Linalg List Printf QCheck QCheck_alcotest Query Random

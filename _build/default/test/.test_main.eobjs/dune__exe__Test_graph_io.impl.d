@@ -1,0 +1,1 @@
+test/test_graph_io.ml: Alcotest Filename Fun Linalg List QCheck QCheck_alcotest Query Random Sys

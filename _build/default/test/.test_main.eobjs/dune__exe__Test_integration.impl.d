@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dsim Feasible Linalg List Printf QCheck QCheck_alcotest Query Random Rod Workload

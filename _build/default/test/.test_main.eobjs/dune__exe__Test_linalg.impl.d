@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Linalg QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Feasible Linalg List Option Printf QCheck QCheck_alcotest Query Random Rod String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dsim Linalg List Printf QCheck QCheck_alcotest Query Random Rod Workload

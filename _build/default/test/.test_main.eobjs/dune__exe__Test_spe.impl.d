@@ -1,0 +1,1 @@
+test/test_spe.ml: Alcotest Array Linalg List Printf QCheck QCheck_alcotest Query Random Rod Spe Workload

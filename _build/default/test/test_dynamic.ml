@@ -1,0 +1,288 @@
+(* Tests of the calibration loop and the dynamic-migration machinery
+   added on top of the base engine. *)
+
+module Vec = Linalg.Vec
+module Trace = Workload.Trace
+module Generators = Workload.Generators
+module Engine = Dsim.Engine
+module Sim_metrics = Dsim.Sim_metrics
+module Calibrate = Dsim.Calibrate
+
+let approx eps = Alcotest.float eps
+
+(* --- calibration --- *)
+
+let test_calibrate_recovers_parameters () =
+  let graph =
+    Query.Graph.create ~n_inputs:1
+      ~ops:
+        [
+          (Query.Op.filter ~cost:2e-3 ~sel:0.5 (), [ Query.Graph.Sys_input 0 ]);
+          (Query.Op.map ~cost:1e-3 (), [ Query.Graph.Op_output 0 ]);
+        ]
+      ()
+  in
+  let estimates =
+    Calibrate.measure ~seed:3 ~duration:60. ~graph ~n_nodes:2
+      ~rates:(Vec.of_list [ 100. ])
+      ()
+  in
+  Alcotest.check (approx 1e-6) "cost of op 0 exact" 2e-3 estimates.(0).Calibrate.costs.(0);
+  Alcotest.check (approx 0.05) "selectivity of op 0 near 0.5" 0.5
+    estimates.(0).Calibrate.selectivities.(0);
+  Alcotest.check (approx 1e-6) "cost of op 1 exact" 1e-3 estimates.(1).Calibrate.costs.(0);
+  Alcotest.(check bool) "support recorded" true (estimates.(0).Calibrate.support > 1000)
+
+let test_calibrate_join_parameters () =
+  let graph =
+    Query.Graph.create ~n_inputs:2
+      ~ops:
+        [
+          ( Query.Op.join ~window:0.4 ~cost_per_pair:5e-5 ~sel:0.3 (),
+            [ Query.Graph.Sys_input 0; Query.Graph.Sys_input 1 ] );
+        ]
+      ()
+  in
+  let estimates =
+    Calibrate.measure ~seed:5 ~duration:40. ~graph ~n_nodes:1
+      ~rates:(Vec.of_list [ 30.; 30. ])
+      ()
+  in
+  let e = estimates.(0) in
+  Alcotest.check (approx 1e-9) "cost per pair exact" 5e-5
+    (Option.get e.Calibrate.cost_per_pair);
+  Alcotest.check (approx 0.05) "pair selectivity near 0.3" 0.3
+    (Option.get e.Calibrate.sel_per_pair);
+  Alcotest.(check bool) "pairs observed" true (e.Calibrate.support > 1000)
+
+let test_estimated_graph_roundtrip () =
+  let rng = Random.State.make [| 17 |] in
+  let graph = Query.Randgraph.generate_trees ~rng ~n_inputs:2 ~ops_per_tree:6 in
+  let problem_true =
+    Rod.Problem.of_graph graph ~caps:(Rod.Problem.homogeneous_caps ~n:3 ~cap:1.)
+  in
+  let l = Rod.Problem.total_coefficients problem_true in
+  let c_total = Rod.Problem.total_capacity problem_true in
+  let rates = Vec.init 2 (fun k -> 0.4 *. c_total /. (2. *. l.(k))) in
+  let estimates = Calibrate.measure ~seed:9 ~duration:40. ~graph ~n_nodes:3 ~rates () in
+  let err = Calibrate.max_relative_error graph estimates in
+  Alcotest.(check bool)
+    (Printf.sprintf "max parameter error %.1f%% below 15%%" (100. *. err))
+    true (err < 0.15);
+  (* The estimated graph has the same structure and a close load model. *)
+  let estimated = Calibrate.estimated_graph graph estimates in
+  Alcotest.(check int) "same op count" (Query.Graph.n_ops graph)
+    (Query.Graph.n_ops estimated);
+  let l_est =
+    Rod.Problem.total_coefficients
+      (Rod.Problem.of_graph estimated
+         ~caps:(Rod.Problem.homogeneous_caps ~n:3 ~cap:1.))
+  in
+  for k = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "column %d within 15%%" k)
+      true
+      (abs_float (l_est.(k) -. l.(k)) /. l.(k) < 0.15)
+  done
+
+let test_calibrate_keeps_unobserved_params () =
+  (* Zero input rate: nothing flows, estimates fall back to configured
+     values. *)
+  let graph = Query.Builder.chain ~n_ops:2 ~cost:3e-3 ~sel:0.7 () in
+  let estimates =
+    Calibrate.measure ~seed:1 ~duration:5. ~graph ~n_nodes:1
+      ~rates:(Vec.of_list [ 0. ])
+      ()
+  in
+  Alcotest.check (approx 1e-12) "cost kept" 3e-3 estimates.(0).Calibrate.costs.(0);
+  Alcotest.check (approx 1e-12) "selectivity kept" 0.7
+    estimates.(0).Calibrate.selectivities.(0);
+  Alcotest.(check int) "no support" 0 estimates.(0).Calibrate.support
+
+(* --- dynamic migration --- *)
+
+let run_with_dynamic ~dynamic ~rate ~duration graph assignment caps =
+  let arrivals =
+    Array.map
+      (fun r ->
+        Generators.deterministic_arrivals
+          ~trace:(Trace.create ~dt:duration [| r |]))
+      rate
+  in
+  Engine.run ~graph ~assignment ~caps ~arrivals
+    ~config:{ Engine.default_config with warmup = 0. }
+    ?dynamic ~until:duration ()
+
+let test_balancer_fixes_skewed_plan () =
+  (* Two independent streams, all operators piled on node 0: the
+     balancer must move work to node 1 and the run must end balanced. *)
+  let graph =
+    Query.Graph.create ~n_inputs:2
+      ~ops:
+        [
+          (Query.Op.map ~name:"a" ~cost:4e-3 (), [ Query.Graph.Sys_input 0 ]);
+          (Query.Op.map ~name:"b" ~cost:4e-3 (), [ Query.Graph.Sys_input 1 ]);
+        ]
+      ()
+  in
+  let caps = Vec.of_list [ 1.; 1. ] in
+  let skewed = [| 0; 0 |] in
+  let rate = [| 100.; 100. |] in
+  let static = run_with_dynamic ~dynamic:None ~rate ~duration:30. graph skewed caps in
+  let dynamic =
+    run_with_dynamic
+      ~dynamic:(Some (Dsim.Dynamic.config ~interval:1. ~migration_delay:0.1 ()))
+      ~rate ~duration:30. graph skewed caps
+  in
+  Alcotest.(check int) "static plan never migrates" 0
+    static.Sim_metrics.migrations;
+  Alcotest.(check bool) "balancer migrated at least once" true
+    (dynamic.Sim_metrics.migrations >= 1);
+  (* Static: node 0 carries 0.8 utilization, node 1 idle.  Dynamic:
+     roughly 0.4 / 0.4 after the first control period. *)
+  Alcotest.check (approx 0.02) "static node 1 idle" 0.
+    static.Sim_metrics.utilization.(1);
+  Alcotest.(check bool)
+    (Printf.sprintf "dynamic run balanced (node1 util %.2f)"
+       dynamic.Sim_metrics.utilization.(1))
+    true
+    (dynamic.Sim_metrics.utilization.(1) > 0.3)
+
+let test_migration_pause_queues_work () =
+  (* A single overloaded-into-migration operator: during the pause no
+     tuple is lost — conservation still holds at the end. *)
+  let graph = Query.Builder.chain ~n_ops:1 ~cost:6e-3 ~sel:1. () in
+  let caps = Vec.of_list [ 1.; 1. ] in
+  let dynamic =
+    Some
+      {
+        Engine.interval = 2.;
+        migration_delay = 0.5;
+        decide =
+          (fun ~time ~utilization:_ ~op_cpu:_ ~assignment ->
+            (* Force a ping-pong migration every tick. *)
+            ignore time;
+            [ (0, 1 - assignment.(0)) ]);
+      }
+  in
+  let m = run_with_dynamic ~dynamic ~rate:[| 50. |] ~duration:20. graph [| 0 |] caps in
+  Alcotest.(check bool) "several migrations happened" true
+    (m.Sim_metrics.migrations >= 5);
+  Alcotest.(check int) "conservation with migrations"
+    m.Sim_metrics.arrivals
+    (m.Sim_metrics.items_processed + m.Sim_metrics.backlog);
+  (* Demand is 30% but migration pauses add delay: latency must exceed
+     the no-migration service time, yet the system remains stable. *)
+  Alcotest.(check bool) "stable despite pauses" true
+    (m.Sim_metrics.backlog < 100)
+
+let test_no_migration_below_threshold () =
+  let graph = Query.Builder.chain ~n_ops:2 ~cost:1e-3 ~sel:1. () in
+  let caps = Vec.of_list [ 1.; 1. ] in
+  let dynamic = Some (Dsim.Dynamic.config ~imbalance_threshold:0.5 ()) in
+  let m =
+    run_with_dynamic ~dynamic ~rate:[| 100. |] ~duration:10. graph [| 0; 1 |] caps
+  in
+  Alcotest.(check int) "balanced plan stays put" 0 m.Sim_metrics.migrations
+
+let test_balance_controller_pure () =
+  let moves =
+    Dsim.Dynamic.balance ~imbalance_threshold:0.1 ~max_moves_per_tick:2 ()
+      ~time:0.
+      ~utilization:[| 0.9; 0.1 |]
+      ~op_cpu:[| 5.; 1.; 3. |]
+      ~assignment:[| 0; 1; 0 |]
+  in
+  Alcotest.(check (list (pair int int))) "hottest ops move to coolest node"
+    [ (0, 1); (2, 1) ] moves;
+  let quiet =
+    Dsim.Dynamic.balance ()
+      ~time:0.
+      ~utilization:[| 0.5; 0.45 |]
+      ~op_cpu:[| 1. |]
+      ~assignment:[| 0 |]
+  in
+  Alcotest.(check (list (pair int int))) "no move under threshold" [] quiet
+
+let test_dynamic_with_shedding () =
+  (* Overloaded node with both a migration controller and shedding:
+     work must be conserved modulo drops, and the balancer must still
+     spread the load. *)
+  let graph =
+    Query.Graph.create ~n_inputs:2
+      ~ops:
+        [
+          (Query.Op.map ~name:"a" ~cost:8e-3 (), [ Query.Graph.Sys_input 0 ]);
+          (Query.Op.map ~name:"b" ~cost:8e-3 (), [ Query.Graph.Sys_input 1 ]);
+        ]
+      ()
+  in
+  let caps = Vec.of_list [ 1.; 1. ] in
+  let arrivals =
+    Array.make 2
+      (Generators.deterministic_arrivals
+         ~trace:(Trace.create ~dt:20. [| 100. |]))
+  in
+  let m =
+    Engine.run ~graph ~assignment:[| 0; 0 |] ~caps ~arrivals
+      ~config:{ Engine.default_config with shed_above = Some 50 }
+      ~dynamic:(Dsim.Dynamic.config ~interval:1. ~migration_delay:0.1 ())
+      ~until:20. ()
+  in
+  Alcotest.(check bool) "migrated" true (m.Sim_metrics.migrations >= 1);
+  Alcotest.(check bool) "shed under overload" true (m.Sim_metrics.dropped > 0);
+  Alcotest.(check int) "conservation with drops"
+    m.Sim_metrics.arrivals
+    (m.Sim_metrics.items_processed + m.Sim_metrics.backlog
+   + m.Sim_metrics.dropped);
+  (* After the migration both nodes should be pulling weight. *)
+  Alcotest.(check bool) "second node active" true
+    (m.Sim_metrics.utilization.(1) > 0.3)
+
+let test_dist_executor_overload_backlog () =
+  let network =
+    Spe.Network.create ~n_inputs:1
+      ~ops:[ (Spe.Sop.filter (fun _ -> true), [ Query.Graph.Sys_input 0 ]) ]
+      ()
+  in
+  let inputs =
+    [| Spe.Datagen.ticks ~rate:100. ~duration:10. (fun ts ->
+           Spe.Tuple.make ~ts [ ("x", Spe.Value.Int 1) ]) |]
+  in
+  let result =
+    Spe.Dist_executor.run ~network ~assignment:[| 0 |]
+      ~caps:(Vec.of_list [ 1. ])
+      ~cost:(fun _ _ -> 2e-2)
+      ~inputs ~until:10. ()
+  in
+  (* Demand 2x capacity for 10 s: about half of 1000 tuples queued. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "semantic engine backlogs too (%d)"
+       result.Spe.Dist_executor.backlog)
+    true
+    (abs (result.Spe.Dist_executor.backlog - 500) < 60);
+  Alcotest.(check bool) "saturated" true
+    (result.Spe.Dist_executor.utilization.(0) > 0.99)
+
+let suite =
+  [
+    Alcotest.test_case "calibrate recovers parameters" `Quick
+      test_calibrate_recovers_parameters;
+    Alcotest.test_case "calibrate join parameters" `Quick
+      test_calibrate_join_parameters;
+    Alcotest.test_case "estimated graph roundtrip" `Quick
+      test_estimated_graph_roundtrip;
+    Alcotest.test_case "calibrate keeps unobserved params" `Quick
+      test_calibrate_keeps_unobserved_params;
+    Alcotest.test_case "balancer fixes skewed plan" `Quick
+      test_balancer_fixes_skewed_plan;
+    Alcotest.test_case "migration pause queues work" `Quick
+      test_migration_pause_queues_work;
+    Alcotest.test_case "no migration below threshold" `Quick
+      test_no_migration_below_threshold;
+    Alcotest.test_case "balance controller pure" `Quick
+      test_balance_controller_pure;
+    Alcotest.test_case "dynamic with shedding" `Quick test_dynamic_with_shedding;
+    Alcotest.test_case "dist executor overload" `Quick
+      test_dist_executor_overload_backlog;
+  ]

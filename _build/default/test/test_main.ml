@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "rod"
+    [
+      ("linalg", Test_linalg.suite);
+      ("query", Test_query.suite);
+      ("workload", Test_workload.suite);
+      ("feasible", Test_feasible.suite);
+      ("rod", Test_rod.suite);
+      ("baselines", Test_baselines.suite);
+      ("sim", Test_sim.suite);
+      ("integration", Test_integration.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("graph_io", Test_graph_io.suite);
+      ("spe", Test_spe.suite);
+      ("experiments", Test_experiments.suite);
+      ("cql", Test_cql.suite);
+      ("deploy", Test_deploy.suite);
+    ]
