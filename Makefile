@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean
+.PHONY: all build test bench examples clean check bench-quick
 
 all: build
 
@@ -8,11 +8,19 @@ build:
 test:
 	dune runtest
 
+# The tier-1 gate: formatting (dune files) + build + full test suite.
+check:
+	dune build @fmt
+	dune build @all
+	dune runtest
+
 bench:
 	dune exec bench/main.exe
 
+# Micro-benchmarks only, small quota; writes BENCH_rod.json next to the
+# plain-text table so the perf trajectory across PRs stays diffable.
 bench-quick:
-	dune exec bench/main.exe -- --quick
+	dune exec bench/main.exe -- --quick --micro-only
 
 examples:
 	dune exec examples/quickstart.exe

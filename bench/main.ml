@@ -5,10 +5,14 @@
    printed as plain-text tables.
 
    Part 2 runs Bechamel micro-benchmarks of the placement algorithms and
-   the supporting machinery, one Test.make per measured operation.
+   the supporting machinery, one Test.make per measured operation.  The
+   results are printed as a table and also written to BENCH_rod.json
+   (name -> ns/run, r^2) so the perf trajectory across PRs is diffable.
 
-   Flags: --quick (smaller sweeps), --only <id> (a single experiment),
-   --list (show experiment ids), --no-micro / --micro-only. *)
+   Flags: --quick (smaller sweeps), --only <id> (a single experiment;
+   with --micro-only, a substring filter on micro benchmark names),
+   --list (show experiment ids), --no-micro / --micro-only,
+   --json <path> (micro results destination, default BENCH_rod.json). *)
 
 module Problem = Rod.Problem
 module Plan = Rod.Plan
@@ -23,6 +27,13 @@ let flag_value flag =
         result := Some Sys.argv.(i + 1))
     Sys.argv;
   !result
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
 
 (* --- part 1: paper artifacts --- *)
 
@@ -58,7 +69,7 @@ let fixture ~m ~d ~n_nodes =
   in
   (graph, problem)
 
-let micro_tests () =
+let micro_tests ?only () =
   let open Bechamel in
   let graph100, problem100 = fixture ~m:100 ~d:5 ~n_nodes:10 in
   let _, problem200 = fixture ~m:200 ~d:5 ~n_nodes:10 in
@@ -74,7 +85,14 @@ let micro_tests () =
   let _, small_problem = fixture ~m:8 ~d:2 ~n_nodes:2 in
   let sim_graph = Query.Builder.chain ~n_ops:3 ~cost:1e-4 ~sel:1. () in
   let sim_trace = Workload.Trace.create ~dt:1. [| 500. |] in
+  let keep test =
+    match only with
+    | None -> true
+    | Some needle ->
+      contains_substring ("rod/" ^ Test.name test) needle
+  in
   Test.make_grouped ~name:"rod"
+    (List.filter keep
     [
       Test.make ~name:"place/ROD-m100"
         (Staged.stage (fun () -> Rod.Rod_algorithm.place problem100));
@@ -152,9 +170,31 @@ let micro_tests () =
            (let _, p = fixture ~m:30 ~d:3 ~n_nodes:4 in
             let a = Rod.Rod_algorithm.place p in
             fun () -> Rod.Failure.mean_survival ~samples:512 p ~assignment:a));
-    ]
+    ])
 
-let run_micro ~quick fmt =
+(* Machine-readable twin of the plain-text table, one object per
+   benchmark; NaN estimates become null (JSON has no NaN). *)
+let write_json ~path ~quick rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v in
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"schema\": \"rod-microbench/1\",\n";
+      Printf.fprintf oc "  \"quick\": %b,\n" quick;
+      Printf.fprintf oc "  \"domains\": %d,\n"
+        (Parallel.Pool.ways (Parallel.Pool.global ()));
+      Printf.fprintf oc "  \"results\": {\n";
+      List.iteri
+        (fun idx (name, ns, r2) ->
+          Printf.fprintf oc "    %S: { \"ns_per_run\": %s, \"r_square\": %s }%s\n"
+            name (num ns) (num r2)
+            (if idx = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  }\n}\n")
+
+let run_micro ~quick ~only ~json fmt =
   let open Bechamel in
   Format.fprintf fmt
     "@.==================@.= Microbenchmarks =@.==================@.";
@@ -164,7 +204,7 @@ let run_micro ~quick fmt =
       ~stabilize:true ()
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let raw = Benchmark.all cfg [ instance ] (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] (micro_tests ?only ()) in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -184,18 +224,24 @@ let run_micro ~quick fmt =
       results []
     |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
   in
-  Format.fprintf fmt "%-34s %14s %8s@." "benchmark" "time/run" "r^2";
-  List.iter
-    (fun (name, ns, r2) ->
-      let pretty =
-        if Float.is_nan ns then "n/a"
-        else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
-        else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
-        else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
-        else Printf.sprintf "%.1f ns" ns
-      in
-      Format.fprintf fmt "%-34s %14s %8.4f@." name pretty r2)
-    rows
+  if rows = [] then
+    Format.fprintf fmt "no micro benchmark matches the --only filter@."
+  else begin
+    Format.fprintf fmt "%-34s %14s %8s@." "benchmark" "time/run" "r^2";
+    List.iter
+      (fun (name, ns, r2) ->
+        let pretty =
+          if Float.is_nan ns then "n/a"
+          else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+          else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+          else Printf.sprintf "%.1f ns" ns
+        in
+        Format.fprintf fmt "%-34s %14s %8.4f@." name pretty r2)
+      rows;
+    write_json ~path:json ~quick rows;
+    Format.fprintf fmt "[micro results written to %s]@." json
+  end
 
 let () =
   let quick = has_flag "--quick" in
@@ -213,6 +259,15 @@ let () =
     Experiments.Report.set_csv_dir (Some dir)
   | None -> ());
   let only = flag_value "--only" in
-  if not (has_flag "--micro-only") then run_experiments ~quick ~only fmt;
-  if (not (has_flag "--no-micro")) && only = None then run_micro ~quick fmt;
+  let micro_only = has_flag "--micro-only" in
+  let json =
+    match flag_value "--json" with Some p -> p | None -> "BENCH_rod.json"
+  in
+  if not micro_only then run_experiments ~quick ~only fmt;
+  (* Micros run by default (no --only, no --no-micro) and always under
+     --micro-only, where --only narrows by benchmark-name substring
+     instead of selecting an experiment. *)
+  let micro_filter = if micro_only then only else None in
+  if micro_only || ((not (has_flag "--no-micro")) && only = None) then
+    run_micro ~quick ~only:micro_filter ~json fmt;
   Format.pp_print_flush fmt ()

@@ -1,4 +1,6 @@
 module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Pool = Parallel.Pool
 
 type outcome = {
   assignment : int array;
@@ -9,9 +11,13 @@ type outcome = {
 
 (* Shared-sample scoring state, maintained incrementally: per-node,
    per-sample accumulated load and a per-sample count of capacity
-   violations (feasible iff zero). *)
+   violations (feasible iff zero).  The sample dimension is sharded
+   across the pool: per-sample state lines are touched by exactly one
+   chunk, and the feasible count is reduced from per-chunk integer
+   deltas, so every pool size computes the same scores. *)
 type scorer = {
   samples : int;
+  pool : Pool.t;
   loads : float array array;  (* op -> sample -> load contribution *)
   node_load : float array array;  (* node -> sample *)
   violations : int array;
@@ -19,71 +25,93 @@ type scorer = {
   mutable feasible : int;
 }
 
-let make_scorer problem assignment samples =
+let make_scorer ?pool problem assignment samples =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
   let n = Problem.n_nodes problem in
+  let m = Problem.n_ops problem in
   let l = Problem.total_coefficients problem in
   let c_total = Problem.total_capacity problem in
   let dim = Problem.dim problem in
-  let points =
-    Array.init samples (fun s ->
-        Feasible.Simplex.sample_ideal ~l ~c_total
-          ~cube_point:(Feasible.Halton.point ~dim s)
-          ())
-  in
-  let loads =
-    Array.init (Problem.n_ops problem) (fun j ->
-        let lo_j = Problem.op_load problem j in
-        Array.map (fun r -> Vec.dot lo_j r) points)
-  in
+  let points = Array.make samples [||] in
+  Pool.parallel_for pool ~n:samples (fun lo hi ->
+      let cube = Array.make dim 0. in
+      for s = lo to hi - 1 do
+        let r = Array.make dim 0. in
+        Feasible.Halton.point_into cube s;
+        Feasible.Simplex.sample_ideal_into ~l ~c_total ~cube_point:cube
+          ~scratch:cube r;
+        points.(s) <- r
+      done);
+  let loads = Array.make m [||] in
+  Pool.parallel_for pool ~n:m (fun lo hi ->
+      for j = lo to hi - 1 do
+        loads.(j) <-
+          Array.init samples (fun s -> Mat.dot_rows problem.Problem.lo j points s)
+      done);
   let node_load = Array.init n (fun _ -> Array.make samples 0.) in
-  Array.iteri
-    (fun j node ->
-      let row = node_load.(node) and contrib = loads.(j) in
-      for s = 0 to samples - 1 do
-        row.(s) <- row.(s) +. contrib.(s)
-      done)
-    assignment;
   let caps = problem.Problem.caps in
   let violations = Array.make samples 0 in
-  let feasible = ref 0 in
-  for s = 0 to samples - 1 do
-    for i = 0 to n - 1 do
-      if node_load.(i).(s) > caps.(i) then violations.(s) <- violations.(s) + 1
-    done;
-    if violations.(s) = 0 then incr feasible
-  done;
-  { samples; loads; node_load; violations; caps; feasible = !feasible }
+  let feasible =
+    Pool.map_reduce pool ~n:samples ~init:0 ~combine:( + ) ~map:(fun lo hi ->
+        Array.iteri
+          (fun j node ->
+            let row = node_load.(node) and contrib = loads.(j) in
+            for s = lo to hi - 1 do
+              row.(s) <- row.(s) +. contrib.(s)
+            done)
+          assignment;
+        let feasible = ref 0 in
+        for s = lo to hi - 1 do
+          for i = 0 to n - 1 do
+            if node_load.(i).(s) > caps.(i) then
+              violations.(s) <- violations.(s) + 1
+          done;
+          if violations.(s) = 0 then incr feasible
+        done;
+        !feasible)
+  in
+  { samples; pool; loads; node_load; violations; caps; feasible }
 
 (* Apply op j's contribution to node i with the given sign, keeping the
-   violation counters and feasible count consistent. *)
+   violation counters and feasible count consistent.  Chunks touch
+   disjoint sample ranges; the feasible delta is an exact integer sum,
+   so the parallel result is identical to the sequential one. *)
 let shift scorer j i sign =
   let row = scorer.node_load.(i) and contrib = scorer.loads.(j) in
   let cap = scorer.caps.(i) in
-  for s = 0 to scorer.samples - 1 do
-    let before = row.(s) in
-    let after = before +. (sign *. contrib.(s)) in
-    row.(s) <- after;
-    if before <= cap && after > cap then begin
-      if scorer.violations.(s) = 0 then scorer.feasible <- scorer.feasible - 1;
-      scorer.violations.(s) <- scorer.violations.(s) + 1
-    end
-    else if before > cap && after <= cap then begin
-      scorer.violations.(s) <- scorer.violations.(s) - 1;
-      if scorer.violations.(s) = 0 then scorer.feasible <- scorer.feasible + 1
-    end
-  done
+  let violations = scorer.violations in
+  let delta =
+    Pool.map_reduce scorer.pool ~n:scorer.samples ~init:0 ~combine:( + )
+      ~map:(fun lo hi ->
+        let delta = ref 0 in
+        for s = lo to hi - 1 do
+          let before = row.(s) in
+          let after = before +. (sign *. contrib.(s)) in
+          row.(s) <- after;
+          if before <= cap && after > cap then begin
+            if violations.(s) = 0 then decr delta;
+            violations.(s) <- violations.(s) + 1
+          end
+          else if before > cap && after <= cap then begin
+            violations.(s) <- violations.(s) - 1;
+            if violations.(s) = 0 then incr delta
+          end
+        done;
+        !delta)
+  in
+  scorer.feasible <- scorer.feasible + delta
 
 let move scorer j ~from_node ~to_node =
   shift scorer j from_node (-1.);
   shift scorer j to_node 1.
 
-let improve ?(samples = 2048) ?(max_passes = 20) problem assignment =
+let improve ?pool ?(samples = 2048) ?(max_passes = 20) problem assignment =
   let m = Problem.n_ops problem and n = Problem.n_nodes problem in
   if Array.length assignment <> m then
     invalid_arg "Local_search.improve: assignment length";
   if max_passes < 1 then invalid_arg "Local_search.improve: max_passes < 1";
   let assignment = Array.copy assignment in
-  let scorer = make_scorer problem assignment samples in
+  let scorer = make_scorer ?pool problem assignment samples in
   let moves = ref 0 in
   let passes = ref 0 in
   let improved = ref true in
@@ -155,5 +183,5 @@ let improve ?(samples = 2048) ?(max_passes = 20) problem assignment =
     passes = !passes;
   }
 
-let rod_polished ?samples ?max_passes problem =
-  improve ?samples ?max_passes problem (Rod_algorithm.place problem)
+let rod_polished ?pool ?samples ?max_passes problem =
+  improve ?pool ?samples ?max_passes problem (Rod_algorithm.place problem)

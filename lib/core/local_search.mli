@@ -23,6 +23,7 @@ type outcome = {
 }
 
 val improve :
+  ?pool:Parallel.Pool.t ->
   ?samples:int ->
   ?max_passes:int ->
   Problem.t ->
@@ -30,8 +31,16 @@ val improve :
   outcome
 (** First-improvement hill climbing (defaults: 2048 samples, at most 20
     passes).  The result's ratio is measured on the same sample as
-    {!Optimal.ratio_of_assignment}, so values are directly comparable. *)
+    {!Optimal.ratio_of_assignment}, so values are directly comparable.
+    The scorer's sample dimension is sharded across [pool] (default
+    {!Parallel.Pool.global}); move acceptance stays sequential and the
+    per-chunk reductions are exact, so the outcome — assignment, ratio,
+    move and pass counts — is identical for every pool size. *)
 
 val rod_polished :
-  ?samples:int -> ?max_passes:int -> Problem.t -> outcome
+  ?pool:Parallel.Pool.t ->
+  ?samples:int ->
+  ?max_passes:int ->
+  Problem.t ->
+  outcome
 (** ROD followed by {!improve}. *)

@@ -1,4 +1,5 @@
 module Vec = Linalg.Vec
+module Pool = Parallel.Pool
 
 type result = {
   assignment : int array;
@@ -20,8 +21,8 @@ let sample_points problem samples =
 (* Per-operator, per-sample load contributions. *)
 let op_sample_loads problem points =
   Array.init (Problem.n_ops problem) (fun j ->
-      let lo_j = Problem.op_load problem j in
-      Array.map (fun r -> Vec.dot lo_j r) points)
+      Array.init (Array.length points) (fun s ->
+          Linalg.Mat.dot_rows problem.Problem.lo j points s))
 
 let ratio_of_assignment ?(samples = 2048) problem assignment =
   let m = Problem.n_ops problem in
@@ -32,21 +33,11 @@ let ratio_of_assignment ?(samples = 2048) problem assignment =
   let ln = Plan.node_loads plan in
   Feasible.Volume.ratio_of_points ~ln ~caps:problem.Problem.caps ~points
 
-let search ?(samples = 2048) ?(max_assignments = 1 lsl 22) problem =
-  let n = Problem.n_nodes problem and m = Problem.n_ops problem in
-  let space = search_space ~n_nodes:n ~n_ops:m in
-  let homogeneous =
-    Vec.for_all (fun c -> c = problem.Problem.caps.(0)) problem.Problem.caps
-  in
-  let effective = if homogeneous then space /. float_of_int n else space in
-  if effective > float_of_int max_assignments then
-    invalid_arg
-      (Printf.sprintf
-         "Optimal.search: %.3g assignments exceed the guard of %d" effective
-         max_assignments);
-  let points = sample_points problem samples in
-  let loads = op_sample_loads problem points in
-  let caps = problem.Problem.caps in
+(* Exhaustive walk of one assignment subtree: every operator below
+   [depth] is pinned by [prefix], the rest are enumerated depth-first.
+   Each subtree carries its own accumulator state, so subtrees are
+   independent and can run on separate domains. *)
+let explore_subtree ~n ~m ~samples ~loads ~caps ~limit ~prefix ~depth =
   (* node_load.(i).(s): accumulated load of node i at sample s.
      violations.(s): number of (node, sample) capacity breaches, so a
      sample is feasible iff its counter is zero. *)
@@ -66,6 +57,11 @@ let search ?(samples = 2048) ?(max_assignments = 1 lsl 22) problem =
       else if before > cap && after <= cap then violations.(s) <- violations.(s) - 1
     done
   in
+  Array.iteri
+    (fun j i ->
+      assignment.(j) <- i;
+      apply j i 1.)
+    prefix;
   let leaf () =
     incr explored;
     let feasible = ref 0 in
@@ -78,15 +74,69 @@ let search ?(samples = 2048) ?(max_assignments = 1 lsl 22) problem =
   in
   let rec visit j =
     if j = m then leaf ()
-    else begin
-      let limit = if j = 0 && homogeneous then 1 else n in
-      for i = 0 to limit - 1 do
+    else
+      for i = 0 to limit j - 1 do
         assignment.(j) <- i;
         apply j i 1.;
         visit (j + 1);
         apply j i (-1.)
       done
-    end
   in
-  visit 0;
-  { !best with explored = !explored }
+  visit depth;
+  (!best, !explored)
+
+let search ?(samples = 2048) ?(max_assignments = 1 lsl 22) ?pool problem =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  let n = Problem.n_nodes problem and m = Problem.n_ops problem in
+  let space = search_space ~n_nodes:n ~n_ops:m in
+  let homogeneous =
+    Vec.for_all (fun c -> c = problem.Problem.caps.(0)) problem.Problem.caps
+  in
+  let effective = if homogeneous then space /. float_of_int n else space in
+  if effective > float_of_int max_assignments then
+    invalid_arg
+      (Printf.sprintf
+         "Optimal.search: %.3g assignments exceed the guard of %d" effective
+         max_assignments);
+  let points = sample_points problem samples in
+  let loads = op_sample_loads problem points in
+  let caps = problem.Problem.caps in
+  let limit j = if j = 0 && homogeneous then 1 else n in
+  (* Fan the first [depth] assignment levels out as explicit prefixes,
+     one subtree task per prefix, enumerated in lexicographic order.  A
+     sequential pool keeps the single root subtree — exactly the
+     classical depth-first walk.  The target count is a constant (not a
+     multiple of the pool size) so that every parallel pool uses the
+     same decomposition and returns bit-identical results. *)
+  let target = if Pool.ways pool <= 1 then 1 else 64 in
+  let rec expand rev_prefixes count depth =
+    if depth >= m || count >= target then (rev_prefixes, depth)
+    else
+      let lim = limit depth in
+      expand
+        (List.concat_map
+           (fun p -> List.init lim (fun i -> i :: p))
+           rev_prefixes)
+        (count * lim) (depth + 1)
+  in
+  let rev_prefixes, depth = expand [ [] ] 1 0 in
+  let tasks =
+    List.map
+      (fun rev_prefix ->
+        let prefix = Array.of_list (List.rev rev_prefix) in
+        fun () ->
+          explore_subtree ~n ~m ~samples ~loads ~caps ~limit ~prefix ~depth)
+      rev_prefixes
+  in
+  let subtree_results = Pool.run pool tasks in
+  (* Merge in prefix (lexicographic) order with a strict comparison, so
+     the first assignment attaining the best ratio wins — the same
+     tie-break as the sequential enumeration. *)
+  let best, explored =
+    List.fold_left
+      (fun (best, total) (b, e) ->
+        ((if b.ratio > best.ratio then b else best), total + e))
+      ({ assignment = Array.make m 0; ratio = -1.; explored = 0 }, 0)
+      subtree_results
+  in
+  { best with explored }

@@ -17,10 +17,24 @@ type result = {
 val search_space : n_nodes:int -> n_ops:int -> float
 (** [n^m] as a float (to gauge tractability before calling). *)
 
-val search : ?samples:int -> ?max_assignments:int -> Problem.t -> result
+val search :
+  ?samples:int ->
+  ?max_assignments:int ->
+  ?pool:Parallel.Pool.t ->
+  Problem.t ->
+  result
 (** Exhaustive search.  Defaults: 2048 samples, a guard of [2^22]
     assignments ([Invalid_argument] beyond — the caller should shrink
-    the instance instead of waiting forever). *)
+    the instance instead of waiting forever).
+
+    The enumeration fans out across [pool] (default
+    {!Parallel.Pool.global}): the first few assignment levels become
+    explicit prefixes, each subtree is walked independently, and the
+    per-subtree bests are merged in lexicographic prefix order with a
+    strict comparison — the sequential tie-break (first assignment
+    attaining the maximum wins).  A pool of 1 runs the classical
+    depth-first walk unchanged; all pools of 2 or more share one fixed
+    decomposition and return identical results. *)
 
 val ratio_of_assignment : ?samples:int -> Problem.t -> int array -> float
 (** Score an arbitrary assignment against the same shared sample, e.g.

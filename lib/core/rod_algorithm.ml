@@ -78,14 +78,6 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
         Vec.add_inplace (Problem.op_load problem j) (Mat.row ln node)
       | None -> ())
     fixed;
-  let candidate_weights j i =
-    let lo_j = Problem.op_load problem j in
-    Vec.init d (fun k ->
-        (Mat.get ln i k +. lo_j.(k)) /. l.(k) /. (caps.(i) /. c_total))
-  in
-  let plane_distance w =
-    Feasible.Geometry.plane_distance_from ~point:lower_norm w
-  in
   let new_cut_arcs j i =
     match neighbors with
     | None -> 0
@@ -95,65 +87,99 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
           if assignment.(u) >= 0 && assignment.(u) <> i then acc + 1 else acc)
         0 tbl.(j)
   in
+  (* The inner loop scores every (operator, node) pair, so it must not
+     allocate: the candidate weight vector
+     w_k = (ln_{ik} + lo_{jk}) / l_k / (C_i / C_T) is never
+     materialized — the class test (all w_k <= 1) and the plane distance
+     (1 - w . lower_norm) / |w| are accumulated per axis in one fused
+     pass, with the float accumulators kept in a scratch float array
+     (unboxed stores) shared across candidates.  Arithmetic and
+     accumulation order match the old Vec-based formulation exactly, so
+     placements are bit-identical. *)
+  (* acc.(0): |w|^2; acc.(1): w . lower_norm; acc.(2): the resulting
+     plane distance (a float-array slot, so no result boxing). *)
+  let acc = Array.make 3 0. in
+  let below = ref true in
+  let trace_scratch =
+    match trace with Some _ -> Some (Vec.zeros d) | None -> None
+  in
+  let candidate_score j i =
+    let lo_j = Problem.op_load problem j in
+    let ln_i = Mat.row ln i in
+    let cap_ratio = caps.(i) /. c_total in
+    below := true;
+    acc.(0) <- 0.;
+    acc.(1) <- 0.;
+    for k = 0 to d - 1 do
+      let wk = (ln_i.(k) +. lo_j.(k)) /. l.(k) /. cap_ratio in
+      if not (wk <= 1.) then below := false;
+      acc.(0) <- acc.(0) +. (wk *. wk);
+      acc.(1) <- acc.(1) +. (wk *. lower_norm.(k))
+    done;
+    let norm = sqrt acc.(0) in
+    acc.(2) <- (if norm = 0. then infinity else (1. -. acc.(1)) /. norm)
+  in
   let assign j =
-    let class_one = ref [] in
+    let class_one_count = ref 0 in
+    let first_one = ref (-1) in
+    let best_one = ref (-1) in
+    let best_one_dist = ref neg_infinity in
+    let one_scored = ref [] in
     let best_two = ref (-1) in
     let best_two_dist = ref neg_infinity in
     for i = n - 1 downto 0 do
-      let w = candidate_weights j i in
-      if Feasible.Geometry.below_ideal w then class_one := (i, w) :: !class_one
-      else begin
-        let dist = plane_distance w in
+      candidate_score j i;
+      let dist = acc.(2) in
+      if !below then begin
+        incr class_one_count;
+        first_one := i;
+        (match policy with
+        | Min_new_arcs _ -> one_scored := (i, dist) :: !one_scored
+        | Max_plane_distance | First_fit -> ());
         (* >= so that ties resolve to the lowest index (loop descends). *)
-        if dist >= !best_two_dist then begin
-          best_two := i;
-          best_two_dist := dist
+        if dist >= !best_one_dist then begin
+          best_one := i;
+          best_one_dist := dist
         end
+      end
+      else if dist >= !best_two_dist then begin
+        best_two := i;
+        best_two_dist := dist
       end
     done;
     let target =
-      match (!class_one, policy) with
-      | [], _ -> !best_two
-      | (i, _) :: _, First_fit -> i
-      | ((i0, w0) :: rest, Max_plane_distance) ->
-        let better (i, w) (best_i, best_w, best_dist) =
-          let dist = plane_distance w in
-          if dist > best_dist then (i, w, dist) else (best_i, best_w, best_dist)
-        in
-        let i, _, _ =
-          List.fold_left (fun acc c -> better c acc) (i0, w0, plane_distance w0)
-            rest
-        in
-        i
-      | (candidates, Min_new_arcs _) -> (
-        let scored =
-          List.map
-            (fun (i, w) -> (new_cut_arcs j i, -.plane_distance w, i))
-            candidates
-        in
-        match List.sort compare scored with
-        | (_, _, i) :: _ -> i
-        | [] -> assert false)
+      if !class_one_count = 0 then !best_two
+      else
+        match policy with
+        | First_fit -> !first_one
+        | Max_plane_distance -> !best_one
+        | Min_new_arcs _ -> (
+          let scored =
+            List.map (fun (i, dist) -> (new_cut_arcs j i, -.dist, i)) !one_scored
+          in
+          match List.sort compare scored with
+          | (_, _, i) :: _ -> i
+          | [] -> assert false)
     in
     assignment.(j) <- target;
     Vec.add_inplace (Problem.op_load problem j) (Mat.row ln target);
-    (match trace with
-    | Some log ->
-      let w_after =
-        Vec.init d (fun k -> Mat.get ln target k /. l.(k) /. (caps.(target) /. c_total))
-      in
+    (match (trace, trace_scratch) with
+    | Some log, Some w_after ->
+      Vec.init_into w_after (fun k ->
+          Mat.get ln target k /. l.(k) /. (caps.(target) /. c_total));
       log :=
         {
           op = j;
           rank = List.length !log;
           norm = Vec.norm2 (Problem.op_load problem j);
           node = target;
-          class_one = !class_one <> [];
-          class_one_count = List.length !class_one;
-          plane_distance = plane_distance w_after;
+          class_one = !class_one_count > 0;
+          class_one_count = !class_one_count;
+          plane_distance =
+            Feasible.Geometry.plane_distance_from ~point:lower_norm w_after;
         }
         :: !log
-    | None -> ())
+    | _ -> ())
   in
   List.iter
     (fun j -> if fixed.(j) = None then assign j)

@@ -14,10 +14,20 @@ let radical_inverse ~base i =
   in
   loop i (1. /. fbase) 0.
 
-let point ~dim i =
+let point_into dst i =
+  let dim = Array.length dst in
   if dim < 1 || dim > Array.length primes then
     invalid_arg "Halton.point: dim outside [1, 20]";
   if i < 0 then invalid_arg "Halton.point: negative index";
-  Array.init dim (fun k -> radical_inverse ~base:primes.(k) (i + 1))
+  for k = 0 to dim - 1 do
+    dst.(k) <- radical_inverse ~base:primes.(k) (i + 1)
+  done
+
+let point ~dim i =
+  if dim < 1 || dim > Array.length primes then
+    invalid_arg "Halton.point: dim outside [1, 20]";
+  let dst = Array.make dim 0. in
+  point_into dst i;
+  dst
 
 let sequence ~dim ~n = Array.init n (fun i -> point ~dim i)

@@ -10,5 +10,11 @@ val point : dim:int -> int -> float array
     first [dim] primes as bases.  [dim <= 20].  Indexing starts the
     sequence at [i + 1] to skip the all-zeros point. *)
 
+val point_into : float array -> int -> unit
+(** [point_into dst i] writes [point ~dim:(Array.length dst) i] into
+    [dst] — the allocation-free form the volume estimator's inner loop
+    uses (points are index-addressed, so a reused buffer changes no
+    result). *)
+
 val sequence : dim:int -> n:int -> float array array
 (** The first [n] points. *)

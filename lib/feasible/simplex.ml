@@ -47,3 +47,23 @@ let to_ideal ~l ~c_total ?lower x =
 
 let sample_ideal ~l ~c_total ?lower ~cube_point () =
   to_ideal ~l ~c_total ?lower (of_cube cube_point)
+
+let sample_ideal_into ~l ~c_total ?lower ~cube_point ~scratch dst =
+  check_l l;
+  let d = Vec.dim l in
+  if Array.length cube_point <> d then
+    invalid_arg "Simplex.sample_ideal_into: dimension mismatch";
+  if Array.length scratch <> d || Array.length dst <> d then
+    invalid_arg "Simplex.sample_ideal_into: buffer dimension mismatch";
+  let slack = budget ~l ~c_total ~lower in
+  if slack < 0. then
+    invalid_arg "Simplex.to_ideal: lower bound is infeasible";
+  if scratch != cube_point then Array.blit cube_point 0 scratch 0 d;
+  Array.sort compare scratch;
+  (* Descending, so [dst] may alias [scratch]: step [k] reads
+     [scratch.(k)] and [scratch.(k - 1)], both still unwritten. *)
+  for k = d - 1 downto 0 do
+    let gap = if k = 0 then scratch.(0) else scratch.(k) -. scratch.(k - 1) in
+    let base = match lower with None -> 0. | Some b -> b.(k) in
+    dst.(k) <- base +. (gap *. slack /. l.(k))
+  done

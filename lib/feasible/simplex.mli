@@ -41,3 +41,18 @@ val sample_ideal :
   unit ->
   float array
 (** Composition of {!of_cube} and {!to_ideal}. *)
+
+val sample_ideal_into :
+  l:Linalg.Vec.t ->
+  c_total:float ->
+  ?lower:Linalg.Vec.t ->
+  cube_point:float array ->
+  scratch:float array ->
+  float array ->
+  unit
+(** [sample_ideal_into ~l ~c_total ~cube_point ~scratch dst] is
+    {!sample_ideal} without allocation: the sorted copy of [cube_point]
+    goes through [scratch] and the result is written into [dst].  All
+    three arrays must have the dimension of [l].  [scratch] may alias
+    [cube_point] (which is then destroyed) and [dst] may alias
+    [scratch]; results are bit-identical to {!sample_ideal}. *)

@@ -1,5 +1,6 @@
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
+module Pool = Parallel.Pool
 
 type estimate = {
   ratio : float;
@@ -17,7 +18,12 @@ let is_feasible ~ln ~caps r =
   in
   check 0
 
-let estimate_with ~next_cube_point ~ln ~caps ?l ?lower ~samples () =
+(* Shared estimator core: [count ~l ~c_total lo hi] counts feasible
+   samples on the half-open index range [lo, hi).  When a pool is given
+   the index range is partitioned into contiguous chunks and the integer
+   counts summed in chunk order — bit-identical to the sequential run
+   for any index-addressed sampler. *)
+let estimate ?pool ~count ~ln ~caps ?l ?lower ~samples () =
   if samples < 1 then invalid_arg "Volume: samples < 1";
   let l = match l with Some l -> l | None -> Mat.col_sums ln in
   let c_total = Vec.sum caps in
@@ -26,30 +32,59 @@ let estimate_with ~next_cube_point ~ln ~caps ?l ?lower ~samples () =
     { ratio = 0.; volume = 0.; ideal_volume = 0.; samples; feasible_samples = 0;
       std_error = 0. }
   else begin
-    let feasible = ref 0 in
-    for i = 0 to samples - 1 do
-      let cube_point = next_cube_point i in
-      let r = Simplex.sample_ideal ~l ~c_total ?lower ~cube_point () in
-      if is_feasible ~ln ~caps r then incr feasible
-    done;
-    let ratio = float_of_int !feasible /. float_of_int samples in
+    let count = count ~l ~c_total in
+    let feasible =
+      match pool with
+      | None -> count 0 samples
+      | Some pool ->
+        Pool.map_reduce pool ~n:samples ~map:count ~combine:( + ) ~init:0
+    in
+    let ratio = float_of_int feasible /. float_of_int samples in
     {
       ratio;
       volume = ratio *. ideal;
       ideal_volume = ideal;
       samples;
-      feasible_samples = !feasible;
+      feasible_samples = feasible;
       std_error = sqrt (ratio *. (1. -. ratio) /. float_of_int samples);
     }
   end
 
-let ratio_qmc ~ln ~caps ?l ?lower ~samples () =
+let estimate_with ?pool ~next_cube_point ~ln ~caps ?l ?lower ~samples () =
+  let count ~l ~c_total lo hi =
+    let feasible = ref 0 in
+    for i = lo to hi - 1 do
+      let cube_point = next_cube_point i in
+      let r = Simplex.sample_ideal ~l ~c_total ?lower ~cube_point () in
+      if is_feasible ~ln ~caps r then incr feasible
+    done;
+    !feasible
+  in
+  estimate ?pool ~count ~ln ~caps ?l ?lower ~samples ()
+
+let ratio_qmc ?pool ~ln ~caps ?l ?lower ~samples () =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
   let dim = Mat.cols ln in
-  estimate_with ~next_cube_point:(fun i -> Halton.point ~dim i) ~ln ~caps ?l
-    ?lower ~samples ()
+  (* Halton points are index-addressed and pure, so each chunk can fill
+     and consume one scratch point buffer: no allocation per sample. *)
+  let count ~l ~c_total lo hi =
+    let cube = Array.make dim 0. in
+    let r = Array.make dim 0. in
+    let feasible = ref 0 in
+    for i = lo to hi - 1 do
+      Halton.point_into cube i;
+      Simplex.sample_ideal_into ~l ~c_total ?lower ~cube_point:cube
+        ~scratch:cube r;
+      if is_feasible ~ln ~caps r then incr feasible
+    done;
+    !feasible
+  in
+  estimate ~pool ~count ~ln ~caps ?l ?lower ~samples ()
 
 let ratio_mc ~rng ~ln ~caps ?l ?lower ~samples () =
   let dim = Mat.cols ln in
+  (* The rng is stateful, so this estimator stays sequential: the draw
+     order (and hence the result) is part of the contract. *)
   let draw _ = Array.init dim (fun _ -> Random.State.float rng 1.) in
   estimate_with ~next_cube_point:draw ~ln ~caps ?l ?lower ~samples ()
 

@@ -27,7 +27,26 @@ val is_feasible :
   ln:Linalg.Mat.t -> caps:Linalg.Vec.t -> Linalg.Vec.t -> bool
 (** [is_feasible ~ln ~caps r] checks [L^n r <= C] row-wise. *)
 
+val estimate_with :
+  ?pool:Parallel.Pool.t ->
+  next_cube_point:(int -> float array) ->
+  ln:Linalg.Mat.t ->
+  caps:Linalg.Vec.t ->
+  ?l:Linalg.Vec.t ->
+  ?lower:Linalg.Vec.t ->
+  samples:int ->
+  unit ->
+  estimate
+(** The generic estimator behind {!ratio_qmc} and {!ratio_mc}:
+    [next_cube_point i] supplies the [i]-th unit-cube point.  When
+    [pool] is given, the sample index range is partitioned into
+    contiguous chunks evaluated on the pool and the per-chunk feasible
+    counters are summed in chunk order — bit-identical to the sequential
+    run provided [next_cube_point] is pure and index-addressed (do not
+    pass a pool with a stateful sampler). *)
+
 val ratio_qmc :
+  ?pool:Parallel.Pool.t ->
   ln:Linalg.Mat.t ->
   caps:Linalg.Vec.t ->
   ?l:Linalg.Vec.t ->
@@ -37,7 +56,9 @@ val ratio_qmc :
   estimate
 (** Quasi-Monte Carlo estimate.  [l] defaults to the column sums of
     [ln]; pass it explicitly when comparing several plans of the same
-    problem so they share one ideal simplex.  Requires every [l_k > 0]. *)
+    problem so they share one ideal simplex.  Requires every [l_k > 0].
+    Runs on [pool] (default {!Parallel.Pool.global}); Halton points are
+    index-addressed, so the result is identical for every pool size. *)
 
 val ratio_mc :
   rng:Random.State.t ->

@@ -52,6 +52,16 @@ let matmul a b =
       done;
       !acc)
 
+let dot_rows a i b j =
+  let ra = a.(i) and rb = b.(j) in
+  if Array.length ra <> Array.length rb then
+    invalid_arg "Mat.dot_rows: row dimension mismatch";
+  let acc = ref 0. in
+  for k = 0 to Array.length ra - 1 do
+    acc := !acc +. (ra.(k) *. rb.(k))
+  done;
+  !acc
+
 let matvec a x =
   if cols a <> Vec.dim x then
     invalid_arg

@@ -48,6 +48,11 @@ val matmul : t -> t -> t
 val matvec : t -> Vec.t -> Vec.t
 (** [matvec a x] is [a x]. *)
 
+val dot_rows : t -> int -> t -> int -> float
+(** [dot_rows a i b j] is the inner product of row [i] of [a] with row
+    [j] of [b], computed without extracting either row — the fused
+    kernel the per-sample load tables are built from. *)
+
 val col_sums : t -> Vec.t
 (** Vector of per-column sums — for load matrices this is [l_k], the
     total load coefficient of each input stream. *)

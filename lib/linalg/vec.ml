@@ -8,6 +8,11 @@ let ones n = create n 1.
 
 let init = Array.init
 
+let init_into dst f =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- f i
+  done
+
 let basis n k =
   if k < 0 || k >= n then invalid_arg "Vec.basis: axis out of range";
   let v = zeros n in

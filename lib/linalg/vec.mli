@@ -19,6 +19,10 @@ val ones : int -> t
 val init : int -> (int -> float) -> t
 (** [init n f] is [| f 0; ...; f (n-1) |]. *)
 
+val init_into : t -> (int -> float) -> unit
+(** [init_into dst f] writes [f i] into [dst.(i)] for every index — the
+    scratch-reusing form of {!init} for allocation-free hot loops. *)
+
 val basis : int -> int -> t
 (** [basis n k] is the [n]-dimensional unit vector along axis [k]. *)
 

@@ -1,0 +1,199 @@
+(* A fixed-size pool of worker domains with a shared job queue.
+
+   The pool is created once and reused for every parallel region; worker
+   domains block on a condition variable between batches, so an idle
+   pool costs nothing but memory.  The submitting domain participates in
+   draining the queue, so a pool of [ways] executes on [ways] domains
+   total ([ways - 1] spawned workers plus the caller).
+
+   Determinism contract: [map_reduce] and [map_chunks] split [0, n) into
+   contiguous chunks and combine chunk results in ascending chunk order,
+   regardless of which domain computed what or in which order chunks
+   finished.  Callers whose per-chunk computation depends only on the
+   index range therefore get results independent of the pool size up to
+   the associativity of [combine] (exact for integer counters and
+   best-so-far merges, the two uses in this repo). *)
+
+type t = {
+  ways : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable quit : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let ways t = t.ways
+
+let max_ways = 64
+
+let default_ways () =
+  match Sys.getenv_opt "ROD_NUM_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some w -> max 1 (min w max_ways)
+    | None ->
+      invalid_arg (Printf.sprintf "ROD_NUM_DOMAINS: not an integer: %S" s))
+  | None -> max 1 (min max_ways (Domain.recommended_domain_count () - 1))
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  let rec next () =
+    match Queue.take_opt pool.jobs with
+    | Some job -> Some job
+    | None ->
+      if pool.quit then None
+      else begin
+        Condition.wait pool.nonempty pool.mutex;
+        next ()
+      end
+  in
+  let job = next () in
+  Mutex.unlock pool.mutex;
+  match job with
+  | None -> ()
+  | Some job ->
+    job ();
+    worker_loop pool
+
+let create ways =
+  let ways = max 1 (min ways max_ways) in
+  let pool =
+    {
+      ways;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      quit = false;
+      workers = [||];
+    }
+  in
+  if ways > 1 then
+    pool.workers <-
+      Array.init (ways - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.quit <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let sequential = create 1
+
+let global_pool = ref None
+
+let global () =
+  match !global_pool with
+  | Some pool -> pool
+  | None ->
+    let ways = default_ways () in
+    let pool = if ways <= 1 then sequential else create ways in
+    global_pool := Some pool;
+    if pool != sequential then at_exit (fun () -> shutdown pool);
+    pool
+
+(* Per-batch completion state.  Worker-side writes into [results] are
+   published to the submitter by the mutex-protected countdown: each
+   slot is written by exactly one task before its decrement, and the
+   submitter only reads after observing [remaining = 0] under the same
+   mutex. *)
+type 'a batch = {
+  batch_mutex : Mutex.t;
+  all_done : Condition.t;
+  mutable remaining : int;
+  results : 'a option array;
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+}
+
+let run_batch pool (tasks : (unit -> 'a) array) : 'a array =
+  let k = Array.length tasks in
+  if k = 0 then [||]
+  else if pool.ways <= 1 || k = 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let batch =
+      {
+        batch_mutex = Mutex.create ();
+        all_done = Condition.create ();
+        remaining = k;
+        results = Array.make k None;
+        failure = None;
+      }
+    in
+    let record_failure idx exn bt =
+      (* Keep the lowest-index failure so the surfaced exception does not
+         depend on scheduling. *)
+      match batch.failure with
+      | Some (prev, _, _) when prev <= idx -> ()
+      | Some _ | None -> batch.failure <- Some (idx, exn, bt)
+    in
+    let job idx () =
+      (match tasks.(idx) () with
+      | v -> batch.results.(idx) <- Some v
+      | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock batch.batch_mutex;
+        record_failure idx exn bt;
+        Mutex.unlock batch.batch_mutex);
+      Mutex.lock batch.batch_mutex;
+      batch.remaining <- batch.remaining - 1;
+      if batch.remaining = 0 then Condition.signal batch.all_done;
+      Mutex.unlock batch.batch_mutex
+    in
+    Mutex.lock pool.mutex;
+    for idx = 0 to k - 1 do
+      Queue.add (job idx) pool.jobs
+    done;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    (* The submitter helps drain the queue instead of blocking straight
+       away; the jobs it steals may belong to an unrelated batch, which
+       is fine — running them only speeds that batch up. *)
+    let rec help () =
+      Mutex.lock pool.mutex;
+      let job = Queue.take_opt pool.jobs in
+      Mutex.unlock pool.mutex;
+      match job with
+      | Some job ->
+        job ();
+        help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock batch.batch_mutex;
+    while batch.remaining > 0 do
+      Condition.wait batch.all_done batch.batch_mutex
+    done;
+    Mutex.unlock batch.batch_mutex;
+    (match batch.failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* no failure implies every slot was filled *))
+      batch.results
+  end
+
+let run pool thunks = Array.to_list (run_batch pool (Array.of_list thunks))
+
+let chunk_bounds ~chunks ~n =
+  let chunks = max 1 (min chunks n) in
+  Array.init chunks (fun c -> (c * n / chunks, (c + 1) * n / chunks))
+
+let map_chunks ?chunks pool ~n f =
+  if n <= 0 then [||]
+  else begin
+    let chunks = match chunks with Some c -> max 1 c | None -> pool.ways in
+    if pool.ways <= 1 || chunks <= 1 || n = 1 then [| f 0 n |]
+    else
+      let bounds = chunk_bounds ~chunks ~n in
+      run_batch pool (Array.map (fun (lo, hi) () -> f lo hi) bounds)
+  end
+
+let parallel_for ?chunks pool ~n f = ignore (map_chunks ?chunks pool ~n f)
+
+let map_reduce ?chunks pool ~n ~map ~combine ~init =
+  Array.fold_left combine init (map_chunks ?chunks pool ~n map)

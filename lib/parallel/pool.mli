@@ -1,0 +1,67 @@
+(** A fixed-size pool of worker domains for data-parallel loops.
+
+    The pool is created once and reused across parallel regions (domain
+    spawn costs microseconds and the hot loops here run thousands of
+    regions).  A pool of [ways] executes work on [ways] domains: the
+    [ways - 1] spawned workers plus the submitting domain, which helps
+    drain the job queue.  A pool with [ways <= 1] never spawns a domain
+    and runs every operation inline, so sequential callers pay only a
+    closure call.
+
+    {b Determinism.}  Range operations split [0, n) into contiguous
+    chunks and combine per-chunk results in ascending chunk order,
+    independent of scheduling.  With an exactly associative [combine]
+    (integer counters, best-so-far merges) results are identical for
+    every pool size. *)
+
+type t
+
+val create : int -> t
+(** [create ways] spawns [ways - 1] worker domains ([ways] is clamped to
+    [1, 64]).  Call {!shutdown} when done with a non-global pool. *)
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join them.  The pool must not be used
+    afterwards. *)
+
+val ways : t -> int
+(** Total parallelism of the pool (workers + the submitting domain). *)
+
+val default_ways : unit -> int
+(** The [ROD_NUM_DOMAINS] environment variable if set (clamped to at
+    least 1), otherwise [Domain.recommended_domain_count () - 1].
+    Raises [Invalid_argument] if the variable is set but not an
+    integer. *)
+
+val global : unit -> t
+(** The process-wide pool, created on first use with {!default_ways}
+    ways and shut down automatically at exit.  Every parallelized
+    algorithm in this repo defaults to it. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute the thunks on the pool and return their results in input
+    order.  If any thunk raises, the exception of the lowest-index
+    failing thunk is re-raised in the caller (after the whole batch has
+    finished). *)
+
+val parallel_for : ?chunks:int -> t -> n:int -> (int -> int -> unit) -> unit
+(** [parallel_for pool ~n f] covers the half-open range [0, n) with
+    contiguous chunks, calling [f lo hi] for each chunk (itself a
+    half-open subrange).  [chunks] defaults to [ways pool].  [n <= 0]
+    is a no-op; exceptions propagate as in {!run}. *)
+
+val map_chunks : ?chunks:int -> t -> n:int -> (int -> int -> 'a) -> 'a array
+(** Like {!parallel_for} but collects the chunk results in ascending
+    chunk order.  Returns [[||]] when [n <= 0]. *)
+
+val map_reduce :
+  ?chunks:int ->
+  t ->
+  n:int ->
+  map:(int -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** [map_reduce pool ~n ~map ~combine ~init] folds [combine] over the
+    chunk results of [map] in ascending chunk order, starting from
+    [init].  Returns [init] when [n <= 0]. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "rod"
     [
       ("linalg", Test_linalg.suite);
+      ("parallel", Test_parallel.suite);
       ("query", Test_query.suite);
       ("workload", Test_workload.suite);
       ("feasible", Test_feasible.suite);
