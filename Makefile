@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean check bench-quick
+.PHONY: all build test bench examples clean check bench-quick chaos-quick
 
 all: build
 
@@ -8,11 +8,19 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: formatting (dune files) + build + full test suite.
+# The tier-1 gate: formatting (dune files) + build + full test suite +
+# the seeded chaos smoke run.
 check:
 	dune build @fmt
 	dune build @all
 	dune runtest
+	dune build @chaos-quick
+
+# Seeded fault-injection smoke suite: every chaos scenario in quick
+# mode, judged by the differential oracles (fails the build on any
+# oracle violation).
+chaos-quick:
+	dune build @chaos-quick
 
 bench:
 	dune exec bench/main.exe

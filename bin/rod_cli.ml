@@ -652,6 +652,73 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one paper-reproduction experiment.")
     term
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenario id (default: run every scenario).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List scenarios and exit.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shorter runs, fewer samples.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Chaos seed: fixes workload, schedule and both engines.")
+  in
+  let run_one quick seed s =
+    let outcome = s.Chaos.Scenario.run ~quick ~seed () in
+    Format.printf "@[<v>=== %s: %s@,%s@,@]" s.Chaos.Scenario.id
+      s.Chaos.Scenario.name
+      (Chaos.Scenario.describe outcome);
+    Chaos.Oracle.passed outcome.Chaos.Scenario.verdict
+  in
+  let run list quick seed scenario =
+    if list then begin
+      List.iter
+        (fun s ->
+          Format.printf "%-10s %s@." s.Chaos.Scenario.id s.Chaos.Scenario.name)
+        Chaos.Scenario.all;
+      `Ok ()
+    end
+    else
+      match scenario with
+      | Some id -> (
+        match Chaos.Scenario.find id with
+        | Some s -> if run_one quick seed s then `Ok () else `Error (false, "oracle checks failed")
+        | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown scenario %S; available: %s" id
+                (String.concat ", "
+                   (List.map (fun s -> s.Chaos.Scenario.id) Chaos.Scenario.all))
+            ))
+      | None ->
+        let ok =
+          List.fold_left
+            (fun acc s -> run_one quick seed s && acc)
+            true Chaos.Scenario.all
+        in
+        if ok then `Ok () else `Error (false, "oracle checks failed")
+  in
+  let term =
+    Term.(ret (const run $ list_arg $ quick_arg $ chaos_seed_arg $ scenario_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run seeded fault-injection scenarios and judge them with the \
+          differential oracles.")
+    term
+
 let main_cmd =
   let doc = "Resilient Operator Distribution for distributed stream processing" in
   let info = Cmd.info "rod-cli" ~version:"1.0.0" ~doc in
@@ -659,7 +726,7 @@ let main_cmd =
     [
       place_cmd; volume_cmd; trace_cmd; simulate_cmd; cluster_cmd; optimal_cmd;
       compile_cmd; failure_cmd; deploy_cmd;
-      experiment_cmd;
+      experiment_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

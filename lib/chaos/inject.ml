@@ -1,0 +1,123 @@
+module Vec = Linalg.Vec
+module Problem = Rod.Problem
+module Fault = Dsim.Fault
+
+type spec = {
+  crashes : int;
+  crash_window : float * float;
+  stragglers : int;
+  straggler_factor : float;
+  straggler_len : float;
+  jitters : int;
+  jitter_extra : float;
+  jitter_len : float;
+}
+
+let default =
+  {
+    crashes = 1;
+    crash_window = (0.25, 0.75);
+    stragglers = 0;
+    straggler_factor = 0.35;
+    straggler_len = 0.25;
+    jitters = 0;
+    jitter_extra = 0.05;
+    jitter_len = 0.25;
+  }
+
+let recovery_assignment problem ~assignment ~dead =
+  let n = Problem.n_nodes problem in
+  let m = Problem.n_ops problem in
+  if Array.length assignment <> m then
+    invalid_arg "Inject.recovery_assignment: assignment length";
+  if Array.length dead <> n then
+    invalid_arg "Inject.recovery_assignment: dead length";
+  let live =
+    Array.of_list
+      (List.filter (fun i -> not dead.(i)) (List.init n (fun i -> i)))
+  in
+  if Array.length live = 0 then
+    invalid_arg "Inject.recovery_assignment: no node left alive";
+  let compact = Array.make n (-1) in
+  Array.iteri (fun c i -> compact.(i) <- c) live;
+  let caps = Vec.init (Array.length live) (fun c -> problem.Problem.caps.(live.(c))) in
+  let sub = Problem.create ~lo:problem.Problem.lo ~caps in
+  let fixed =
+    Array.map
+      (fun node ->
+        if node < 0 || node >= n then
+          invalid_arg "Inject.recovery_assignment: bad node index"
+        else if dead.(node) then None
+        else Some compact.(node))
+      assignment
+  in
+  let placed = Rod.Rod_algorithm.place_incremental ~fixed sub in
+  Array.map (fun c -> live.(c)) placed
+
+let schedule ~rng ~spec ~problem ~assignment ~horizon =
+  if horizon <= 0. then invalid_arg "Inject.schedule: horizon <= 0";
+  let n = Problem.n_nodes problem in
+  let m = Problem.n_ops problem in
+  if Array.length assignment <> m then
+    invalid_arg "Inject.schedule: assignment length";
+  let lo, hi = spec.crash_window in
+  if lo < 0. || hi < lo || hi > 1. then
+    invalid_arg "Inject.schedule: bad crash window";
+  let crashes = max 0 (min spec.crashes (n - 1)) in
+  let times =
+    List.sort Float.compare
+      (List.init crashes (fun _ ->
+           (lo +. Random.State.float rng (Float.max (hi -. lo) 1e-9))
+           *. horizon))
+  in
+  let dead = Array.make n false in
+  let current = ref (Array.copy assignment) in
+  let crash_events =
+    List.map
+      (fun at ->
+        let live = List.filter (fun i -> not dead.(i)) (List.init n Fun.id) in
+        let node = List.nth live (Random.State.int rng (List.length live)) in
+        dead.(node) <- true;
+        let recovery =
+          recovery_assignment problem ~assignment:!current ~dead
+        in
+        current := recovery;
+        Fault.Crash { node; at; recovery })
+      times
+  in
+  let window len =
+    let len = Float.min 1. len *. horizon in
+    let from_ = Random.State.float rng (Float.max (horizon -. len) 1e-9) in
+    (from_, from_ +. len)
+  in
+  let straggler_events =
+    List.init spec.stragglers (fun _ ->
+        let node = Random.State.int rng n in
+        let from_, until_ = window spec.straggler_len in
+        Fault.Slowdown { node; from_; until_; factor = spec.straggler_factor })
+  in
+  let jitter_events =
+    List.init spec.jitters (fun _ ->
+        let from_, until_ = window spec.jitter_len in
+        let extra = spec.jitter_extra *. (0.5 +. Random.State.float rng 0.5) in
+        Fault.Jitter { from_; until_; extra })
+  in
+  let sched = crash_events @ straggler_events @ jitter_events in
+  Fault.validate ~n_nodes:n ~n_ops:m sched;
+  sched
+
+let storm ~rng ?(bias = 0.75) ~factor trace =
+  if factor < 0. then invalid_arg "Inject.storm: negative factor";
+  let module Trace = Workload.Trace in
+  let n = Trace.length trace in
+  let levels =
+    let rec go l = if 1 lsl l >= n then l else go (l + 1) in
+    go 0
+  in
+  let burst =
+    Workload.Bmodel.trace ~rng ~bias ~levels
+      ~mean_rate:(factor *. Trace.mean_rate trace)
+      ~dt:trace.Trace.dt
+  in
+  (* The cascade length is the next power of two; superimpose its head. *)
+  Trace.add trace (Trace.slice burst 0 n)

@@ -1,0 +1,60 @@
+(** Seeded fault-schedule generation: turn a declarative chaos spec into
+    the pure {!Dsim.Fault.schedule} both engines replay.
+
+    Every draw comes from the caller's [Random.State], so the same seed
+    always produces the same schedule — bit-reproducible chaos.  Crash
+    events carry their recovery assignments precomputed here (via the
+    placement stack's incremental ROD greedy), because the engines must
+    not depend on the placement layer. *)
+
+type spec = {
+  crashes : int;  (** Node crashes (clamped to [n_nodes - 1]). *)
+  crash_window : float * float;
+      (** Crash instants are drawn uniformly in
+          [(lo *. horizon, hi *. horizon)]. *)
+  stragglers : int;  (** Capacity-degradation windows. *)
+  straggler_factor : float;  (** Capacity multiplier in [(0, 1]]. *)
+  straggler_len : float;  (** Window length as a fraction of horizon. *)
+  jitters : int;  (** Network-delay windows. *)
+  jitter_extra : float;  (** Peak extra one-way delay, seconds. *)
+  jitter_len : float;  (** Window length as a fraction of horizon. *)
+}
+
+val default : spec
+(** One mid-run crash, no stragglers, no jitter;
+    [crash_window = (0.25, 0.75)], [straggler_factor = 0.35],
+    [straggler_len = 0.25], [jitter_extra = 0.05], [jitter_len = 0.25]. *)
+
+val recovery_assignment :
+  Rod.Problem.t -> assignment:int array -> dead:bool array -> int array
+(** The post-crash assignment in the {e original} node indexing, with
+    any number of dead nodes: survivors stay put, orphans are re-placed
+    on the live nodes by {!Rod.Rod_algorithm.place_incremental}.  With a
+    single dead node this agrees with
+    {!Rod.Failure.recovery_assignment} modulo the index compaction.
+    @raise Invalid_argument when no node is left alive or the arrays'
+    lengths disagree with the problem. *)
+
+val schedule :
+  rng:Random.State.t ->
+  spec:spec ->
+  problem:Rod.Problem.t ->
+  assignment:int array ->
+  horizon:float ->
+  Dsim.Fault.schedule
+(** Draw a schedule: crash nodes are picked uniformly among the still
+    alive ones (times sorted ascending, recoveries chained so each
+    crash's recovery accounts for all earlier ones), straggler and
+    jitter windows are placed uniformly inside the horizon.  The result
+    passes {!Dsim.Fault.validate}. *)
+
+val storm :
+  rng:Random.State.t ->
+  ?bias:float ->
+  factor:float ->
+  Workload.Trace.t ->
+  Workload.Trace.t
+(** Layer a self-similar b-model burst storm on a rate trace: the storm
+    has mean rate [factor *. mean_rate trace] and the given cascade
+    [bias] (default 0.75), superimposed interval-wise — the flash-crowd
+    input surge of the paper's motivation, made reproducible. *)

@@ -1,0 +1,227 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Graph = Query.Graph
+module Problem = Rod.Problem
+module Metrics = Dsim.Sim_metrics
+
+type check = {
+  name : string;
+  passed : bool;
+  detail : string;
+}
+
+type verdict = check list
+
+let passed v = List.for_all (fun c -> c.passed) v
+
+let pp fmt v =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf fmt "@,";
+      Format.fprintf fmt "[%s] %s: %s"
+        (if c.passed then "pass" else "FAIL")
+        c.name c.detail)
+    v;
+  Format.fprintf fmt "@]"
+
+let check name passed detail = { name; passed; detail }
+
+(* Shared body of both conservation oracles: [produced] maps a stream to
+   its total tuple count, [consumed] an (operator, arc) to what the
+   operator took from it.  Flow on every arc obeys
+   [consumed <= produced]; a drained run leaves nothing in between. *)
+let conservation_checks ~drained ~tag ~n_ops ~sources ~produced ~consumed =
+  let checks = ref [] in
+  for v = n_ops - 1 downto 0 do
+    List.iteri
+      (fun i s ->
+        let avail = produced s in
+        let got = consumed v i in
+        let ok = if drained then got = avail else got <= avail in
+        checks :=
+          check
+            (Printf.sprintf "%s:op%d.%d" tag v i)
+            ok
+            (Printf.sprintf "consumed %d %s produced %d" got
+               (if drained then "=" else "<=")
+               avail)
+          :: !checks)
+      (sources v)
+  done;
+  !checks
+
+let conservation ?(drained = false) ~graph ~injected metrics =
+  let emitted_total u =
+    Array.fold_left ( + ) 0 metrics.Metrics.op_stats.(u).Metrics.emitted
+  in
+  let produced = function
+    | Graph.Sys_input k -> injected.(k)
+    | Graph.Op_output u -> emitted_total u
+  in
+  let consumed v i = metrics.Metrics.op_stats.(v).Metrics.consumed.(i) in
+  let flow =
+    conservation_checks ~drained ~tag:"conserve" ~n_ops:(Graph.n_ops graph)
+      ~sources:(Graph.sources graph) ~produced ~consumed
+  in
+  if not drained then flow
+  else
+    check "conserve:drained"
+      (metrics.Metrics.backlog = 0 && metrics.Metrics.lost = 0
+      && metrics.Metrics.dropped = 0)
+      (Printf.sprintf "backlog %d lost %d dropped %d" metrics.Metrics.backlog
+         metrics.Metrics.lost metrics.Metrics.dropped)
+    :: flow
+
+let conservation_spe ?(drained = false) ~network ~injected
+    (result : Spe.Dist_executor.result) =
+  let produced = function
+    | Graph.Sys_input k -> injected.(k)
+    | Graph.Op_output u -> result.Spe.Dist_executor.op_stats.(u).Spe.Executor.emitted
+  in
+  let consumed v i =
+    result.Spe.Dist_executor.op_stats.(v).Spe.Executor.consumed.(i)
+  in
+  let flow =
+    conservation_checks ~drained ~tag:"conserve-spe"
+      ~n_ops:(Spe.Network.n_ops network) ~sources:(Spe.Network.sources network)
+      ~produced ~consumed
+  in
+  if not drained then flow
+  else
+    check "conserve-spe:drained"
+      (result.Spe.Dist_executor.backlog = 0 && result.Spe.Dist_executor.lost = 0)
+      (Printf.sprintf "backlog %d lost %d" result.Spe.Dist_executor.backlog
+         result.Spe.Dist_executor.lost)
+    :: flow
+
+let sink_multiset ~mode ~cutoff ~(logical : Spe.Executor.result)
+    ~(dist : Spe.Dist_executor.result) =
+  let key (op, t) = Format.asprintf "%d|%a" op Spe.Tuple.pp t in
+  let keep (_, t) = Spe.Tuple.ts t <= cutoff in
+  let want = List.filter keep logical.Spe.Executor.outputs in
+  let got = List.filter keep dist.Spe.Dist_executor.outputs in
+  let counts = Hashtbl.create 256 in
+  List.iter
+    (fun o ->
+      let k = key o in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    want;
+  let extra = ref 0 in
+  List.iter
+    (fun o ->
+      let k = key o in
+      match Hashtbl.find_opt counts k with
+      | Some c when c > 0 -> Hashtbl.replace counts k (c - 1)
+      | _ -> incr extra)
+    got;
+  let missing = Hashtbl.fold (fun _ c acc -> acc + max 0 c) counts 0 in
+  let name, ok =
+    match mode with
+    | `Equal -> ("sink-multiset:equal", !extra = 0 && missing = 0)
+    | `Subset -> ("sink-multiset:subset", !extra = 0)
+  in
+  check name ok
+    (Printf.sprintf "logical %d dist %d (missing %d, extra %d) at ts <= %g"
+       (List.length want) (List.length got) missing !extra cutoff)
+
+let latency_not_improved ?(tol = 0.05) ~healthy ~faulted () =
+  let count m = Metrics.Samples.count m.Metrics.latencies in
+  if count healthy = 0 || count faulted = 0 then
+    check "latency-monotone" true
+      (Printf.sprintf "skipped: %d healthy / %d faulted latency samples"
+         (count healthy) (count faulted))
+  else
+    let mean m = Metrics.mean_latency m in
+    let p99 m = Metrics.Samples.percentile m.Metrics.latencies 99. in
+    let floor x = (1. -. tol) *. x in
+    let ok =
+      mean faulted >= floor (mean healthy)
+      && p99 faulted >= floor (p99 healthy)
+    in
+    check "latency-monotone" ok
+      (Printf.sprintf
+         "mean %.6f vs healthy %.6f, p99 %.6f vs healthy %.6f (tol %g%%)"
+         (mean faulted) (mean healthy) (p99 faulted) (p99 healthy)
+         (100. *. tol))
+
+let recovery_valid ~dead ~before ~recovery =
+  let m = Array.length before in
+  if Array.length recovery <> m then
+    invalid_arg "Oracle.recovery_valid: assignment lengths differ";
+  let bad_node = ref [] and moved = ref [] in
+  for j = m - 1 downto 0 do
+    let n = Array.length dead in
+    if recovery.(j) < 0 || recovery.(j) >= n || dead.(recovery.(j)) then
+      bad_node := j :: !bad_node;
+    if (not dead.(before.(j))) && recovery.(j) <> before.(j) then
+      moved := j :: !moved
+  done;
+  let show = function
+    | [] -> "none"
+    | js -> String.concat "," (List.map string_of_int js)
+  in
+  [
+    check "recovery:live" (!bad_node = [])
+      (Printf.sprintf "operators on dead/invalid nodes: %s" (show !bad_node));
+    check "recovery:survivors-pinned" (!moved = [])
+      (Printf.sprintf "survivors moved: %s" (show !moved));
+  ]
+
+(* Estimate a (possibly degraded) plan's volume over the ORIGINAL ideal
+   simplex: a phantom node carries the dead capacity with a zero load
+   row, so the simplex keeps [C_T] while feasibility is checked against
+   the degraded cluster (dead capacities zeroed).  Re-sampling the
+   degraded simplex would make the capacity bound a tautology; this way
+   the estimates of healthy and degraded plans share one denominator. *)
+let degraded_volume ?pool ?(samples = 4096) ~problem ~assignment ~dead () =
+  let n = Problem.n_nodes problem in
+  let d = Problem.dim problem in
+  let loads = Rod.Plan.node_loads (Rod.Plan.make problem assignment) in
+  let c_dead = ref 0. in
+  Array.iteri
+    (fun i dd -> if dd then c_dead := !c_dead +. problem.Problem.caps.(i))
+    dead;
+  let ln =
+    Mat.init (n + 1) d (fun i k -> if i = n then 0. else Mat.get loads i k)
+  in
+  let caps =
+    Vec.init (n + 1) (fun i ->
+        if i = n then !c_dead
+        else if dead.(i) then 0.
+        else problem.Problem.caps.(i))
+  in
+  Feasible.Volume.ratio_qmc ?pool ~ln ~caps ~samples ()
+
+let crash_volume_bounds ?pool ?(samples = 4096) ~problem ~schedule () =
+  let n = Problem.n_nodes problem in
+  let d = Problem.dim problem in
+  let c_total = Problem.total_capacity problem in
+  let dead = Array.make n false in
+  List.map
+    (fun (at, node, recovery) ->
+      dead.(node) <- true;
+      let est =
+        degraded_volume ?pool ~samples ~problem ~assignment:recovery ~dead ()
+      in
+      let c_dead =
+        Array.to_list dead
+        |> List.mapi (fun i dd -> if dd then problem.Problem.caps.(i) else 0.)
+        |> List.fold_left ( +. ) 0.
+      in
+      let bound = ((c_total -. c_dead) /. c_total) ** float_of_int d in
+      let slack = (3. *. est.Feasible.Volume.std_error) +. 1e-9 in
+      check
+        (Printf.sprintf "volume-bound:crash@%g" at)
+        (est.Feasible.Volume.ratio <= bound +. slack)
+        (Printf.sprintf "ratio %.4f <= (C_live/C_T)^%d = %.4f (+%.4f QMC slack)"
+           est.Feasible.Volume.ratio d bound slack))
+    (Dsim.Fault.crashes schedule)
+
+let replay_identical ~name ~run =
+  let a = run () in
+  let b = run () in
+  check name (String.equal a b)
+    (if String.equal a b then
+       Printf.sprintf "two runs byte-identical (%d chars)" (String.length a)
+     else "runs diverged")

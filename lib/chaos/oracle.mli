@@ -1,0 +1,113 @@
+(** Cross-engine differential oracles and fault invariants.
+
+    Each check is a named pass/fail with a human-readable detail; a
+    verdict is just the list of checks run for a scenario.  The checks
+    are reusable as a correctness gate: they compare the three execution
+    layers — {!Spe.Executor} (logical semantics), {!Dsim.Engine} (cost
+    model), {!Spe.Dist_executor} (semantics + timing) — and bound what
+    injected faults may do to each.
+
+    Conservation checks assume the run was measured from time zero
+    ([warmup = 0.]); equality forms additionally assume the caller left
+    enough slack after the last input for the system to drain. *)
+
+type check = {
+  name : string;
+  passed : bool;
+  detail : string;
+}
+
+type verdict = check list
+
+val passed : verdict -> bool
+
+val pp : Format.formatter -> verdict -> unit
+(** One line per check, stable rendering (determinism tests compare
+    it byte-for-byte). *)
+
+val conservation :
+  ?drained:bool ->
+  graph:Query.Graph.t ->
+  injected:int array ->
+  Dsim.Sim_metrics.t ->
+  check list
+(** Tuple conservation per operator arc in a cost-model run: what
+    operator [v] consumed on arc [i] never exceeds what the arc's source
+    produced (the upstream operator's emitted total, or [injected.(k)]
+    source tuples of stream [k]).  With [drained:true] (run fully
+    drained: no backlog, losses, or in-flight work at [until]) the
+    inequalities must be equalities. *)
+
+val conservation_spe :
+  ?drained:bool ->
+  network:Spe.Network.t ->
+  injected:int array ->
+  Spe.Dist_executor.result ->
+  check list
+(** The same conservation law on the semantic distributed engine. *)
+
+val sink_multiset :
+  mode:[ `Equal | `Subset ] ->
+  cutoff:float ->
+  logical:Spe.Executor.result ->
+  dist:Spe.Dist_executor.result ->
+  check
+(** Compare sink-output multisets of the logical and the distributed
+    semantic engine, restricted to outputs timestamped [<= cutoff] (the
+    logical engine flushes end-of-stream windows the timed engine cannot
+    reach; pass the last input timestamp).  [`Equal] is the healthy-run
+    oracle; [`Subset] (distributed ⊆ logical) is the fault-run oracle
+    for loss-monotone networks (stateless operators and joins, where
+    losing inputs can only remove outputs). *)
+
+val latency_not_improved :
+  ?tol:float ->
+  healthy:Dsim.Sim_metrics.t ->
+  faulted:Dsim.Sim_metrics.t ->
+  unit ->
+  check
+(** Latency monotonicity under added faults: mean and p99 latency of the
+    faulted run must not beat the healthy run by more than the relative
+    tolerance (default 5%). *)
+
+val recovery_valid :
+  dead:bool array -> before:int array -> recovery:int array -> check list
+(** A crash recovery must place every operator on a live node and must
+    not move survivors (migration is expensive — the paper's premise).
+    This is the check a broken recovery path (orphans dropped instead of
+    re-placed) trips. *)
+
+val degraded_volume :
+  ?pool:Parallel.Pool.t ->
+  ?samples:int ->
+  problem:Rod.Problem.t ->
+  assignment:int array ->
+  dead:bool array ->
+  unit ->
+  Feasible.Volume.estimate
+(** QMC feasible-volume estimate of an assignment on a cluster with the
+    [dead] nodes' capacities zeroed, sampled over the {e full} cluster's
+    ideal simplex — so healthy and degraded plans of one problem share a
+    denominator ([ratio]s are directly comparable, and comparable
+    against [Rod.Failure]'s capacity bound).  With no dead node this is
+    an ordinary volume estimate. *)
+
+val crash_volume_bounds :
+  ?pool:Parallel.Pool.t ->
+  ?samples:int ->
+  problem:Rod.Problem.t ->
+  schedule:Dsim.Fault.schedule ->
+  unit ->
+  check list
+(** For every crash of the schedule (with all earlier crashes applied):
+    the recovered plan's feasible volume, estimated by QMC over the
+    {e original} ideal simplex with dead capacities zeroed, must not
+    exceed [Rod.Failure]'s capacity bound [((C_live / C_T))^d] of the
+    ideal volume (plus three standard errors of the estimate).  Unlike
+    re-sampling the degraded simplex, this estimate could exceed the
+    bound if recovery or accounting were wrong — which is what makes it
+    an oracle. *)
+
+val replay_identical : name:string -> run:(unit -> string) -> check
+(** Determinism oracle: render the same seeded run twice and require
+    byte-identical output. *)

@@ -1,0 +1,315 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Fault = Dsim.Fault
+module Metrics = Dsim.Sim_metrics
+module Sop = Spe.Sop
+module Tuple = Spe.Tuple
+module Value = Spe.Value
+module Graph = Query.Graph
+
+type outcome = {
+  schedule : Fault.schedule;
+  healthy : Metrics.t;
+  faulted : Metrics.t;
+  dist : Spe.Dist_executor.result option;
+  verdict : Oracle.verdict;
+}
+
+type t = {
+  id : string;
+  name : string;
+  run : ?quick:bool -> seed:int -> unit -> outcome;
+}
+
+let describe o =
+  Format.asprintf "@[<v>schedule:@,%a@,healthy:@,%a@,faulted:@,%a@,%tverdict:@,%a@]"
+    Fault.pp o.schedule Metrics.pp o.healthy Metrics.pp o.faulted
+    (fun fmt ->
+      match o.dist with
+      | None -> ()
+      | Some d ->
+        Format.fprintf fmt "dist: outputs %d backlog %d lost %d@,"
+          (List.length d.Spe.Dist_executor.outputs)
+          d.Spe.Dist_executor.backlog d.Spe.Dist_executor.lost)
+    Oracle.pp o.verdict
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: a loss-monotone network (filters, map, project, union — no
+   operator whose output can GROW when inputs are lost), so the
+   crashed-run sink outputs must be a sub-multiset of the fault-free
+   logical run's.  Costs come from the skeleton graph, not the
+   profiler: profiled costs are wall-clock measurements and would break
+   byte-replay determinism. *)
+
+let n_nodes = 4
+
+let network () =
+  Spe.Network.create ~n_inputs:2
+    ~ops:
+      [
+        ( Sop.filter ~name:"cleanA" (fun t ->
+              Value.to_string (Tuple.find t "proto") <> "icmp"),
+          [ Graph.Sys_input 0 ] );
+        (Sop.map ~name:"tagA" (fun t -> t), [ Graph.Op_output 0 ]);
+        ( Sop.filter ~name:"cleanB" (fun t ->
+              Value.to_string (Tuple.find t "proto") <> "icmp"),
+          [ Graph.Sys_input 1 ] );
+        (Sop.project ~name:"slimB" [ "src"; "bytes" ], [ Graph.Op_output 2 ]);
+        ( Sop.union ~name:"merge" ~arity:2 (),
+          [ Graph.Op_output 1; Graph.Op_output 3 ] );
+        ( Sop.filter ~name:"big" (fun t -> Tuple.number t "bytes" >= 100.),
+          [ Graph.Op_output 4 ] );
+      ]
+    ()
+
+type fixture = {
+  network : Spe.Network.t;
+  graph : Graph.t;
+  problem : Rod.Problem.t;
+  assignment : int array;
+  caps : Vec.t;
+  inputs : Tuple.t list array;
+  arrivals : float list array;
+  injected : int array;
+  last_ts : float;
+  horizon : float;
+  until : float;
+}
+
+let fixture ?(storm_factor = 0.) ?(slack = 4.) ~quick ~seed () =
+  let rng = Random.State.make [| seed; 0xC4A05 |] in
+  let horizon = if quick then 8. else 30. in
+  let rate = if quick then 80. else 150. in
+  let base =
+    Workload.Trace.create ~dt:1. (Array.make (int_of_float horizon) rate)
+  in
+  let trace =
+    if storm_factor > 0. then Inject.storm ~rng ~factor:storm_factor base
+    else base
+  in
+  let inputs =
+    [|
+      Spe.Datagen.packets ~rng ~trace ~hosts:10 ();
+      Spe.Datagen.packets ~rng ~trace ~hosts:10 ();
+    |]
+  in
+  let network = network () in
+  let graph = Spe.Network.skeleton ~costs:(fun _ -> 2e-4) network in
+  let problem =
+    Rod.Problem.of_graph graph
+      ~caps:(Rod.Problem.homogeneous_caps ~n:n_nodes ~cap:1.)
+  in
+  let assignment = Rod.Rod_algorithm.place problem in
+  (* Scale node capacities so the predicted hottest node runs at 60% of
+     capacity at the base rate — enough headroom to drain, enough load
+     for faults to show in the latency distribution. *)
+  let model = Query.Load_model.derive graph in
+  let vars =
+    Query.Load_model.eval_vars model ~sys_rates:(Vec.of_list [ rate; rate ])
+  in
+  let ln = Rod.Plan.node_loads (Rod.Plan.make problem assignment) in
+  let predicted =
+    Vec.max_elt (Vec.init n_nodes (fun i -> Vec.dot (Mat.row ln i) vars))
+  in
+  let caps = Vec.create n_nodes (Float.max 1e-9 (predicted /. 0.6)) in
+  let arrivals = Array.map (List.map Tuple.ts) inputs in
+  let injected = Array.map List.length inputs in
+  let last_ts =
+    Array.fold_left
+      (List.fold_left (fun acc t -> Float.max acc (Tuple.ts t)))
+      0. inputs
+  in
+  {
+    network;
+    graph;
+    problem;
+    assignment;
+    caps;
+    inputs;
+    arrivals;
+    injected;
+    last_ts;
+    horizon;
+    until = horizon +. slack;
+  }
+
+let engine_run fx ~faults =
+  Dsim.Engine.run ~graph:fx.graph ~assignment:fx.assignment ~caps:fx.caps
+    ~arrivals:fx.arrivals
+    ~config:{ Dsim.Engine.default_config with faults }
+    ~until:fx.until ()
+
+let dist_run fx ~faults =
+  Spe.Dist_executor.run ~network:fx.network ~assignment:fx.assignment
+    ~caps:fx.caps
+    ~cost:(Spe.Dist_executor.cost_model_of_graph fx.graph)
+    ~inputs:fx.inputs
+    ~config:{ Spe.Dist_executor.default_config with faults }
+    ~until:fx.until ()
+
+let volume_samples ~quick = if quick then 2048 else 8192
+
+(* Walk the schedule's crashes in order, validating each chained
+   recovery against the assignment it supersedes. *)
+let recovery_checks ~assignment ~schedule =
+  let dead = Array.make n_nodes false in
+  let current = ref assignment in
+  List.concat_map
+    (fun (_, node, recovery) ->
+      dead.(node) <- true;
+      let checks = Oracle.recovery_valid ~dead ~before:!current ~recovery in
+      current := recovery;
+      checks)
+    (Fault.crashes schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario cores.  Each core is a pure function of (quick, seed); the
+   [replay] check runs the core twice and compares renderings, so the
+   published outcome is the first of those two executions. *)
+
+let healthy_core ~quick ~seed =
+  let fx = fixture ~quick ~seed () in
+  let healthy = engine_run fx ~faults:Fault.none in
+  let dist = dist_run fx ~faults:Fault.none in
+  let logical = Spe.Executor.run fx.network ~inputs:fx.inputs in
+  let verdict =
+    Oracle.conservation ~drained:true ~graph:fx.graph ~injected:fx.injected
+      healthy
+    @ Oracle.conservation_spe ~drained:true ~network:fx.network
+        ~injected:fx.injected dist
+    @ [ Oracle.sink_multiset ~mode:`Equal ~cutoff:fx.last_ts ~logical ~dist ]
+  in
+  { schedule = Fault.none; healthy; faulted = healthy; dist = Some dist; verdict }
+
+let crash_core ~quick ~seed =
+  let fx = fixture ~quick ~seed () in
+  let rng = Random.State.make [| seed; 0xFA17 |] in
+  let spec = { Inject.default with crashes = 2 } in
+  let schedule =
+    Inject.schedule ~rng ~spec ~problem:fx.problem ~assignment:fx.assignment
+      ~horizon:fx.horizon
+  in
+  let healthy = engine_run fx ~faults:Fault.none in
+  let faulted = engine_run fx ~faults:schedule in
+  let dist = dist_run fx ~faults:schedule in
+  let logical = Spe.Executor.run fx.network ~inputs:fx.inputs in
+  (* No latency-monotonicity check here: losing a node consolidates
+     operators, which can legitimately REMOVE network hops from the sink
+     path — crash latency is not monotone, only delay faults are. *)
+  let verdict =
+    Oracle.conservation ~graph:fx.graph ~injected:fx.injected faulted
+    @ Oracle.conservation_spe ~network:fx.network ~injected:fx.injected dist
+    @ recovery_checks ~assignment:fx.assignment ~schedule
+    @ Oracle.crash_volume_bounds
+        ~samples:(volume_samples ~quick)
+        ~problem:fx.problem ~schedule ()
+    @ [ Oracle.sink_multiset ~mode:`Subset ~cutoff:fx.last_ts ~logical ~dist ]
+  in
+  { schedule; healthy; faulted; dist = Some dist; verdict }
+
+(* Shared body of the two pure-delay scenarios (stragglers, jitter):
+   no tuple is ever lost, so the drained-equality oracles must still
+   hold and latency can only get worse. *)
+let delay_core ~spec ~salt ~quick ~seed =
+  let fx = fixture ~quick ~seed () in
+  let rng = Random.State.make [| seed; salt |] in
+  let schedule =
+    Inject.schedule ~rng ~spec ~problem:fx.problem ~assignment:fx.assignment
+      ~horizon:fx.horizon
+  in
+  let healthy = engine_run fx ~faults:Fault.none in
+  let faulted = engine_run fx ~faults:schedule in
+  let dist = dist_run fx ~faults:schedule in
+  let logical = Spe.Executor.run fx.network ~inputs:fx.inputs in
+  let verdict =
+    Oracle.conservation ~drained:true ~graph:fx.graph ~injected:fx.injected
+      faulted
+    @ Oracle.conservation_spe ~drained:true ~network:fx.network
+        ~injected:fx.injected dist
+    @ [
+        Oracle.sink_multiset ~mode:`Equal ~cutoff:fx.last_ts ~logical ~dist;
+        Oracle.latency_not_improved ~healthy ~faulted ();
+      ]
+  in
+  { schedule; healthy; faulted; dist = Some dist; verdict }
+
+let straggler_core =
+  delay_core ~salt:0x57A6
+    ~spec:{ Inject.default with crashes = 0; stragglers = 2 }
+
+let jitter_core =
+  delay_core ~salt:0x7177 ~spec:{ Inject.default with crashes = 0; jitters = 2 }
+
+let storm_core ~quick ~seed =
+  let base = fixture ~slack:10. ~quick ~seed () in
+  let stormy = fixture ~storm_factor:0.5 ~slack:10. ~quick ~seed () in
+  let healthy = engine_run base ~faults:Fault.none in
+  let faulted = engine_run stormy ~faults:Fault.none in
+  let dist = dist_run stormy ~faults:Fault.none in
+  let logical = Spe.Executor.run stormy.network ~inputs:stormy.inputs in
+  let verdict =
+    Oracle.conservation ~drained:true ~graph:stormy.graph
+      ~injected:stormy.injected faulted
+    @ Oracle.conservation_spe ~drained:true ~network:stormy.network
+        ~injected:stormy.injected dist
+    @ [
+        Oracle.sink_multiset ~mode:`Equal ~cutoff:stormy.last_ts ~logical ~dist;
+        Oracle.latency_not_improved ~tol:0.1 ~healthy ~faulted ();
+      ]
+  in
+  { schedule = Fault.none; healthy; faulted; dist = Some dist; verdict }
+
+let blackout_core ~quick ~seed =
+  let fx = fixture ~slack:6. ~quick ~seed () in
+  let rng = Random.State.make [| seed; 0xB1AC |] in
+  let spec = { Inject.default with crashes = 1; stragglers = 1; jitters = 1 } in
+  let schedule =
+    Inject.schedule ~rng ~spec ~problem:fx.problem ~assignment:fx.assignment
+      ~horizon:fx.horizon
+  in
+  let healthy = engine_run fx ~faults:Fault.none in
+  let faulted = engine_run fx ~faults:schedule in
+  let dist = dist_run fx ~faults:schedule in
+  let logical = Spe.Executor.run fx.network ~inputs:fx.inputs in
+  let verdict =
+    Oracle.conservation ~graph:fx.graph ~injected:fx.injected faulted
+    @ Oracle.conservation_spe ~network:fx.network ~injected:fx.injected dist
+    @ recovery_checks ~assignment:fx.assignment ~schedule
+    @ Oracle.crash_volume_bounds
+        ~samples:(volume_samples ~quick)
+        ~problem:fx.problem ~schedule ()
+    @ [ Oracle.sink_multiset ~mode:`Subset ~cutoff:fx.last_ts ~logical ~dist ]
+  in
+  { schedule; healthy; faulted; dist = Some dist; verdict }
+
+(* ------------------------------------------------------------------ *)
+
+let with_replay core ~quick ~seed =
+  let first = ref None in
+  let render () =
+    let o = core ~quick ~seed in
+    if Option.is_none !first then first := Some o;
+    describe o
+  in
+  let replay = Oracle.replay_identical ~name:"replay" ~run:render in
+  match !first with
+  | None -> assert false
+  | Some o -> { o with verdict = o.verdict @ [ replay ] }
+
+let make id name core =
+  { id; name; run = (fun ?(quick = false) ~seed () -> with_replay core ~quick ~seed) }
+
+let all =
+  [
+    make "healthy" "fault-free differential baseline: all engines agree"
+      healthy_core;
+    make "crash" "two chained node crashes with ROD recovery" crash_core;
+    make "straggler" "capacity-degradation windows on random nodes"
+      straggler_core;
+    make "jitter" "network-delay jitter windows" jitter_core;
+    make "storm" "b-model burst storm layered on the input traces"
+      storm_core;
+    make "blackout" "crash + straggler + jitter combined" blackout_core;
+  ]
+
+let find id = List.find_opt (fun s -> String.equal s.id id) all

@@ -1,0 +1,34 @@
+(** The chaos scenario registry: named, seeded end-to-end runs that
+    inject a fault schedule into a placed network, execute it on the
+    engines, and judge the result with the {!Oracle} checks.
+
+    Every scenario is bit-reproducible: the seed fixes the workload, the
+    schedule and both engines, and each run carries a [replay] check
+    asserting two fresh executions render byte-identically. *)
+
+type outcome = {
+  schedule : Dsim.Fault.schedule;
+  healthy : Dsim.Sim_metrics.t;  (** Fault-free baseline run. *)
+  faulted : Dsim.Sim_metrics.t;
+      (** The run under the schedule (equals [healthy] in fault-free
+          scenarios). *)
+  dist : Spe.Dist_executor.result option;
+      (** The semantic distributed run, when the scenario exercises it. *)
+  verdict : Oracle.verdict;
+}
+
+type t = {
+  id : string;  (** Registry key, e.g. ["crash"]. *)
+  name : string;  (** One-line description. *)
+  run : ?quick:bool -> seed:int -> unit -> outcome;
+}
+
+val describe : outcome -> string
+(** Deterministic rendering (schedule, both runs' metrics, the
+    distributed run's summary, every check) — what the determinism
+    tests compare byte-for-byte. *)
+
+val all : t list
+(** [healthy], [crash], [straggler], [jitter], [storm], [blackout]. *)
+
+val find : string -> t option

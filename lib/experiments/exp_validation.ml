@@ -102,7 +102,7 @@ let compare_network ~horizon ~rng ~label ~profile_rate ~test_rate network =
     Spe.Dist_executor.run ~network ~assignment ~caps
       ~cost:(Spe.Dist_executor.cost_model_of_graph graph)
       ~inputs:test_inputs
-      ~config:{ Spe.Dist_executor.net_delay = 1e-3; warmup = 1. }
+      ~config:{ Spe.Dist_executor.default_config with warmup = 1. }
       ~until:horizon ()
   in
   let arrivals = Array.map (List.map Tuple.ts) test_inputs in

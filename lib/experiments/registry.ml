@@ -24,6 +24,7 @@ let all =
     { id = "exppar"; name = Exp_partition.name; run = Exp_partition.run };
     { id = "expinc"; name = Exp_incremental.name; run = Exp_incremental.run };
     { id = "expfail"; name = Exp_failure.name; run = Exp_failure.run };
+    { id = "expchaos"; name = Exp_chaos.name; run = Exp_chaos.run };
   ]
 
 let find id =

@@ -7,10 +7,17 @@ type config = {
   seed : int;
   warmup : float;
   shed_above : int option;
+  faults : Fault.schedule;
 }
 
 let default_config =
-  { net_delay = 1e-3; seed = 0x5eed; warmup = 0.; shed_above = None }
+  {
+    net_delay = 1e-3;
+    seed = 0x5eed;
+    warmup = 0.;
+    shed_above = None;
+    faults = Fault.none;
+  }
 
 type dynamic_config = {
   interval : float;
@@ -48,6 +55,7 @@ type event =
   | Complete of int * work_item * service_outcome
   | Tick  (* dynamic controller wake-up *)
   | Migration_done of int  (* operator whose state transfer finished *)
+  | Crash_fault of int * int array  (* node dies; switch to recovery *)
 
 (* Sliding windows of a join operator: tuple timestamps per input side. *)
 type join_state = {
@@ -107,7 +115,10 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
   | Some dc when dc.interval <= 0. || dc.migration_delay < 0. ->
     invalid_arg "Engine.run: bad dynamic config"
   | Some _ | None -> ());
+  Fault.validate ~n_nodes:n ~n_ops:m config.faults;
   let assignment = Array.copy assignment in
+  let dead = Array.make n false in
+  let lost_count = ref 0 in
   let rng = Random.State.make [| config.seed |] in
   let consumers = consumers_with_index graph in
   let nodes =
@@ -201,7 +212,11 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
     | None -> ()
     | Some item ->
       let outcome = service now item in
-      let wall = outcome.cpu /. node.capacity in
+      let capacity =
+        node.capacity
+        *. Fault.capacity_factor config.faults ~node:node_idx ~time:now
+      in
+      let wall = outcome.cpu /. capacity in
       let finish = now +. wall in
       (* Busy time clipped to the measurement window. *)
       let lo = Float.max now config.warmup and hi = Float.min finish until in
@@ -216,6 +231,11 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
     if migrating.(item.op) then Queue.add item buffers.(item.op)
     else begin
       let node_idx = assignment.(item.op) in
+      if dead.(node_idx) then begin
+        (* Only a broken recovery still routes here. *)
+        if measured now then incr lost_count
+      end
+      else
       let node = nodes.(node_idx) in
       match config.shed_above with
       | Some limit when Queue.length node.queue >= limit ->
@@ -247,7 +267,7 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
           (fun (op, input_idx) ->
             let delay =
               if assignment.(op) = assignment.(item.op) then 0.
-              else config.net_delay
+              else config.net_delay +. Fault.extra_delay config.faults ~time:now
             in
             Event_queue.push events ~time:(now +. delay)
               (Deliver { op; input_idx; origin = item.origin }))
@@ -301,6 +321,10 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
   in
   let handle now = function
     | Deliver item -> deliver now item
+    | Complete (node_idx, _item, _outcome) when dead.(node_idx) ->
+      (* The node died while this item was in service: the work (and
+         its outputs) perish with it. *)
+      if measured now then incr lost_count
     | Complete (node_idx, item, outcome) ->
       nodes.(node_idx).current <- None;
       op_cpu_window.(item.op) <- op_cpu_window.(item.op) +. outcome.cpu;
@@ -324,10 +348,23 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
       let flush = Queue.create () in
       Queue.transfer pending flush;
       Queue.iter (fun item -> deliver now item) flush
+    | Crash_fault (node_idx, recovery) ->
+      dead.(node_idx) <- true;
+      let node = nodes.(node_idx) in
+      (* Queued work dies with the node; the in-service item (if any) is
+         dropped when its Complete event fires. *)
+      if measured now then lost_count := !lost_count + Queue.length node.queue;
+      Queue.clear node.queue;
+      Array.blit recovery 0 assignment 0 m
   in
   (match dynamic with
   | Some dc -> Event_queue.push events ~time:dc.interval Tick
   | None -> ());
+  List.iter
+    (fun (at, node, recovery) ->
+      if at <= until then
+        Event_queue.push events ~time:at (Crash_fault (node, recovery)))
+    (Fault.crashes config.faults);
   let rec loop () =
     match Event_queue.peek_time events with
     | Some t when t <= until -> (
@@ -358,4 +395,5 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
     op_stats;
     migrations = !migrations_count;
     dropped = !dropped_count;
+    lost = !lost_count;
   }

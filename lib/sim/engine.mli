@@ -31,6 +31,14 @@ type config = {
           trading answer completeness for bounded latency — the standard
           overload alternative to placement that the paper's related
           work discusses.  [None] (default) = lossless queues. *)
+  faults : Fault.schedule;
+      (** Injected faults (default none).  Crashes kill a node — its
+          queued and in-service work is lost, the assignment switches to
+          the event's recovery, and anything later routed to the dead
+          node is lost too.  Slowdowns scale a node's capacity inside
+          their window (sampled at service start); jitter adds to
+          [net_delay] for hops emitted inside its window.  A schedule is
+          pure data, so runs stay deterministic given [seed]. *)
 }
 
 val default_config : config

@@ -1,0 +1,109 @@
+type event =
+  | Crash of {
+      node : int;
+      at : float;
+      recovery : int array;
+    }
+  | Slowdown of {
+      node : int;
+      from_ : float;
+      until_ : float;
+      factor : float;
+    }
+  | Jitter of {
+      from_ : float;
+      until_ : float;
+      extra : float;
+    }
+
+type schedule = event list
+
+let none = []
+
+let time_of = function
+  | Crash { at; _ } -> at
+  | Slowdown { from_; _ } -> from_
+  | Jitter { from_; _ } -> from_
+
+let validate ~n_nodes ~n_ops schedule =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let crashed = Array.make n_nodes false in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Crash { node; at; recovery } ->
+        if node < 0 || node >= n_nodes then fail "Fault: crash of node %d" node;
+        if at < 0. then fail "Fault: crash at negative time %g" at;
+        if crashed.(node) then fail "Fault: node %d crashes twice" node;
+        crashed.(node) <- true;
+        if Array.length recovery <> n_ops then
+          fail "Fault: recovery length %d, expected %d" (Array.length recovery)
+            n_ops;
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= n_nodes then
+              fail "Fault: recovery maps to node %d" i)
+          recovery
+      | Slowdown { node; from_; until_; factor } ->
+        if node < 0 || node >= n_nodes then
+          fail "Fault: slowdown of node %d" node;
+        if from_ < 0. || until_ < from_ then
+          fail "Fault: bad slowdown window [%g, %g)" from_ until_;
+        if factor <= 0. || factor > 1. then
+          fail "Fault: slowdown factor %g outside (0, 1]" factor
+      | Jitter { from_; until_; extra } ->
+        if from_ < 0. || until_ < from_ then
+          fail "Fault: bad jitter window [%g, %g)" from_ until_;
+        if extra < 0. then fail "Fault: negative jitter %g" extra)
+    schedule;
+  if n_nodes > 0 && Array.for_all Fun.id crashed then
+    fail "Fault: schedule crashes all %d nodes" n_nodes
+
+let capacity_factor schedule ~node ~time =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Slowdown { node = n; from_; until_; factor }
+        when n = node && time >= from_ && time < until_ ->
+        acc *. factor
+      | Slowdown _ | Crash _ | Jitter _ -> acc)
+    1. schedule
+
+let extra_delay schedule ~time =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Jitter { from_; until_; extra } when time >= from_ && time < until_ ->
+        acc +. extra
+      | Jitter _ | Crash _ | Slowdown _ -> acc)
+    0. schedule
+
+let crashes schedule =
+  List.filter_map
+    (function
+      | Crash { node; at; recovery } -> Some (at, node, recovery)
+      | Slowdown _ | Jitter _ -> None)
+    schedule
+  |> List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b)
+
+let pp fmt schedule =
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b)) schedule
+  in
+  Format.pp_open_vbox fmt 0;
+  if sorted = [] then Format.pp_print_string fmt "no faults";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      match ev with
+      | Crash { node; at; recovery } ->
+        Format.fprintf fmt "t=%-8.3f crash node %d, recovery [%s]" at node
+          (String.concat " "
+             (Array.to_list (Array.map string_of_int recovery)))
+      | Slowdown { node; from_; until_; factor } ->
+        Format.fprintf fmt "t=%-8.3f slowdown node %d to %g%% until %.3f" from_
+          node (100. *. factor) until_
+      | Jitter { from_; until_; extra } ->
+        Format.fprintf fmt "t=%-8.3f jitter +%gs until %.3f" from_ extra until_)
+    sorted;
+  Format.pp_close_box fmt ()

@@ -1,0 +1,68 @@
+(** Deterministic fault schedules for the simulation engines.
+
+    A schedule is a plain list of fault events that {!Engine.run} (and
+    the semantic [Spe.Dist_executor]) consume through their configs.
+    The engines interpret the events; building seeded schedules (and the
+    recovery assignments crashes carry) is the job of the higher-level
+    [Chaos] library, which can see the placement stack.  Keeping the
+    type here lets both engines share one fault vocabulary without
+    depending on it.
+
+    All randomness lives in schedule {e generation}: a schedule in hand
+    is pure data, so replaying it is bit-reproducible. *)
+
+type event =
+  | Crash of {
+      node : int;  (** The node that dies. *)
+      at : float;  (** Crash instant, seconds. *)
+      recovery : int array;
+          (** The full post-crash assignment (operator index to node
+              index, in the {e original} node indexing).  Work queued or
+              in service on the dead node at [at] is lost; afterwards
+              every operator is routed per [recovery].  A recovery that
+              still maps operators to a dead node models a broken
+              recovery path: those operators' tuples are counted as
+              lost — the oracle layer flags this. *)
+    }
+  | Slowdown of {
+      node : int;
+      from_ : float;
+      until_ : float;  (** Half-open window [[from_, until_)). *)
+      factor : float;
+          (** Capacity multiplier in [(0, 1]]; applied at service start
+              (a service crossing the window boundary keeps the rate it
+              started with). *)
+    }
+  | Jitter of {
+      from_ : float;
+      until_ : float;
+      extra : float;
+          (** Additional one-way network delay, seconds, added to every
+              inter-node hop whose tuple is emitted inside the
+              window. *)
+    }
+
+type schedule = event list
+
+val none : schedule
+
+val validate : n_nodes:int -> n_ops:int -> schedule -> unit
+(** @raise Invalid_argument on out-of-range nodes, non-positive or > 1
+    slowdown factors, negative times/extras, inverted windows, a
+    recovery of the wrong length or with out-of-range nodes, duplicate
+    crashes of one node, or a schedule crashing every node. *)
+
+val capacity_factor : schedule -> node:int -> time:float -> float
+(** Product of the factors of every slowdown window covering
+    [(node, time)]; [1.] when none does. *)
+
+val extra_delay : schedule -> time:float -> float
+(** Sum of the extras of every jitter window covering [time]. *)
+
+val crashes : schedule -> (float * int * int array) list
+(** [(at, node, recovery)] triples, ascending by time (stable for equal
+    times). *)
+
+val pp : Format.formatter -> schedule -> unit
+(** One line per event, in time order — stable, for logs and
+    determinism checks. *)

@@ -71,6 +71,7 @@ type t = {
   op_stats : op_stat array;
   migrations : int;
   dropped : int;
+  lost : int;
 }
 
 let max_utilization t = Array.fold_left Float.max 0. t.utilization
@@ -84,9 +85,10 @@ let pp fmt t =
     "@[<v>simulated %.3gs: %d arrivals, %d items, %d outputs@,\
      utilization max %.1f%% %a@,\
      latency mean %.4gs p95 %.4gs max %.4gs (n=%d)@,\
-     backlog end %d peak %d@]"
+     backlog end %d peak %d%t@]"
     t.duration t.arrivals t.items_processed t.outputs
     (100. *. max_utilization t)
     Linalg.Vec.pp t.utilization (mean_latency t) (p95_latency t)
     (Samples.max_value t.latencies)
-    (Samples.count t.latencies) t.backlog t.max_backlog
+    (Samples.count t.latencies) t.backlog t.max_backlog (fun fmt ->
+      if t.lost > 0 then Format.fprintf fmt "@,lost to faults %d" t.lost)

@@ -44,6 +44,10 @@ type t = {
   op_stats : op_stat array;  (** Index-aligned with the graph's operators. *)
   migrations : int;  (** Operator migrations started (dynamic runs). *)
   dropped : int;  (** Tuples shed at full queues (when shedding is on). *)
+  lost : int;
+      (** Work items destroyed by injected faults: queued or in service
+          on a node when it crashed, or routed to a dead node (a broken
+          recovery).  Zero on fault-free runs. *)
 }
 
 val make_op_stat : arity:int -> op_stat

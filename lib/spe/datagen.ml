@@ -45,7 +45,9 @@ let trades ~rng ~trace ?(symbols = default_symbols) () =
 
 let ticks ~rate ~duration f =
   if rate <= 0. || duration <= 0. then invalid_arg "Datagen.ticks: bad rate/duration";
-  let count = int_of_float (rate *. duration) in
+  (* Round, don't truncate: [4.1 * 10.] is 40.999…, and flooring it
+     would silently drop the last tick of the stream. *)
+  let count = int_of_float (Float.round (rate *. duration)) in
   List.init count (fun i ->
       let ts = (float_of_int i +. 0.5) /. rate in
       f ts)

@@ -6,9 +6,10 @@ module Samples = Dsim.Sim_metrics.Samples
 type config = {
   net_delay : float;
   warmup : float;
+  faults : Dsim.Fault.schedule;
 }
 
-let default_config = { net_delay = 1e-3; warmup = 0. }
+let default_config = { net_delay = 1e-3; warmup = 0.; faults = Dsim.Fault.none }
 
 type result = {
   outputs : (int * Tuple.t) list;
@@ -16,6 +17,8 @@ type result = {
   latencies : Samples.t;
   arrivals : int;
   backlog : int;
+  lost : int;
+  op_stats : Executor.op_run_stat array;
 }
 
 let cost_model_of_graph graph op input_idx =
@@ -41,6 +44,7 @@ type node_state = {
 type event =
   | Deliver of work_item
   | Complete of int * work_item * Tuple.t list  (* node, item, outputs *)
+  | Crash_fault of int * int array  (* node dies; switch to recovery *)
 
 let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
     ~until () =
@@ -57,6 +61,10 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
   if Array.length inputs <> d then
     invalid_arg "Dist_executor.run: one tuple list per input stream";
   if until <= config.warmup then invalid_arg "Dist_executor.run: until <= warmup";
+  Dsim.Fault.validate ~n_nodes:n ~n_ops:m config.faults;
+  let assignment = Array.copy assignment in
+  let dead = Array.make n false in
+  let lost = ref 0 in
   let states = Array.init m (fun j -> Executor.replay_state (Network.op network j)) in
   let stats = Array.init m (fun j -> Executor.replay_stat (Network.op network j)) in
   let nodes =
@@ -93,6 +101,11 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
     let produced =
       Executor.replay_process sop states.(item.op) stat item.input_idx item.tuple
     in
+    (* [replay_process] maintains only [pairs]; the consumed/emitted
+       counters are the caller's job (as in [Executor.run]'s own loop). *)
+    stat.Executor.consumed.(item.input_idx) <-
+      stat.Executor.consumed.(item.input_idx) + 1;
+    stat.Executor.emitted <- stat.Executor.emitted + List.length produced;
     let cpu =
       match sop with
       | Sop.Equi_join _ ->
@@ -109,7 +122,11 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
     | Some item ->
       node.busy <- true;
       let cpu, produced = service item in
-      let wall = cpu /. node.capacity in
+      let capacity =
+        node.capacity
+        *. Dsim.Fault.capacity_factor config.faults ~node:node_idx ~time:now
+      in
+      let wall = cpu /. capacity in
       let finish = now +. wall in
       let lo = Float.max now config.warmup and hi = Float.min finish until in
       if hi > lo then node.busy_time <- node.busy_time +. (hi -. lo);
@@ -117,9 +134,15 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
   in
   let deliver now item =
     let node_idx = assignment.(item.op) in
-    let node = nodes.(node_idx) in
-    Queue.add item node.queue;
-    if not node.busy then start_service node_idx now
+    if dead.(node_idx) then begin
+      (* Only a broken recovery still routes here. *)
+      if measured now then incr lost
+    end
+    else begin
+      let node = nodes.(node_idx) in
+      Queue.add item node.queue;
+      if not node.busy then start_service node_idx now
+    end
   in
   let emit now item produced =
     match Network.consumers network (Graph.Op_output item.op) with
@@ -137,7 +160,9 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
             (fun (op, input_idx) ->
               let delay =
                 if assignment.(op) = assignment.(item.op) then 0.
-                else config.net_delay
+                else
+                  config.net_delay
+                  +. Dsim.Fault.extra_delay config.faults ~time:now
               in
               Event_queue.push events ~time:(now +. delay)
                 (Deliver { op; input_idx; tuple = t; origin = item.origin }))
@@ -146,10 +171,26 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
   in
   let handle now = function
     | Deliver item -> deliver now item
+    | Complete (node_idx, _item, _produced) when dead.(node_idx) ->
+      (* The node died mid-service: the item and its outputs are lost.
+         Note the semantic state mutation happened at service start, so
+         downstream-visible losses are exactly the dropped outputs. *)
+      if measured now then incr lost
     | Complete (node_idx, item, produced) ->
       emit now item produced;
       start_service node_idx now
+    | Crash_fault (node_idx, recovery) ->
+      dead.(node_idx) <- true;
+      let node = nodes.(node_idx) in
+      if measured now then lost := !lost + Queue.length node.queue;
+      Queue.clear node.queue;
+      Array.blit recovery 0 assignment 0 m
   in
+  List.iter
+    (fun (at, node, recovery) ->
+      if at <= until then
+        Event_queue.push events ~time:at (Crash_fault (node, recovery)))
+    (Dsim.Fault.crashes config.faults);
   let rec loop () =
     match Event_queue.peek_time events with
     | Some t when t <= until -> (
@@ -171,4 +212,6 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
     latencies;
     arrivals = !arrivals;
     backlog;
+    lost = !lost;
+    op_stats = stats;
   }

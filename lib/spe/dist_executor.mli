@@ -17,6 +17,12 @@
 type config = {
   net_delay : float;  (** One-way hop latency, seconds (default 1 ms). *)
   warmup : float;  (** Metrics ignore events before this time. *)
+  faults : Dsim.Fault.schedule;
+      (** Injected faults (default none), interpreted exactly as by
+          {!Dsim.Engine}: crashes lose the dead node's queued and
+          in-service work and switch to the event's recovery assignment;
+          slowdowns scale capacity at service start; jitter widens
+          inter-node hops emitted inside its window. *)
 }
 
 val default_config : config
@@ -29,6 +35,13 @@ type result = {
           the source tuple that triggered it. *)
   arrivals : int;
   backlog : int;  (** Work items unserved at [until]. *)
+  lost : int;
+      (** Work items destroyed by injected faults (crashed with their
+          node or routed to a dead one). *)
+  op_stats : Executor.op_run_stat array;
+      (** Per-operator consumed/emitted/pair counts over the whole run —
+          the raw material for the chaos oracles' tuple-conservation
+          checks. *)
 }
 
 val cost_model_of_graph :

@@ -1,0 +1,27 @@
+(* Seeded chaos smoke run (the [@chaos-quick] alias): every registered
+   scenario in quick mode with a fixed seed, failing the build if any
+   oracle check does. *)
+
+let () =
+  let seed = 42 in
+  let failures = ref 0 in
+  List.iter
+    (fun s ->
+      let outcome = s.Chaos.Scenario.run ~quick:true ~seed () in
+      let ok = Chaos.Oracle.passed outcome.Chaos.Scenario.verdict in
+      Printf.printf "%-10s %s (%d checks)\n" s.Chaos.Scenario.id
+        (if ok then "PASS" else "FAIL")
+        (List.length outcome.Chaos.Scenario.verdict);
+      if not ok then begin
+        incr failures;
+        Format.printf "%a@." Chaos.Oracle.pp
+          (List.filter
+             (fun c -> not c.Chaos.Oracle.passed)
+             outcome.Chaos.Scenario.verdict)
+      end)
+    Chaos.Scenario.all;
+  if !failures > 0 then begin
+    Printf.printf "chaos smoke: %d scenario(s) failed\n" !failures;
+    exit 1
+  end;
+  print_string "chaos smoke: all scenarios passed\n"

@@ -1,0 +1,260 @@
+(* Tests of the chaos harness: the fault vocabulary, engine crash
+   semantics, schedule generation, the differential oracles (including
+   that they CATCH a deliberately broken recovery), and bit-replay
+   determinism across runs and pool sizes. *)
+
+module Vec = Linalg.Vec
+module Fault = Dsim.Fault
+module Metrics = Dsim.Sim_metrics
+module Problem = Rod.Problem
+module Inject = Chaos.Inject
+module Oracle = Chaos.Oracle
+module Scenario = Chaos.Scenario
+
+let approx eps = Alcotest.float eps
+
+(* --- fault vocabulary --------------------------------------------- *)
+
+let test_fault_windows () =
+  let sched =
+    [
+      Fault.Slowdown { node = 0; from_ = 1.; until_ = 3.; factor = 0.5 };
+      Fault.Slowdown { node = 0; from_ = 2.; until_ = 4.; factor = 0.5 };
+      Fault.Jitter { from_ = 1.; until_ = 2.; extra = 0.1 };
+      Fault.Jitter { from_ = 1.5; until_ = 2.5; extra = 0.2 };
+    ]
+  in
+  Fault.validate ~n_nodes:2 ~n_ops:1 sched;
+  let cf t = Fault.capacity_factor sched ~node:0 ~time:t in
+  Alcotest.check (approx 1e-12) "outside windows" 1. (cf 0.5);
+  Alcotest.check (approx 1e-12) "one window" 0.5 (cf 1.5);
+  Alcotest.check (approx 1e-12) "overlap multiplies" 0.25 (cf 2.5);
+  Alcotest.check (approx 1e-12) "other node untouched" 1.
+    (Fault.capacity_factor sched ~node:1 ~time:2.5);
+  Alcotest.check (approx 1e-12) "jitter sums" 0.3
+    (Fault.extra_delay sched ~time:1.7);
+  Alcotest.check (approx 1e-12) "window end exclusive" 0.2
+    (Fault.extra_delay sched ~time:2.)
+
+let test_fault_validate () =
+  let crash node recovery =
+    Fault.Crash { node; at = 1.; recovery = Array.make 2 recovery }
+  in
+  let reject msg sched =
+    Alcotest.(check bool)
+      msg true
+      (try
+         Fault.validate ~n_nodes:2 ~n_ops:2 sched;
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "node out of range" [ crash 5 0 ];
+  reject "double crash" [ crash 0 1; crash 0 1 ];
+  reject "all nodes crash" [ crash 0 1; crash 1 0 ];
+  reject "bad factor"
+    [ Fault.Slowdown { node = 0; from_ = 0.; until_ = 1.; factor = 1.5 } ];
+  reject "bad window"
+    [ Fault.Jitter { from_ = 3.; until_ = 1.; extra = 0.1 } ];
+  (* A recovery routing to the dead node is ACCEPTED: it models a broken
+     recovery path, and catching it is the oracle layer's job. *)
+  Fault.validate ~n_nodes:2 ~n_ops:2 [ crash 0 0 ]
+
+(* --- engine crash semantics --------------------------------------- *)
+
+let crash_graph () =
+  Query.Randgraph.generate_trees
+    ~rng:(Random.State.make [| 3; 11 |])
+    ~n_inputs:2 ~ops_per_tree:5
+
+let run_crash_engine ~faults =
+  let graph = crash_graph () in
+  let problem =
+    Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:3 ~cap:1.)
+  in
+  let assignment = Rod.Rod_algorithm.place problem in
+  let trace = Workload.Generators.constant ~n:10 ~dt:1. ~rate:40. in
+  let arrivals =
+    Array.init 2 (fun _ -> Workload.Generators.deterministic_arrivals ~trace)
+  in
+  (problem, assignment, fun faults ->
+    Dsim.Engine.run ~graph ~assignment
+      ~caps:(Vec.create 3 0.01)
+      ~arrivals
+      ~config:{ Dsim.Engine.default_config with faults }
+      ~until:12. ())
+  |> fun (p, a, run) -> (p, a, run faults)
+
+let test_engine_crash_loses_work () =
+  let problem, assignment, healthy = run_crash_engine ~faults:Fault.none in
+  Alcotest.(check int) "no losses without faults" 0 healthy.Metrics.lost;
+  let dead = Array.make 3 false in
+  dead.(assignment.(0)) <- true;
+  let recovery = Inject.recovery_assignment problem ~assignment ~dead in
+  let faults =
+    [ Fault.Crash { node = assignment.(0); at = 4.; recovery } ]
+  in
+  let _, _, faulted = run_crash_engine ~faults in
+  Alcotest.(check bool)
+    (Printf.sprintf "crash loses work (%d)" faulted.Metrics.lost)
+    true (faulted.Metrics.lost > 0);
+  Alcotest.(check bool) "recovered run still produces output" true
+    (faulted.Metrics.outputs > 0);
+  (* Every recovery target is live and survivors did not move. *)
+  List.iter
+    (fun c -> Alcotest.(check bool) c.Oracle.name c.Oracle.passed true)
+    (Oracle.recovery_valid ~dead ~before:assignment ~recovery)
+
+let test_broken_recovery_is_caught () =
+  let problem, assignment, _ = run_crash_engine ~faults:Fault.none in
+  let node = assignment.(0) in
+  let dead = Array.make 3 false in
+  dead.(node) <- true;
+  (* The broken recovery: orphans are left on the dead node (dropped
+     instead of re-placed). *)
+  let broken = Array.copy assignment in
+  let faults = [ Fault.Crash { node; at = 2.; recovery = broken } ] in
+  let verdict = Oracle.recovery_valid ~dead ~before:assignment ~recovery:broken in
+  Alcotest.(check bool) "oracle flags broken recovery" false
+    (Oracle.passed verdict);
+  Alcotest.(check bool) "the live-node check is the one that fails" false
+    (List.find (fun c -> c.Oracle.name = "recovery:live") verdict).Oracle.passed;
+  let _, _, faulted = run_crash_engine ~faults in
+  let _, _, proper =
+    let recovery = Inject.recovery_assignment problem ~assignment ~dead in
+    run_crash_engine ~faults:[ Fault.Crash { node; at = 2.; recovery } ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "broken recovery keeps losing work (%d > %d)"
+       faulted.Metrics.lost proper.Metrics.lost)
+    true
+    (faulted.Metrics.lost > proper.Metrics.lost)
+
+(* --- schedule generation ------------------------------------------ *)
+
+let test_schedule_generation () =
+  let problem, assignment, _ = run_crash_engine ~faults:Fault.none in
+  let spec = { Inject.default with crashes = 2; stragglers = 1; jitters = 1 } in
+  let sched seed =
+    Inject.schedule
+      ~rng:(Random.State.make [| seed |])
+      ~spec ~problem ~assignment ~horizon:10.
+  in
+  let s = sched 7 in
+  Alcotest.(check int) "two crashes" 2 (List.length (Fault.crashes s));
+  Alcotest.(check bool) "same seed, same schedule" true (sched 7 = sched 7);
+  Alcotest.(check bool) "crash times inside the window" true
+    (List.for_all
+       (fun (at, _, _) -> at >= 2.5 && at <= 7.5)
+       (Fault.crashes s));
+  (* Chained recoveries: each stays on nodes that are live at its time. *)
+  let dead = Array.make 3 false in
+  List.iter
+    (fun (_, node, recovery) ->
+      dead.(node) <- true;
+      Array.iter
+        (fun i -> Alcotest.(check bool) "recovery on live node" false dead.(i))
+        recovery)
+    (Fault.crashes s)
+
+let test_single_crash_matches_failure_module () =
+  let problem, assignment, _ = run_crash_engine ~faults:Fault.none in
+  let n = Problem.n_nodes problem in
+  for failed = 0 to n - 1 do
+    let dead = Array.make n false in
+    dead.(failed) <- true;
+    let ours = Inject.recovery_assignment problem ~assignment ~dead in
+    let theirs = Rod.Failure.recovery_assignment problem ~assignment ~failed in
+    (* [Failure] speaks the degraded (compacted) indexing; lift it. *)
+    let live c = if c < failed then c else c + 1 in
+    Array.iteri
+      (fun j c ->
+        Alcotest.(check int)
+          (Printf.sprintf "op %d, failed node %d" j failed)
+          (live c) ours.(j))
+      theirs
+  done
+
+(* --- determinism -------------------------------------------------- *)
+
+let test_scenarios_deterministic () =
+  List.iter
+    (fun s ->
+      let run () =
+        Scenario.describe (s.Scenario.run ~quick:true ~seed:1337 ())
+      in
+      let a = run () and b = run () in
+      Alcotest.(check string)
+        (Printf.sprintf "scenario %s replays byte-identically" s.Scenario.id)
+        a b)
+    Scenario.all
+
+let test_scenarios_pass () =
+  List.iter
+    (fun s ->
+      let outcome = s.Scenario.run ~quick:true ~seed:7 () in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s / %s: %s" s.Scenario.id c.Oracle.name
+               c.Oracle.detail)
+            true c.Oracle.passed)
+        outcome.Scenario.verdict)
+    Scenario.all
+
+let test_volume_oracle_pool_independent () =
+  let problem, assignment, _ = run_crash_engine ~faults:Fault.none in
+  let dead = Array.make 3 false in
+  dead.(assignment.(0)) <- true;
+  let recovery = Inject.recovery_assignment problem ~assignment ~dead in
+  let ratio ways =
+    let pool = Parallel.Pool.create ways in
+    let est =
+      Oracle.degraded_volume ~pool ~samples:4096 ~problem ~assignment:recovery
+        ~dead ()
+    in
+    Parallel.Pool.shutdown pool;
+    est.Feasible.Volume.ratio
+  in
+  let r1 = ratio 1 in
+  Alcotest.(check bool) "1 vs 2 domains bit-identical" true
+    (Float.equal r1 (ratio 2));
+  Alcotest.(check bool) "1 vs 4 domains bit-identical" true
+    (Float.equal r1 (ratio 4))
+
+let test_crash_volume_bound_holds () =
+  let problem, assignment, _ = run_crash_engine ~faults:Fault.none in
+  let spec = { Inject.default with crashes = 2 } in
+  let schedule =
+    Inject.schedule
+      ~rng:(Random.State.make [| 99 |])
+      ~spec ~problem ~assignment ~horizon:10.
+  in
+  let checks = Oracle.crash_volume_bounds ~samples:4096 ~problem ~schedule () in
+  Alcotest.(check int) "one check per crash" 2 (List.length checks);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s" c.Oracle.name c.Oracle.detail)
+        true c.Oracle.passed)
+    checks
+
+let suite =
+  [
+    Alcotest.test_case "fault windows" `Quick test_fault_windows;
+    Alcotest.test_case "fault validation" `Quick test_fault_validate;
+    Alcotest.test_case "engine crash loses work" `Quick
+      test_engine_crash_loses_work;
+    Alcotest.test_case "broken recovery is caught" `Quick
+      test_broken_recovery_is_caught;
+    Alcotest.test_case "schedule generation" `Quick test_schedule_generation;
+    Alcotest.test_case "single crash matches Failure module" `Quick
+      test_single_crash_matches_failure_module;
+    Alcotest.test_case "scenarios replay deterministically" `Slow
+      test_scenarios_deterministic;
+    Alcotest.test_case "all scenarios pass their oracles" `Slow
+      test_scenarios_pass;
+    Alcotest.test_case "volume oracle is pool-size independent" `Quick
+      test_volume_oracle_pool_independent;
+    Alcotest.test_case "crash volume bound holds" `Quick
+      test_crash_volume_bound_holds;
+  ]

@@ -13,6 +13,8 @@ let () =
       ("dynamic", Test_dynamic.suite);
       ("graph_io", Test_graph_io.suite);
       ("spe", Test_spe.suite);
+      ("placement_props", Test_placement_props.suite);
+      ("chaos", Test_chaos.suite);
       ("experiments", Test_experiments.suite);
       ("cql", Test_cql.suite);
       ("deploy", Test_deploy.suite);

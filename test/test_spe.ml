@@ -533,6 +533,37 @@ let test_datagen () =
   Alcotest.(check bool) "trades have positive prices" true
     (List.for_all (fun t -> Tuple.number t "price" > 0.) trades)
 
+let test_datagen_rates () =
+  (* Arrival counts must track the driving trace: expected count is
+     sum(rate * dt); Poisson sd is sqrt(mean), allow 5 sigma. *)
+  let trace = Workload.Trace.create ~dt:0.5 [| 40.; 120.; 80.; 0.; 200. |] in
+  let expected = 0.5 *. (40. +. 120. +. 80. +. 0. +. 200.) in
+  let check_count label count =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s count %d within 5 sigma of %.0f" label count expected)
+      true
+      (abs_float (float_of_int count -. expected) <= 5. *. sqrt expected)
+  in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      check_count
+        (Printf.sprintf "packets seed %d" seed)
+        (List.length (Spe.Datagen.packets ~rng ~trace ()));
+      check_count
+        (Printf.sprintf "trades seed %d" seed)
+        (List.length (Spe.Datagen.trades ~rng ~trace ())))
+    [ 1; 2; 3; 4; 5 ];
+  (* Deterministic ticks pin exactly — and must round, not truncate:
+     4.1 * 10. is 40.999..., and flooring it dropped the last tick. *)
+  let count rate duration =
+    List.length
+      (Spe.Datagen.ticks ~rate ~duration (fun ts -> Tuple.make ~ts []))
+  in
+  Alcotest.(check int) "ticks exact" 500 (count 50. 10.);
+  Alcotest.(check int) "ticks does not truncate 4.1 x 10" 41 (count 4.1 10.);
+  Alcotest.(check int) "ticks rounds 0.35 x 10" 4 (count 0.35 10.)
+
 (* --- properties --- *)
 
 let tuple_stream_gen =
@@ -658,4 +689,5 @@ let suite =
     Alcotest.test_case "dist executor join costing" `Quick
       test_dist_executor_join_pair_costing;
     Alcotest.test_case "datagen" `Quick test_datagen;
+    Alcotest.test_case "datagen tracks trace rates" `Quick test_datagen_rates;
   ]
