@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean check bench-quick chaos-quick
+.PHONY: all build test bench examples clean check bench-quick chaos-quick lint
 
 all: build
 
@@ -8,13 +8,20 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: formatting (dune files) + build + full test suite +
-# the seeded chaos smoke run.
+# The tier-1 gate: formatting (dune files) + build + lint + full test
+# suite + the seeded chaos smoke run.
 check:
 	dune build @fmt
 	dune build @all
+	dune build @lint
 	dune runtest
 	dune build @chaos-quick
+
+# rodlint over lib/ and bin/: determinism, parallel-safety and
+# hot-path rules (see DESIGN.md), with rodlint.allow as the only
+# escape hatch.
+lint:
+	dune build @lint
 
 # Seeded fault-injection smoke suite: every chaos scenario in quick
 # mode, judged by the differential oracles (fails the build on any

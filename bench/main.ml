@@ -172,27 +172,79 @@ let micro_tests ?only () =
             fun () -> Rod.Failure.mean_survival ~samples:512 p ~assignment:a));
     ])
 
-(* Machine-readable twin of the plain-text table, one object per
-   benchmark; NaN estimates become null (JSON has no NaN). *)
+(* Machine-readable twin of the plain-text table.  Since schema v2 the
+   file accumulates one record per run (git revision + timings), so
+   the perf trajectory across PRs reads straight out of git history;
+   a v1 or foreign file is replaced by a fresh v2 file. *)
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> None
+  | ic -> (
+    let line = try Some (input_line ic) with End_of_file -> None in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> (
+      match line with Some l when l <> "" -> Some l | Some _ | None -> None)
+    | Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> None)
+
+let record_string ~quick rows =
+  let buffer = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v in
+  out "    {\n";
+  out "      \"rev\": %s,\n"
+    (match git_rev () with Some r -> Printf.sprintf "%S" r | None -> "null");
+  out "      \"quick\": %b,\n" quick;
+  out "      \"domains\": %d,\n" (Parallel.Pool.ways (Parallel.Pool.global ()));
+  out "      \"results\": {\n";
+  List.iteri
+    (fun idx (name, ns, r2) ->
+      out "        %S: { \"ns_per_run\": %s, \"r_square\": %s }%s\n" name
+        (num ns) (num r2)
+        (if idx = List.length rows - 1 then "" else ","))
+    rows;
+  out "      }\n";
+  out "    }";
+  Buffer.contents buffer
+
+let json_tail = "\n  ]\n}\n"
+
 let write_json ~path ~quick rows =
+  let record = record_string ~quick rows in
+  let prior =
+    if Sys.file_exists path then (
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic))))
+    else None
+  in
+  let appendable text =
+    let tl = String.length json_tail and l = String.length text in
+    let mem sub =
+      let sl = String.length sub in
+      let rec scan i =
+        i + sl <= l && (String.sub text i sl = sub || scan (i + 1))
+      in
+      scan 0
+    in
+    mem "\"schema\": \"rod-microbench/2\""
+    && l >= tl
+    && String.sub text (l - tl) tl = json_tail
+  in
+  let content =
+    match prior with
+    | Some text when appendable text ->
+      String.sub text 0 (String.length text - String.length json_tail)
+      ^ ",\n" ^ record ^ json_tail
+    | Some _ | None ->
+      "{\n  \"schema\": \"rod-microbench/2\",\n  \"records\": [\n" ^ record
+      ^ json_tail
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () ->
-      let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v in
-      Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema\": \"rod-microbench/1\",\n";
-      Printf.fprintf oc "  \"quick\": %b,\n" quick;
-      Printf.fprintf oc "  \"domains\": %d,\n"
-        (Parallel.Pool.ways (Parallel.Pool.global ()));
-      Printf.fprintf oc "  \"results\": {\n";
-      List.iteri
-        (fun idx (name, ns, r2) ->
-          Printf.fprintf oc "    %S: { \"ns_per_run\": %s, \"r_square\": %s }%s\n"
-            name (num ns) (num r2)
-            (if idx = List.length rows - 1 then "" else ","))
-        rows;
-      Printf.fprintf oc "  }\n}\n")
+    (fun () -> output_string oc content)
 
 let run_micro ~quick ~only ~json fmt =
   let open Bechamel in

@@ -510,6 +510,29 @@ let failure_cmd =
 
 (* --- compile --- *)
 
+(* Synthetic records carrying every declared field of each input
+   schema, with Poisson arrivals at the trace's rate. *)
+let synthetic_sample ~rng ~trace inputs =
+  Array.of_list
+    (List.map
+       (fun (_, schema) ->
+         List.map
+           (fun ts ->
+             Spe.Tuple.make ~ts
+               (List.map
+                  (fun (field, t) ->
+                    ( field,
+                      match t with
+                      | Cql.Ast.T_int -> Spe.Value.Int (Random.State.int rng 1500)
+                      | Cql.Ast.T_float ->
+                        Spe.Value.Float (Random.State.float rng 100.)
+                      | Cql.Ast.T_string ->
+                        Spe.Value.Str
+                          (Printf.sprintf "k%d" (Random.State.int rng 8)) ))
+                  schema))
+           (Workload.Generators.poisson_arrivals ~rng ~trace))
+       inputs)
+
 let compile_cmd =
   let file_arg =
     Arg.(
@@ -540,28 +563,8 @@ let compile_cmd =
       if do_place then begin
         let rng = Random.State.make [| seed |] in
         let trace = Workload.Trace.create ~dt:1. (Array.make 10 rate) in
-        (* Synthetic records carrying every declared field. *)
         let sample_inputs =
-          Array.of_list
-            (List.map
-               (fun (_, schema) ->
-                 List.map
-                   (fun ts ->
-                     Spe.Tuple.make ~ts
-                       (List.map
-                          (fun (field, t) ->
-                            ( field,
-                              match t with
-                              | Cql.Ast.T_int ->
-                                Spe.Value.Int (Random.State.int rng 1500)
-                              | Cql.Ast.T_float ->
-                                Spe.Value.Float (Random.State.float rng 100.)
-                              | Cql.Ast.T_string ->
-                                Spe.Value.Str
-                                  (Printf.sprintf "k%d" (Random.State.int rng 8)) ))
-                          schema))
-                   (Workload.Generators.poisson_arrivals ~rng ~trace))
-               compiled.Cql.Compile.inputs)
+          synthetic_sample ~rng ~trace compiled.Cql.Compile.inputs
         in
         let profile =
           Spe.Profiler.profile compiled.Cql.Compile.network ~inputs:sample_inputs
@@ -586,6 +589,87 @@ let compile_cmd =
        ~doc:
          "Compile a query-language file; optionally profile it on synthetic \
           data and place it resiliently.")
+    term
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PLAN"
+          ~doc:
+            "A cost-model graph ($(b,.rodgraph)) or a query-language source \
+             file (profiled on synthetic data first).")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "cap" ] ~docv:"C" ~doc:"Capacity of each cluster node.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:"Warn when a per-axis resiliency bound falls below $(docv).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as JSON (rod-plan-check/1).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 150.
+      & info [ "profile-rate" ] ~docv:"TPS"
+          ~doc:"Synthetic tuple rate per input used when profiling a query file.")
+  in
+  let run file nodes cap seed rate threshold json =
+    let graph_result =
+      if Filename.check_suffix file ".rodgraph" then (
+        match Query.Graph_io.load ~path:file with
+        | graph -> Ok graph
+        | exception Failure message -> Error message
+        | exception Invalid_argument message -> Error message)
+      else
+        match Cql.Frontend.compile_file ~path:file with
+        | Error e ->
+          Error (Printf.sprintf "%s" (Cql.Frontend.error_to_string e))
+        | Ok compiled ->
+          let rng = Random.State.make [| seed |] in
+          let trace = Workload.Trace.create ~dt:1. (Array.make 10 rate) in
+          let sample_inputs =
+            synthetic_sample ~rng ~trace compiled.Cql.Compile.inputs
+          in
+          let profile =
+            Spe.Profiler.profile compiled.Cql.Compile.network
+              ~inputs:sample_inputs
+          in
+          Ok profile.Spe.Profiler.graph
+    in
+    match graph_result with
+    | Error message -> `Error (false, Printf.sprintf "%s: %s" file message)
+    | Ok graph ->
+      let caps = Problem.homogeneous_caps ~n:nodes ~cap in
+      let report = Analysis.Plan_check.check_graph ~threshold graph ~caps in
+      if json then print_string (Analysis.Plan_check.to_json report)
+      else Format.printf "%a@." Analysis.Plan_check.pp report;
+      if Analysis.Plan_check.ok report then `Ok ()
+      else `Error (false, Printf.sprintf "%s: plan rejected by static analysis" file)
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ file_arg $ nodes_arg $ cap_arg $ seed_arg $ rate_arg
+        $ threshold_arg $ json_flag))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically analyze a query plan: well-formedness of the load \
+          model, statically-infeasible operators, per-axis resiliency \
+          bounds.  Nonzero exit when the plan is rejected.")
     term
 
 (* --- deploy --- *)
@@ -725,7 +809,7 @@ let main_cmd =
   Cmd.group info
     [
       place_cmd; volume_cmd; trace_cmd; simulate_cmd; cluster_cmd; optimal_cmd;
-      compile_cmd; failure_cmd; deploy_cmd;
+      compile_cmd; analyze_cmd; failure_cmd; deploy_cmd;
       experiment_cmd; chaos_cmd;
     ]
 

@@ -36,8 +36,11 @@ let () =
       if i < 3 then Format.printf "  %a@." Spe.Tuple.pp alert)
     run.Spe.Executor.outputs;
 
-  (* Resilient placement of the compiled query on three nodes. *)
+  (* Resilient placement of the compiled query on three nodes, gated
+     by static analysis of the profiled load model. *)
   let caps = Rod.Problem.homogeneous_caps ~n:3 ~cap:1. in
+  Analysis.Plan_check.assert_ok ~what:"trading plan"
+    (Analysis.Plan_check.check_graph profile.Spe.Profiler.graph ~caps);
   let problem = Rod.Problem.of_graph profile.Spe.Profiler.graph ~caps in
   let plan = Rod.Rod_algorithm.plan problem in
   Format.printf "@.%a@." Rod.Plan.pp plan;

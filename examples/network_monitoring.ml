@@ -16,6 +16,10 @@ let () =
   let n_links = 4 and n_nodes = 3 in
   let graph = Query.Builder.traffic_monitoring ~n_links in
   let caps = Rod.Problem.homogeneous_caps ~n:n_nodes ~cap:1. in
+  (* Static analysis first: a malformed or statically-infeasible model
+     should fail here, not after minutes of simulation. *)
+  Analysis.Plan_check.assert_ok ~what:"monitoring plan"
+    (Analysis.Plan_check.check_graph graph ~caps);
   let problem = Rod.Problem.of_graph graph ~caps in
   Format.printf "monitoring %d links: %d operators over %d nodes@." n_links
     (Query.Graph.n_ops graph) n_nodes;

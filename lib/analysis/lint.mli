@@ -1,0 +1,79 @@
+(** [rodlint]: a source linter over this repository's OCaml code, built
+    on compiler-libs' parser and AST iterator.  Three rule families:
+
+    {b Determinism} (every file):
+    - [determinism/self-init] — [Random.self_init] seeds the global rng
+      from the environment; placements and tests must be reproducible.
+    - [determinism/global-random] — any [Random.<f>] call that touches
+      the global generator state ([Random.State.*] with an explicit,
+      seeded state is the sanctioned idiom).
+    - [determinism/wallclock] — [Unix.gettimeofday], [Unix.time] and
+      [Sys.time] make results depend on the clock.  The profiler is the
+      one legitimate user and is allowlisted.
+
+    {b Parallel safety} (every file): a function literal passed to
+    [Pool.parallel_for] / [map_reduce] / [map_chunks] must not mutate
+    captured state except through the chunk-index idiom (writes to a
+    captured array are fine when the index involves a variable bound
+    inside the closure — the [for s = lo to hi - 1] pattern touching
+    disjoint ranges).  Flagged: [:=] / [incr] / [decr] on captured
+    refs, mutable-field assignment on captured records, and
+    [captured.(i) <- e] where [i] mentions no closure-bound variable.
+
+    {b Hot-path hygiene} (only in files carrying a [rodlint: hot]
+    marker comment):
+    - [hot/poly-compare] — the polymorphic [compare] (use
+      [Float.compare] / [Int.compare]; the polymorphic version boxes
+      and walks tags).
+    - [hot/float-eq] — [=] / [<>] where an operand is syntactically a
+      float (float equality is almost always an epsilon bug, and
+      polymorphic equality boxes).
+    - [hot/closure-in-loop] — a function literal inside a [for]/[while]
+      body allocates one closure per iteration.
+
+    Diagnostics carry [file:line:col] positions.  An allowlist file
+    suppresses known-good findings; every entry needs a justification
+    comment and unused entries are reported so the list cannot rot. *)
+
+type diag = {
+  file : string;
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based, matching compiler convention. *)
+  rule : string;  (** e.g. ["determinism/wallclock"]. *)
+  message : string;
+}
+
+val hot_marker : string
+(** The magic comment substring ["rodlint: hot"]. *)
+
+val lint_string : ?hot:bool -> filename:string -> string -> diag list
+(** Lint one compilation unit given as text.  [hot] overrides the
+    marker autodetection.  A file that does not parse yields a single
+    [parse/error] diagnostic. *)
+
+val lint_file : ?hot:bool -> string -> diag list
+
+type allowlist
+(** Entries of [(path suffix, rule prefix)]; a diagnostic is suppressed
+    when some entry's path is a suffix of the diagnostic's path and its
+    rule a prefix of the diagnostic's rule. *)
+
+val allowlist_of_string : source:string -> string -> allowlist
+(** Parse allowlist text: one [<path> <rule> # justification] entry per
+    line; blank lines and [#]-leading comment lines ignored.
+    @raise Failure on a malformed line (with [source] and the line
+    number). *)
+
+val load_allowlist : string -> allowlist
+
+val empty_allowlist : allowlist
+
+val split_allowed : allowlist -> diag list -> diag list * diag list
+(** [(kept, suppressed)]; marks matching entries as used. *)
+
+val unused_entries : allowlist -> (string * string) list
+(** Entries that suppressed nothing since loading, as
+    [(path, rule)] pairs — stale allowlist hygiene. *)
+
+val render : diag -> string
+(** [file:line:col: [rule] message] — the compiler-style format. *)

@@ -112,6 +112,10 @@ let fixture ?(storm_factor = 0.) ?(slack = 4.) ~quick ~seed () =
     Vec.max_elt (Vec.init n_nodes (fun i -> Vec.dot (Mat.row ln i) vars))
   in
   let caps = Vec.create n_nodes (Float.max 1e-9 (predicted /. 0.6)) in
+  (* A chaos fixture that fails static analysis would chase faults in a
+     plan no deployment path accepts; reject it up front. *)
+  Analysis.Plan_check.assert_ok ~what:"chaos fixture"
+    (Analysis.Plan_check.check_model model ~caps);
   let arrivals = Array.map (List.map Tuple.ts) inputs in
   let injected = Array.map List.length inputs in
   let last_ts =

@@ -1,3 +1,5 @@
+(* rodlint: hot *)
+
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
 
@@ -12,7 +14,7 @@ let order_operators problem =
   let order = List.init m (fun j -> j) in
   (* Stable sort keeps index order among equal norms, making the
      algorithm fully deterministic. *)
-  List.stable_sort (fun a b -> compare norms.(b) norms.(a)) order
+  List.stable_sort (fun a b -> Float.compare norms.(b) norms.(a)) order
 
 (* Operator adjacency from the query graph, for the Min_new_arcs
    policy. *)
@@ -117,7 +119,7 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
       acc.(1) <- acc.(1) +. (wk *. lower_norm.(k))
     done;
     let norm = sqrt acc.(0) in
-    acc.(2) <- (if norm = 0. then infinity else (1. -. acc.(1)) /. norm)
+    acc.(2) <- (if norm > 0. then (1. -. acc.(1)) /. norm else infinity)
   in
   let assign j =
     let class_one_count = ref 0 in
@@ -157,7 +159,14 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
           let scored =
             List.map (fun (i, dist) -> (new_cut_arcs j i, -.dist, i)) !one_scored
           in
-          match List.sort compare scored with
+          let by_arcs_dist_index (a1, d1, i1) (a2, d2, i2) =
+            let c = Int.compare a1 a2 in
+            if c <> 0 then c
+            else
+              let c = Float.compare d1 d2 in
+              if c <> 0 then c else Int.compare i1 i2
+          in
+          match List.sort by_arcs_dist_index scored with
           | (_, _, i) :: _ -> i
           | [] -> assert false)
     in

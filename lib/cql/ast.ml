@@ -10,9 +10,9 @@ type field_type =
 
 type expr =
   | Field of string * pos
-  | Int_lit of int
-  | Float_lit of float
-  | Str_lit of string
+  | Int_lit of int * pos
+  | Float_lit of float * pos
+  | Str_lit of string * pos
   | Unary of unary * expr
   | Binary of binary * expr * expr * pos
 
@@ -110,9 +110,9 @@ let binary_symbol = function
 
 let rec pp_expr fmt = function
   | Field (name, _) -> Format.pp_print_string fmt name
-  | Int_lit i -> Format.pp_print_int fmt i
-  | Float_lit f -> Format.fprintf fmt "%g" f
-  | Str_lit s -> Format.fprintf fmt "%S" s
+  | Int_lit (i, _) -> Format.pp_print_int fmt i
+  | Float_lit (f, _) -> Format.fprintf fmt "%g" f
+  | Str_lit (s, _) -> Format.fprintf fmt "%S" s
   | Unary (Neg, e) -> Format.fprintf fmt "(-%a)" pp_expr e
   | Unary (Not, e) -> Format.fprintf fmt "(not %a)" pp_expr e
   | Binary (op, a, b, _) ->

@@ -25,9 +25,9 @@ type field_type =
 
 type expr =
   | Field of string * pos
-  | Int_lit of int
-  | Float_lit of float
-  | Str_lit of string
+  | Int_lit of int * pos
+  | Float_lit of float * pos
+  | Str_lit of string * pos
   | Unary of unary * expr
   | Binary of binary * expr * expr * pos  (** Position of the operator. *)
 

@@ -84,7 +84,7 @@ and expr_pos = function
   | Field (_, pos) -> pos
   | Binary (_, _, _, pos) -> pos
   | Unary (_, e) -> expr_pos e
-  | Int_lit _ | Float_lit _ | Str_lit _ -> { line = 0; col = 0 }
+  | Int_lit (_, pos) | Float_lit (_, pos) | Str_lit (_, pos) -> pos
 
 let check_stream_decl seen ~name ~pos ~fields =
   if List.mem_assoc name seen then fail pos "duplicate name %S" name;
@@ -250,9 +250,11 @@ let check program =
   List.iter
     (fun n ->
       let pos =
+        (* Every element of [nodes] was pushed together with its
+           position, so the lookup cannot miss. *)
         match List.assoc_opt n.name !node_positions with
         | Some p -> p
-        | None -> { line = 0; col = 0 }
+        | None -> assert false
       in
       let is_output = List.mem n.name outputs in
       let is_consumed = consumed n.name in
@@ -263,6 +265,17 @@ let check program =
           n.name n.name)
     nodes;
   (match outputs with
-  | [] -> fail { line = 0; col = 0 } "the program declares no output"
+  | [] ->
+    (* Point at the last declaration: the place where an [output]
+       line should have followed. *)
+    let pos =
+      List.fold_left
+        (fun _ decl ->
+          match decl with
+          | Stream_decl { pos; _ } | Node_decl { pos; _ } -> pos
+          | Output_decl (_, pos) -> pos)
+        { line = 1; col = 1 } program
+    in
+    fail pos "the program declares no output"
   | _ -> ());
   { streams = List.rev !streams; nodes; outputs }

@@ -40,9 +40,9 @@ let as_bool = function
 let rec eval expr tuple =
   match expr with
   | Ast.Field (name, _) -> rv_of_value (Tuple.find tuple name)
-  | Ast.Int_lit i -> R_int i
-  | Ast.Float_lit f -> R_float f
-  | Ast.Str_lit s -> R_str s
+  | Ast.Int_lit (i, _) -> R_int i
+  | Ast.Float_lit (f, _) -> R_float f
+  | Ast.Str_lit (s, _) -> R_str s
   | Ast.Unary (Ast.Neg, e) -> (
     match eval e tuple with
     | R_int i -> R_int (-i)

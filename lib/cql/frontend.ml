@@ -9,8 +9,10 @@ let compile_string text =
   | exception Lexer.Error (pos, message) -> Error { pos = Some pos; message }
   | exception Parser.Error (pos, message) -> Error { pos = Some pos; message }
   | exception Check.Error (pos, message) ->
-    let pos = if pos.Ast.line = 0 then None else Some pos in
-    Error { pos; message }
+    (* Check diagnostics always carry a real position now that
+       literals are located and the no-output error points at the last
+       declaration. *)
+    Error { pos = Some pos; message }
   | exception Invalid_argument message -> Error { pos = None; message }
 
 let compile_file ~path =

@@ -119,15 +119,15 @@ and parse_unary st =
 
 and parse_primary st =
   match current st with
-  | Lexer.INT i, _ ->
+  | Lexer.INT i, p ->
     advance st;
-    Int_lit i
-  | Lexer.FLOAT f, _ ->
+    Int_lit (i, p)
+  | Lexer.FLOAT f, p ->
     advance st;
-    Float_lit f
-  | Lexer.STRING s, _ ->
+    Float_lit (f, p)
+  | Lexer.STRING s, p ->
     advance st;
-    Str_lit s
+    Str_lit (s, p)
   | Lexer.IDENT name, p ->
     advance st;
     Field (name, p)

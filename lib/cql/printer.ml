@@ -35,9 +35,9 @@ let rec pp_expr_prec level fmt expr =
   if wrap then Format.pp_print_string fmt "(";
   (match expr with
   | Field (name, _) -> Format.pp_print_string fmt name
-  | Int_lit i -> Format.pp_print_int fmt i
-  | Float_lit f -> Format.pp_print_string fmt (float_literal f)
-  | Str_lit s -> Format.fprintf fmt "\"%s\"" (escape_string s)
+  | Int_lit (i, _) -> Format.pp_print_int fmt i
+  | Float_lit (f, _) -> Format.pp_print_string fmt (float_literal f)
+  | Str_lit (s, _) -> Format.fprintf fmt "\"%s\"" (escape_string s)
   | Unary (Neg, e) ->
     (* Level 8 forces parentheses around any non-primary operand; in
        particular "--x" would lex as a comment. *)

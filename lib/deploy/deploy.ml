@@ -8,10 +8,16 @@ type t = {
   ratio : float;
   network : Spe.Network.t option;
   profile : Spe.Profiler.profile_result option;
+  analysis : Analysis.Plan_check.report;
 }
 
 let finish ?(polish = false) ?lower ?(samples = 8192) ~graph ~caps ~network
     ~profile () =
+  (* Static analysis gates every deployment: a plan with a statically
+     infeasible operator (or malformed load model) is rejected before
+     any placement work happens. *)
+  let analysis = Analysis.Plan_check.check_graph graph ~caps in
+  Analysis.Plan_check.assert_ok ~what:"deployment" analysis;
   let problem = Rod.Problem.of_graph graph ~caps in
   let assignment = Rod.Rod_algorithm.place ?lower problem in
   let assignment =
@@ -29,6 +35,7 @@ let finish ?(polish = false) ?lower ?(samples = 8192) ~graph ~caps ~network
     ratio = est.Feasible.Volume.ratio;
     network;
     profile;
+    analysis;
   }
 
 let of_cost_model ?polish ?lower ?samples ~graph ~caps () =

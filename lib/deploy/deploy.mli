@@ -21,6 +21,12 @@ type t = {
       (** The executable network, when deploying from one. *)
   profile : Spe.Profiler.profile_result option;
       (** Measured costs/selectivities, when profiling happened. *)
+  analysis : Analysis.Plan_check.report;
+      (** The static-analysis report for the deployed model.  Every
+          entry point runs {!Analysis.Plan_check.check_graph} before
+          placing and raises [Invalid_argument] on errors
+          ({!of_query_file} returns them as [Error]); warnings are
+          kept here for inspection. *)
 }
 
 val of_cost_model :

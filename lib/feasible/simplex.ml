@@ -1,10 +1,12 @@
+(* rodlint: hot *)
+
 module Vec = Linalg.Vec
 
 let of_cube u =
   let d = Array.length u in
   if d = 0 then invalid_arg "Simplex.of_cube: empty point";
   let sorted = Array.copy u in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   Array.init d (fun k -> if k = 0 then sorted.(0) else sorted.(k) -. sorted.(k - 1))
 
 let volume d =
@@ -59,7 +61,7 @@ let sample_ideal_into ~l ~c_total ?lower ~cube_point ~scratch dst =
   if slack < 0. then
     invalid_arg "Simplex.to_ideal: lower bound is infeasible";
   if scratch != cube_point then Array.blit cube_point 0 scratch 0 d;
-  Array.sort compare scratch;
+  Array.sort Float.compare scratch;
   (* Descending, so [dst] may alias [scratch]: step [k] reads
      [scratch.(k)] and [scratch.(k - 1)], both still unwritten. *)
   for k = d - 1 downto 0 do

@@ -1,3 +1,5 @@
+(* rodlint: hot *)
+
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
 module Pool = Parallel.Pool
@@ -28,7 +30,7 @@ let estimate ?pool ~count ~ln ~caps ?l ?lower ~samples () =
   let l = match l with Some l -> l | None -> Mat.col_sums ln in
   let c_total = Vec.sum caps in
   let ideal = Simplex.ideal_volume ~l ~c_total ?lower () in
-  if ideal = 0. then
+  if ideal <= 0. then
     { ratio = 0.; volume = 0.; ideal_volume = 0.; samples; feasible_samples = 0;
       std_error = 0. }
   else begin
@@ -91,7 +93,8 @@ let ratio_mc ~rng ~ln ~caps ?l ?lower ~samples () =
 let max_scale ~ln ~caps ~direction =
   if Vec.dim direction <> Mat.cols ln then
     invalid_arg "Volume.max_scale: direction dimension mismatch";
-  if Vec.exists (fun x -> x < 0.) direction || Vec.for_all (fun x -> x = 0.) direction
+  if Vec.exists (fun x -> x < 0.) direction
+     || not (Vec.exists (fun x -> x > 0.) direction)
   then invalid_arg "Volume.max_scale: direction must be nonnegative, nonzero";
   let best = ref infinity in
   for i = 0 to Mat.rows ln - 1 do

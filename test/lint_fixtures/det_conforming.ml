@@ -1,0 +1,9 @@
+(* Fixture: the sanctioned deterministic idioms — no findings. *)
+
+let state = Random.State.make [| 42 |]
+
+let jitter () = Random.State.float state 1.0
+
+let virtual_clock = ref 0.
+
+let now () = !virtual_clock

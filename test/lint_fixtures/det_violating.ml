@@ -1,0 +1,9 @@
+(* Fixture: every determinism rule fires once. *)
+
+let () = Random.self_init ()
+
+let jitter () = Random.float 1.0
+
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()

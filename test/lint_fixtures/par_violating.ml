@@ -1,0 +1,25 @@
+(* Fixture: closures handed to the pool mutating captured state. *)
+
+let sum_bad pool data n =
+  let total = ref 0. in
+  Pool.parallel_for pool n (fun lo hi ->
+      for s = lo to hi - 1 do
+        total := !total +. data.(s)
+      done);
+  !total
+
+let count_bad pool n =
+  let hits = ref 0 in
+  Pool.parallel_for pool n (fun lo hi ->
+      for _ = lo to hi - 1 do
+        incr hits
+      done);
+  !hits
+
+let scatter_bad pool out n =
+  Pool.parallel_for pool n (fun _lo _hi -> out.(0) <- 1.0)
+
+type cell = { mutable value : float }
+
+let field_bad pool acc n =
+  Pool.parallel_for pool n (fun _lo _hi -> acc.value <- 1.0)

@@ -1,0 +1,291 @@
+(* Tests of the static-analysis layer: every Plan_check diagnostic on
+   a minimal failing plan plus a clean plan with zero diagnostics, and
+   the rodlint rules on fixture sources (one violating and one
+   conforming file per rule family). *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Plan_check = Analysis.Plan_check
+module Lint = Analysis.Lint
+
+let codes report = List.map (fun d -> d.Plan_check.code) report.Plan_check.diags
+
+let has_code code report = List.mem code (codes report)
+
+let check ?threshold ?expect_vars rows caps =
+  Plan_check.check_matrix ?threshold ?expect_vars ~lo:(Mat.of_arrays rows)
+    ~caps:(Vec.of_list caps) ()
+
+(* --- Plan_check: one minimal failing plan per diagnostic --- *)
+
+let test_clean_plan () =
+  let report = check [| [| 0.1; 0. |]; [| 0.; 0.1 |] |] [ 1.; 1. ] in
+  Alcotest.(check bool) "ok" true (Plan_check.ok report);
+  Alcotest.(check int) "zero diagnostics" 0
+    (List.length report.Plan_check.diags);
+  Alcotest.(check int) "bound per axis" 2
+    (Array.length report.Plan_check.axis_bound);
+  Array.iter
+    (fun b ->
+      Alcotest.(check (float 1e-9)) "axis bound 1-(1-1/2)^2" 0.75 b)
+    report.Plan_check.axis_bound
+
+let test_bad_capacity () =
+  let report = check [| [| 0.1 |] |] [ 1.; -1. ] in
+  Alcotest.(check bool) "rejected" false (Plan_check.ok report);
+  Alcotest.(check bool) "bad-capacity" true (has_code "bad-capacity" report);
+  let report = check [| [| 0.1 |] |] [ Float.nan ] in
+  Alcotest.(check bool) "nan capacity" true (has_code "bad-capacity" report);
+  let report = check [| [| 0.1 |] |] [] in
+  Alcotest.(check bool) "empty cluster" true (has_code "bad-capacity" report)
+
+let test_dimension_mismatch () =
+  let report = check ~expect_vars:3 [| [| 0.1; 0.2 |] |] [ 1. ] in
+  Alcotest.(check bool) "rejected" false (Plan_check.ok report);
+  Alcotest.(check bool) "dimension-mismatch" true
+    (has_code "dimension-mismatch" report)
+
+let test_empty_plan () =
+  let report =
+    Plan_check.check_matrix ~lo:(Mat.zeros 0 2) ~caps:(Vec.of_list [ 1. ]) ()
+  in
+  Alcotest.(check bool) "warning only" true (Plan_check.ok report);
+  Alcotest.(check bool) "empty-plan" true (has_code "empty-plan" report)
+
+let test_nan_coefficient () =
+  let report = check [| [| Float.nan |] |] [ 1. ] in
+  Alcotest.(check bool) "rejected" false (Plan_check.ok report);
+  Alcotest.(check bool) "nan-coefficient" true
+    (has_code "nan-coefficient" report);
+  Alcotest.(check int) "no bound on dirty values" 0
+    (Array.length report.Plan_check.axis_bound)
+
+let test_negative_coefficient () =
+  let report = check [| [| -0.5 |] |] [ 1. ] in
+  Alcotest.(check bool) "rejected" false (Plan_check.ok report);
+  Alcotest.(check bool) "negative-coefficient" true
+    (has_code "negative-coefficient" report)
+
+let test_dead_operator () =
+  let report = check [| [| 0.; 0. |]; [| 0.3; 0.3 |] |] [ 1. ] in
+  Alcotest.(check bool) "warning only" true (Plan_check.ok report);
+  Alcotest.(check bool) "dead-operator" true (has_code "dead-operator" report)
+
+let test_unloaded_variable () =
+  let report = check [| [| 0.3; 0. |] |] [ 1. ] in
+  Alcotest.(check bool) "warning only" true (Plan_check.ok report);
+  Alcotest.(check bool) "unloaded-variable" true
+    (has_code "unloaded-variable" report)
+
+let test_infeasible_operator () =
+  (* Coefficient 5 vs capacity 1: unit rate does not fit anywhere. *)
+  let report = check [| [| 5. |] |] [ 1. ] in
+  Alcotest.(check bool) "rejected" false (Plan_check.ok report);
+  Alcotest.(check bool) "infeasible-operator" true
+    (has_code "infeasible-operator" report);
+  Alcotest.(check bool) "assert_ok raises" true
+    (match Plan_check.assert_ok report with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_resiliency_capped () =
+  (* One operator dominates axis 0 on an 8-node cluster: the
+     truncating extent is 1/0.9 vs ideal 8/0.9, so the bound is
+     1 - (1 - 1/8)^2 ~ 0.234 < 0.5. *)
+  let report =
+    check [| [| 0.9; 0. |]; [| 0.; 0.1 |] |] [ 1.; 1.; 1.; 1.; 1.; 1.; 1.; 1. ]
+  in
+  Alcotest.(check bool) "warning only" true (Plan_check.ok report);
+  Alcotest.(check bool) "resiliency-capped" true
+    (has_code "resiliency-capped" report);
+  Alcotest.(check (float 1e-6)) "axis-0 bound" 0.234375
+    report.Plan_check.axis_bound.(0);
+  (* The same plan passes with a permissive threshold. *)
+  let lax =
+    check ~threshold:0.1
+      [| [| 0.9; 0. |]; [| 0.; 0.1 |] |]
+      [ 1.; 1.; 1.; 1.; 1.; 1.; 1.; 1. ]
+  in
+  Alcotest.(check int) "no warning below threshold" 0
+    (List.length lax.Plan_check.diags)
+
+let test_starved_operator () =
+  (* The producer's selectivity is zero, so the consumer only sees a
+     statically-dead stream. *)
+  let graph =
+    Query.Graph_io.of_string
+      "rodgraph v1\n\
+       inputs 1 xfer=0\n\
+       op name=p inputs=I0 linear costs=0.1 sels=0 xfer=0\n\
+       op name=c inputs=o0 linear costs=0.1 sels=1 xfer=0\n"
+  in
+  let report = Plan_check.check_graph graph ~caps:(Vec.of_list [ 1.; 1. ]) in
+  Alcotest.(check bool) "warning only" true (Plan_check.ok report);
+  Alcotest.(check bool) "starved-operator" true
+    (has_code "starved-operator" report)
+
+let test_graph_fixtures () =
+  let infeasible = Query.Graph_io.load ~path:"fixtures/infeasible.rodgraph" in
+  let report =
+    Plan_check.check_graph infeasible ~caps:(Vec.of_list [ 1.; 1. ])
+  in
+  Alcotest.(check bool) "fixture rejected" false (Plan_check.ok report);
+  Alcotest.(check bool) "names the operator" true
+    (List.exists
+       (fun d ->
+         d.Plan_check.code = "infeasible-operator"
+         && String.length d.Plan_check.message > 0)
+       report.Plan_check.diags);
+  let clean = Query.Graph_io.load ~path:"fixtures/clean.rodgraph" in
+  let report = Plan_check.check_graph clean ~caps:(Vec.of_list [ 1.; 1. ]) in
+  Alcotest.(check bool) "clean fixture ok" true (Plan_check.ok report);
+  Alcotest.(check int) "clean fixture zero diagnostics" 0
+    (List.length report.Plan_check.diags)
+
+let test_json_rendering () =
+  let report = check [| [| 5. |] |] [ 1. ] in
+  let json = Plan_check.to_json report in
+  let mem sub =
+    let l = String.length json and sl = String.length sub in
+    let rec scan i = i + sl <= l && (String.sub json i sl = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "schema tag" true (mem "rod-plan-check/1");
+  Alcotest.(check bool) "not ok" true (mem "\"ok\": false");
+  Alcotest.(check bool) "carries the code" true (mem "infeasible-operator")
+
+(* --- deploy integration: the gate rejects before placing --- *)
+
+let test_deploy_gate () =
+  let graph = Query.Graph_io.load ~path:"fixtures/infeasible.rodgraph" in
+  let caps = Rod.Problem.homogeneous_caps ~n:2 ~cap:1. in
+  Alcotest.(check bool) "deploy rejects statically" true
+    (match Deploy.of_cost_model ~graph ~caps () with
+    | _ -> false
+    | exception Invalid_argument message ->
+      (* The message must point at static analysis, not at some later
+         placement failure. *)
+      String.length message > 0
+      && String.sub message 0 10 = "deployment")
+
+(* --- rodlint fixtures --- *)
+
+let rules path = List.map (fun d -> d.Lint.rule) (Lint.lint_file path)
+
+let test_lint_determinism () =
+  Alcotest.(check (list string))
+    "violating file: every determinism rule"
+    [
+      "determinism/self-init"; "determinism/global-random";
+      "determinism/wallclock"; "determinism/wallclock";
+    ]
+    (rules "lint_fixtures/det_violating.ml");
+  Alcotest.(check (list string))
+    "conforming file: clean" []
+    (rules "lint_fixtures/det_conforming.ml")
+
+let test_lint_parallel () =
+  Alcotest.(check (list string))
+    "violating file: every mutation shape"
+    [
+      "parallel/captured-mutation"; "parallel/captured-mutation";
+      "parallel/captured-mutation"; "parallel/captured-mutation";
+    ]
+    (rules "lint_fixtures/par_violating.ml");
+  Alcotest.(check (list string))
+    "conforming file: chunk idiom and local state are fine" []
+    (rules "lint_fixtures/par_conforming.ml")
+
+let test_lint_hot () =
+  Alcotest.(check (list string))
+    "violating file: every hot rule"
+    [ "hot/poly-compare"; "hot/float-eq"; "hot/closure-in-loop" ]
+    (rules "lint_fixtures/hot_violating.ml");
+  Alcotest.(check (list string))
+    "conforming file: clean" []
+    (rules "lint_fixtures/hot_conforming.ml")
+
+let test_lint_positions () =
+  match Lint.lint_file "lint_fixtures/det_violating.ml" with
+  | first :: _ ->
+    Alcotest.(check string) "file" "lint_fixtures/det_violating.ml" first.Lint.file;
+    Alcotest.(check int) "line of Random.self_init" 3 first.Lint.line;
+    Alcotest.(check bool) "rendered as file:line:col" true
+      (String.length (Lint.render first) > 0
+      && Lint.render first
+         <> Printf.sprintf "%s:0:0" first.Lint.file)
+  | [] -> Alcotest.fail "expected findings"
+
+let test_lint_hot_marker_detection () =
+  (* Without the marker the hot rules stay silent... *)
+  Alcotest.(check (list string))
+    "no marker, no hot rules" []
+    (List.map
+       (fun d -> d.Lint.rule)
+       (Lint.lint_string ~filename:"m.ml" "let f k = Array.sort compare k"));
+  (* ...the marker comment switches them on, and ?hot overrides. *)
+  Alcotest.(check (list string))
+    "marker enables" [ "hot/poly-compare" ]
+    (List.map
+       (fun d -> d.Lint.rule)
+       (Lint.lint_string ~filename:"m.ml"
+          "(* rodlint: hot *)\nlet f k = Array.sort compare k"));
+  Alcotest.(check (list string))
+    "explicit override" [ "hot/poly-compare" ]
+    (List.map
+       (fun d -> d.Lint.rule)
+       (Lint.lint_string ~hot:true ~filename:"m.ml"
+          "let f k = Array.sort compare k"))
+
+let test_lint_parse_error () =
+  match Lint.lint_string ~filename:"broken.ml" "let = in =" with
+  | [ d ] -> Alcotest.(check string) "parse/error" "parse/error" d.Lint.rule
+  | other ->
+    Alcotest.failf "expected exactly one parse/error, got %d" (List.length other)
+
+let test_allowlist () =
+  let diags = Lint.lint_file "lint_fixtures/det_violating.ml" in
+  let allow =
+    Lint.allowlist_of_string ~source:"test.allow"
+      "# comment line\n\
+       det_violating.ml determinism/ # fixtures are allowed to violate\n\
+       nowhere.ml hot/ # never matches\n"
+  in
+  let kept, suppressed = Lint.split_allowed allow diags in
+  Alcotest.(check int) "all suppressed" 0 (List.length kept);
+  Alcotest.(check int) "four suppressed" 4 (List.length suppressed);
+  Alcotest.(check (list (pair string string)))
+    "stale entry reported"
+    [ ("nowhere.ml", "hot/") ]
+    (Lint.unused_entries allow);
+  Alcotest.(check bool) "malformed entry rejected" true
+    (match Lint.allowlist_of_string ~source:"bad.allow" "just-one-token\n" with
+    | _ -> false
+    | exception Failure message ->
+      String.length message > 0 && String.sub message 0 9 = "bad.allow")
+
+let suite =
+  [
+    Alcotest.test_case "clean plan: zero diagnostics" `Quick test_clean_plan;
+    Alcotest.test_case "bad capacity" `Quick test_bad_capacity;
+    Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch;
+    Alcotest.test_case "empty plan" `Quick test_empty_plan;
+    Alcotest.test_case "nan coefficient" `Quick test_nan_coefficient;
+    Alcotest.test_case "negative coefficient" `Quick test_negative_coefficient;
+    Alcotest.test_case "dead operator" `Quick test_dead_operator;
+    Alcotest.test_case "unloaded variable" `Quick test_unloaded_variable;
+    Alcotest.test_case "infeasible operator" `Quick test_infeasible_operator;
+    Alcotest.test_case "resiliency capped" `Quick test_resiliency_capped;
+    Alcotest.test_case "starved operator" `Quick test_starved_operator;
+    Alcotest.test_case "graph fixtures" `Quick test_graph_fixtures;
+    Alcotest.test_case "json rendering" `Quick test_json_rendering;
+    Alcotest.test_case "deploy gate" `Quick test_deploy_gate;
+    Alcotest.test_case "lint: determinism rules" `Quick test_lint_determinism;
+    Alcotest.test_case "lint: parallel-safety rules" `Quick test_lint_parallel;
+    Alcotest.test_case "lint: hot-path rules" `Quick test_lint_hot;
+    Alcotest.test_case "lint: positions" `Quick test_lint_positions;
+    Alcotest.test_case "lint: hot marker detection" `Quick
+      test_lint_hot_marker_detection;
+    Alcotest.test_case "lint: parse error" `Quick test_lint_parse_error;
+    Alcotest.test_case "lint: allowlist" `Quick test_allowlist;
+  ]

@@ -384,7 +384,9 @@ let zero = { Ast.line = 0; col = 0 }
 
 let rec strip_expr = function
   | Ast.Field (n, _) -> Ast.Field (n, zero)
-  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ as e -> e
+  | Ast.Int_lit (i, _) -> Ast.Int_lit (i, zero)
+  | Ast.Float_lit (f, _) -> Ast.Float_lit (f, zero)
+  | Ast.Str_lit (s, _) -> Ast.Str_lit (s, zero)
   | Ast.Unary (op, e) -> Ast.Unary (op, strip_expr e)
   | Ast.Binary (op, a, b, _) -> Ast.Binary (op, strip_expr a, strip_expr b, zero)
 
@@ -471,9 +473,9 @@ let expr_gen =
   let literal =
     oneof
       [
-        (0 -- 100 >|= fun i -> Ast.Int_lit i);
-        (float_bound_inclusive 50. >|= fun f -> Ast.Float_lit f);
-        (oneofl [ "x"; "hello"; "a b" ] >|= fun s -> Ast.Str_lit s);
+        (0 -- 100 >|= fun i -> Ast.Int_lit (i, zero));
+        (float_bound_inclusive 50. >|= fun f -> Ast.Float_lit (f, zero));
+        (oneofl [ "x"; "hello"; "a b" ] >|= fun s -> Ast.Str_lit (s, zero));
       ]
   in
   (* Numeric expressions only (so any tree types if a,b are numeric). *)
@@ -507,7 +509,7 @@ let prop_expr_print_parse_roundtrip =
       match Parser.parse printed with
       | [ Ast.Node_decl { body = Ast.Filter { predicate; _ }; _ } ] -> (
         match strip_expr predicate with
-        | Ast.Binary (Ast.Eq, left, Ast.Int_lit 0, _) ->
+        | Ast.Binary (Ast.Eq, left, Ast.Int_lit (0, _), _) ->
           left = strip_expr expr
         | _ -> false)
       | _ -> false)

@@ -126,7 +126,10 @@ let test_of_query_file () =
 
 let test_save_artifacts () =
   let graph = Query.Builder.example2 () in
-  let caps = Rod.Problem.homogeneous_caps ~n:2 ~cap:1. in
+  (* Example 2's operator costs reach 9 load per unit rate; nodes must
+     be able to host that or the static-analysis gate rejects the
+     deployment before anything is saved. *)
+  let caps = Rod.Problem.homogeneous_caps ~n:2 ~cap:10. in
   let d = Deploy.of_cost_model ~graph ~caps () in
   let dir = Filename.temp_file "deploydir" "" in
   Sys.remove dir;

@@ -18,4 +18,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("cql", Test_cql.suite);
       ("deploy", Test_deploy.suite);
+      ("analysis", Test_analysis.suite);
     ]

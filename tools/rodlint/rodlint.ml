@@ -1,0 +1,70 @@
+(* rodlint [--allow FILE] PATH...
+
+   Lints every .ml file under the given paths (recursively; [_build]
+   and dot-directories are skipped) and exits nonzero when any
+   unsuppressed diagnostic remains, or when the allowlist has gone
+   stale (an entry that suppresses nothing). *)
+
+let usage = "usage: rodlint [--allow FILE] PATH..."
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
+           else collect acc (Filename.concat path entry))
+         acc
+  else if is_ml path then path :: acc
+  else acc
+
+let () =
+  let allow_file = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allow" :: file :: rest ->
+      allow_file := Some file;
+      parse rest
+    | "--allow" :: [] ->
+      prerr_endline usage;
+      exit 2
+    | ("--help" | "-help") :: _ ->
+      print_endline usage;
+      exit 0
+    | p :: rest ->
+      paths := p :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let allowlist =
+    match !allow_file with
+    | None -> Analysis.Lint.empty_allowlist
+    | Some file -> (
+      try Analysis.Lint.load_allowlist file
+      with Failure msg ->
+        prerr_endline msg;
+        exit 2)
+  in
+  let files = List.fold_left collect [] (List.rev !paths) in
+  let files = List.sort_uniq String.compare files in
+  let diags = List.concat_map Analysis.Lint.lint_file files in
+  let kept, suppressed = Analysis.Lint.split_allowed allowlist diags in
+  List.iter (fun d -> print_endline (Analysis.Lint.render d)) kept;
+  let stale = Analysis.Lint.unused_entries allowlist in
+  List.iter
+    (fun (path, rule) ->
+      Printf.printf "stale allowlist entry: %s %s (suppresses nothing)\n" path
+        rule)
+    stale;
+  Printf.printf "rodlint: %d files, %d findings (%d suppressed)%s\n"
+    (List.length files) (List.length kept)
+    (List.length suppressed)
+    (if kept = [] && stale = [] then "" else " — FAILED");
+  if kept <> [] || stale <> [] then exit 1
