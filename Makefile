@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean check bench-quick chaos-quick lint
+.PHONY: all build test bench examples clean check bench-quick chaos-quick lint promcheck
 
 all: build
 
@@ -16,6 +16,7 @@ check:
 	dune build @lint
 	dune runtest
 	dune build @chaos-quick
+	dune build @promcheck
 
 # rodlint over lib/ and bin/: determinism, parallel-safety and
 # hot-path rules (see DESIGN.md), with rodlint.allow as the only
@@ -28,6 +29,11 @@ lint:
 # oracle violation).
 chaos-quick:
 	dune build @chaos-quick
+
+# Export Prometheus text from a seeded sim run and validate the
+# exposition format (tools/promcheck).
+promcheck:
+	dune build @promcheck
 
 bench:
 	dune exec bench/main.exe

@@ -196,6 +196,14 @@ let record_string ~quick rows =
     (match git_rev () with Some r -> Printf.sprintf "%S" r | None -> "null");
   out "      \"quick\": %b,\n" quick;
   out "      \"domains\": %d,\n" (Parallel.Pool.ways (Parallel.Pool.global ()));
+  (* The registry snapshot rides along with each record, so the
+     counter/histogram totals behind the timings land in git history
+     next to them (schema rod-obs-metrics/1, re-indented to nest). *)
+  let obs_json =
+    let doc = String.trim (Obs.Export.metrics_json (Obs.snapshot ())) in
+    String.concat "\n      " (String.split_on_char '\n' doc)
+  in
+  out "      \"obs\": %s,\n" obs_json;
   out "      \"results\": {\n";
   List.iteri
     (fun idx (name, ns, r2) ->

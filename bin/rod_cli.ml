@@ -74,6 +74,52 @@ let samples_arg =
     value & opt int 8192
     & info [ "samples" ] ~docv:"S" ~doc:"QMC samples for volume estimates.")
 
+(* --- observability exports (shared by place/sim/chaos/experiment) --- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry snapshot as JSON (schema \
+           rod-obs-metrics/1) to $(docv).")
+
+let obs_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the span trace as Chrome trace_event JSON to $(docv); load \
+           it in Perfetto or about:tracing.")
+
+let prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:"Write metrics in Prometheus text exposition format to $(docv).")
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let export_obs metrics trace prom =
+  let snapshot = lazy (Obs.snapshot ()) in
+  Option.iter
+    (fun path ->
+      write_file path (Obs.Export.metrics_json (Lazy.force snapshot)))
+    metrics;
+  Option.iter
+    (fun path -> write_file path (Obs.Export.trace_json (Obs.events ())))
+    trace;
+  Option.iter
+    (fun path -> write_file path (Obs.Export.prometheus (Lazy.force snapshot)))
+    prom
+
 let build_graph kind ~seed ~inputs ~ops_per_tree =
   match kind with
   | Random_trees ->
@@ -184,7 +230,7 @@ let dot_arg =
 
 let place_cmd =
   let run kind inputs ops_per_tree nodes seed algorithm samples load_graph
-      save_graph save_plan polish dot explain =
+      save_graph save_plan polish dot explain metrics obs_trace prom =
     let graph =
       match load_graph with
       | Some path -> Query.Graph_io.load ~path
@@ -221,13 +267,15 @@ let place_cmd =
     Format.printf "%a@." Plan.pp plan;
     Format.printf "%a@." Rod.Metrics.pp_summary (Rod.Metrics.summary plan);
     let est = Plan.volume_qmc ~samples plan in
-    Format.printf "feasible-set ratio vs ideal: %.4f@." est.Feasible.Volume.ratio
+    Format.printf "feasible-set ratio vs ideal: %.4f@." est.Feasible.Volume.ratio;
+    export_obs metrics obs_trace prom
   in
   let term =
     Term.(
       const run $ graph_arg $ inputs_arg $ ops_arg $ nodes_arg $ seed_arg
       $ algorithm_arg $ samples_arg $ load_graph_arg $ save_graph_arg
-      $ save_plan_arg $ polish_arg $ dot_arg $ explain_arg)
+      $ save_plan_arg $ polish_arg $ dot_arg $ explain_arg $ metrics_arg
+      $ obs_trace_arg $ prom_arg)
   in
   Cmd.v
     (Cmd.info "place" ~doc:"Place a query graph and report its resiliency.")
@@ -341,7 +389,7 @@ let trace_cmd =
 
 (* --- simulate --- *)
 
-let simulate_cmd =
+let simulate_term =
   let load_arg =
     Arg.(
       value & opt float 0.7
@@ -353,7 +401,8 @@ let simulate_cmd =
       value & opt float 64.
       & info [ "duration" ] ~docv:"T" ~doc:"Simulated seconds.")
   in
-  let run kind inputs ops_per_tree nodes seed algorithm load duration =
+  let run kind inputs ops_per_tree nodes seed algorithm load duration
+      obs_metrics obs_trace prom =
     let graph = build_graph kind ~seed ~inputs ~ops_per_tree in
     let problem =
       Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:nodes ~cap:1.)
@@ -377,17 +426,24 @@ let simulate_cmd =
         ~config:{ Dsim.Engine.default_config with warmup = 1. }
         ~graph ~assignment ~caps:problem.Problem.caps ~traces ()
     in
-    Format.printf "%a@." Dsim.Sim_metrics.pp metrics
+    Format.printf "%a@." Dsim.Sim_metrics.pp metrics;
+    export_obs obs_metrics obs_trace prom
   in
-  let term =
-    Term.(
-      const run $ graph_arg $ inputs_arg $ ops_arg $ nodes_arg $ seed_arg
-      $ algorithm_arg $ load_arg $ duration_arg)
-  in
+  Term.(
+    const run $ graph_arg $ inputs_arg $ ops_arg $ nodes_arg $ seed_arg
+    $ algorithm_arg $ load_arg $ duration_arg $ metrics_arg $ obs_trace_arg
+    $ prom_arg)
+
+let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Replay a bursty workload against a placement in the simulator.")
-    term
+    simulate_term
+
+(* cmdliner has no subcommand aliases; "sim" is a second command sharing
+   simulate's term. *)
+let sim_cmd =
+  Cmd.v (Cmd.info "sim" ~doc:"Alias for $(b,simulate).") simulate_term
 
 (* --- cluster --- *)
 
@@ -720,18 +776,27 @@ let experiment_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller, faster sweeps.")
   in
-  let run id quick =
-    match Experiments.Registry.find id with
-    | Some e ->
-      e.Experiments.Registry.run ~quick Format.std_formatter;
-      `Ok ()
-    | None ->
-      `Error
-        ( false,
-          Printf.sprintf "unknown experiment %S; available: %s" id
-            (String.concat ", " (Experiments.Registry.ids ())) )
+  let run id quick metrics obs_trace prom =
+    let result =
+      match Experiments.Registry.find id with
+      | Some e ->
+        e.Experiments.Registry.run ~quick Format.std_formatter;
+        `Ok ()
+      | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment %S; available: %s" id
+              (String.concat ", " (Experiments.Registry.ids ())) )
+    in
+    export_obs metrics obs_trace prom;
+    result
   in
-  let term = Term.(ret (const run $ id_arg $ quick_arg)) in
+  let term =
+    Term.(
+      ret
+        (const run $ id_arg $ quick_arg $ metrics_arg $ obs_trace_arg
+        $ prom_arg))
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one paper-reproduction experiment.")
     term
@@ -765,36 +830,45 @@ let chaos_cmd =
       (Chaos.Scenario.describe outcome);
     Chaos.Oracle.passed outcome.Chaos.Scenario.verdict
   in
-  let run list quick seed scenario =
-    if list then begin
-      List.iter
-        (fun s ->
-          Format.printf "%-10s %s@." s.Chaos.Scenario.id s.Chaos.Scenario.name)
-        Chaos.Scenario.all;
-      `Ok ()
-    end
-    else
-      match scenario with
-      | Some id -> (
-        match Chaos.Scenario.find id with
-        | Some s -> if run_one quick seed s then `Ok () else `Error (false, "oracle checks failed")
+  let run list quick seed scenario metrics obs_trace prom =
+    let result =
+      if list then begin
+        List.iter
+          (fun s ->
+            Format.printf "%-10s %s@." s.Chaos.Scenario.id s.Chaos.Scenario.name)
+          Chaos.Scenario.all;
+        `Ok ()
+      end
+      else
+        match scenario with
+        | Some id -> (
+          match Chaos.Scenario.find id with
+          | Some s -> if run_one quick seed s then `Ok () else `Error (false, "oracle checks failed")
+          | None ->
+            `Error
+              ( false,
+                Printf.sprintf "unknown scenario %S; available: %s" id
+                  (String.concat ", "
+                     (List.map (fun s -> s.Chaos.Scenario.id) Chaos.Scenario.all))
+              ))
         | None ->
-          `Error
-            ( false,
-              Printf.sprintf "unknown scenario %S; available: %s" id
-                (String.concat ", "
-                   (List.map (fun s -> s.Chaos.Scenario.id) Chaos.Scenario.all))
-            ))
-      | None ->
-        let ok =
-          List.fold_left
-            (fun acc s -> run_one quick seed s && acc)
-            true Chaos.Scenario.all
-        in
-        if ok then `Ok () else `Error (false, "oracle checks failed")
+          let ok =
+            List.fold_left
+              (fun acc s -> run_one quick seed s && acc)
+              true Chaos.Scenario.all
+          in
+          if ok then `Ok () else `Error (false, "oracle checks failed")
+    in
+    (* Telemetry is exported even when an oracle fails — a failing run
+       is exactly the one whose trace is worth opening. *)
+    export_obs metrics obs_trace prom;
+    result
   in
   let term =
-    Term.(ret (const run $ list_arg $ quick_arg $ chaos_seed_arg $ scenario_arg))
+    Term.(
+      ret
+        (const run $ list_arg $ quick_arg $ chaos_seed_arg $ scenario_arg
+        $ metrics_arg $ obs_trace_arg $ prom_arg))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -808,8 +882,8 @@ let main_cmd =
   let info = Cmd.info "rod-cli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      place_cmd; volume_cmd; trace_cmd; simulate_cmd; cluster_cmd; optimal_cmd;
-      compile_cmd; analyze_cmd; failure_cmd; deploy_cmd;
+      place_cmd; volume_cmd; trace_cmd; simulate_cmd; sim_cmd; cluster_cmd;
+      optimal_cmd; compile_cmd; analyze_cmd; failure_cmd; deploy_cmd;
       experiment_cmd; chaos_cmd;
     ]
 

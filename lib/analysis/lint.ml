@@ -14,10 +14,12 @@ type diag = {
 }
 
 let hot_marker = "rodlint: hot"
+let obs_marker = "rodlint: obs"
 
 type ctx = {
   file : string;
   hot : bool;
+  obs : bool;
   mutable diags : diag list;
   mutable loop_depth : int;
 }
@@ -42,11 +44,35 @@ let rec flatten_lid = function
   | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
   | Longident.Lapply _ -> []
 
-(* --- determinism rules (and the hot polymorphic-compare rule), fired
+(* --- determinism rules (and the hot/obs per-identifier rules), fired
    on every identifier use --- *)
+
+(* Console side-channels flagged in obs-instrumented modules.  String
+   renderers ([sprintf], [ksprintf], [Format.asprintf], buffer/channel
+   [fprintf]) are deliberately absent: only writes to the process's
+   stdout/stderr bypass the registry. *)
+let console_printers =
+  SSet.of_list
+    [ "print_string"; "print_endline"; "print_newline"; "print_int";
+      "print_float"; "print_char"; "print_bytes"; "prerr_string";
+      "prerr_endline"; "prerr_newline"; "prerr_int"; "prerr_float";
+      "prerr_char"; "prerr_bytes" ]
 
 let check_ident ctx loc lid =
   match flatten_lid lid with
+  | [ ("Printf" | "Format"); (("printf" | "eprintf") as f) ] when ctx.obs ->
+    add ctx loc "obs/print-telemetry"
+      "%s.%s writes to a console stream from an obs-instrumented module; \
+       record telemetry through the Obs registry (counters, gauges, spans) \
+       and let an exporter render it"
+      (List.hd (flatten_lid lid))
+      f
+  | ([ f ] | [ "Stdlib"; f ]) when ctx.obs && SSet.mem f console_printers ->
+    add ctx loc "obs/print-telemetry"
+      "%s writes to a console stream from an obs-instrumented module; \
+       record telemetry through the Obs registry (counters, gauges, spans) \
+       and let an exporter render it"
+      f
   | [ "Random"; "self_init" ] ->
     add ctx loc "determinism/self-init"
       "Random.self_init seeds from the environment; derive a seed and use \
@@ -298,15 +324,18 @@ let contains_substring haystack needle =
   in
   scan 0
 
-let lint_string ?hot ~filename source =
+let lint_string ?hot ?obs ~filename source =
   let hot =
     match hot with Some h -> h | None -> contains_substring source hot_marker
+  in
+  let obs =
+    match obs with Some o -> o | None -> contains_substring source obs_marker
   in
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf filename;
   match Parse.implementation lexbuf with
   | structure ->
-    let ctx = { file = filename; hot; diags = []; loop_depth = 0 } in
+    let ctx = { file = filename; hot; obs; diags = []; loop_depth = 0 } in
     let it = main_iterator ctx in
     it.structure it structure;
     List.rev ctx.diags
@@ -328,14 +357,14 @@ let lint_string ?hot ~filename source =
       ]
     | Some `Already_displayed | None -> fallback (Printexc.to_string exn))
 
-let lint_file ?hot path =
+let lint_file ?hot ?obs path =
   let ic = open_in_bin path in
   let source =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  lint_string ?hot ~filename:path source
+  lint_string ?hot ?obs ~filename:path source
 
 (* --- allowlist --- *)
 

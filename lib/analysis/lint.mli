@@ -31,6 +31,16 @@
     - [hot/closure-in-loop] — a function literal inside a [for]/[while]
       body allocates one closure per iteration.
 
+    {b Telemetry discipline} (only in files carrying a [rodlint: obs]
+    marker comment):
+    - [obs/print-telemetry] — [Printf.printf] / [Printf.eprintf],
+      [Format.printf] / [Format.eprintf], and the bare console printers
+      ([print_endline], [prerr_string], ...) side-channel telemetry to
+      stdout/stderr where no exporter, test, or trace viewer can see
+      it.  Instrumented modules must record through the [Obs] registry;
+      string renderers ([sprintf], [ksprintf], [asprintf], fprintf to a
+      buffer or channel) stay legal.
+
     Diagnostics carry [file:line:col] positions.  An allowlist file
     suppresses known-good findings; every entry needs a justification
     comment and unused entries are reported so the list cannot rot. *)
@@ -46,12 +56,15 @@ type diag = {
 val hot_marker : string
 (** The magic comment substring ["rodlint: hot"]. *)
 
-val lint_string : ?hot:bool -> filename:string -> string -> diag list
-(** Lint one compilation unit given as text.  [hot] overrides the
-    marker autodetection.  A file that does not parse yields a single
-    [parse/error] diagnostic. *)
+val obs_marker : string
+(** The magic comment substring ["rodlint: obs"]. *)
 
-val lint_file : ?hot:bool -> string -> diag list
+val lint_string : ?hot:bool -> ?obs:bool -> filename:string -> string -> diag list
+(** Lint one compilation unit given as text.  [hot] and [obs] override
+    the marker autodetection.  A file that does not parse yields a
+    single [parse/error] diagnostic. *)
+
+val lint_file : ?hot:bool -> ?obs:bool -> string -> diag list
 
 type allowlist
 (** Entries of [(path suffix, rule prefix)]; a diagnostic is suppressed

@@ -1,6 +1,29 @@
+(* rodlint: obs *)
+
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
 module Pool = Parallel.Pool
+
+let obs_passes =
+  Obs.counter ~help:"Local-search sweeps over all operators"
+    "rod_ls_passes_total"
+
+let obs_relocations =
+  Obs.counter
+    ~labels:[ ("kind", "relocation") ]
+    ~help:"Accepted local-search moves, by kind" "rod_ls_moves_total"
+
+let obs_swaps = Obs.counter ~labels:[ ("kind", "swap") ] "rod_ls_moves_total"
+
+let obs_rejects =
+  Obs.counter ~help:"Candidate moves evaluated but not applied"
+    "rod_ls_rejects_total"
+
+let obs_score =
+  Obs.histogram
+    ~buckets:(Obs.Histogram.linear ~start:0.05 ~step:0.05 ~count:19)
+    ~help:"Feasible-set score (feasible/samples) after each pass"
+    "rod_ls_pass_score"
 
 type outcome = {
   assignment : int array;
@@ -115,6 +138,12 @@ let improve ?pool ?(samples = 2048) ?(max_passes = 20) problem assignment =
   let moves = ref 0 in
   let passes = ref 0 in
   let improved = ref true in
+  (* Telemetry tallies stay in plain locals through the sweeps (the
+     sweeps run pool-backed scoring) and are flushed to the registry
+     once at the end. *)
+  let relocations_applied = ref 0 in
+  let swaps_applied = ref 0 in
+  let rejected = ref 0 in
   (* One sweep of single-operator relocations; best-of-n per operator,
      applied immediately when it gains. *)
   let relocation_sweep () =
@@ -122,8 +151,10 @@ let improve ?pool ?(samples = 2048) ?(max_passes = 20) problem assignment =
     for j = 0 to m - 1 do
       let home = assignment.(j) in
       let best_gain = ref 0 and best_node = ref home in
+      let tried = ref 0 in
       for i = 0 to n - 1 do
         if i <> home then begin
+          incr tried;
           let before = scorer.feasible in
           move scorer j ~from_node:home ~to_node:i;
           let gain = scorer.feasible - before in
@@ -138,8 +169,11 @@ let improve ?pool ?(samples = 2048) ?(max_passes = 20) problem assignment =
         move scorer j ~from_node:home ~to_node:!best_node;
         assignment.(j) <- !best_node;
         incr moves;
+        incr relocations_applied;
+        rejected := !rejected + !tried - 1;
         any := true
       end
+      else rejected := !rejected + !tried
     done;
     !any
   in
@@ -159,9 +193,11 @@ let improve ?pool ?(samples = 2048) ?(max_passes = 20) problem assignment =
             assignment.(j1) <- b;
             assignment.(j2) <- a;
             moves := !moves + 2;
+            incr swaps_applied;
             any := true
           end
           else begin
+            incr rejected;
             move scorer j1 ~from_node:b ~to_node:a;
             move scorer j2 ~from_node:a ~to_node:b
           end
@@ -170,12 +206,22 @@ let improve ?pool ?(samples = 2048) ?(max_passes = 20) problem assignment =
     done;
     !any
   in
-  while !improved && !passes < max_passes do
-    incr passes;
-    let relocated = relocation_sweep () in
-    (* Swaps are O(m^2); only pay for them when relocations are dry. *)
-    improved := (relocated || swap_sweep ())
-  done;
+  Obs.with_span ~cat:"place"
+    ~args:[ ("ops", string_of_int m); ("samples", string_of_int samples) ]
+    "ls.improve"
+    (fun () ->
+      while !improved && !passes < max_passes do
+        incr passes;
+        let relocated = relocation_sweep () in
+        (* Swaps are O(m^2); only pay for them when relocations are dry. *)
+        improved := (relocated || swap_sweep ());
+        Obs.Histogram.observe obs_score
+          (float_of_int scorer.feasible /. float_of_int samples)
+      done);
+  Obs.Counter.add obs_passes !passes;
+  Obs.Counter.add obs_relocations !relocations_applied;
+  Obs.Counter.add obs_swaps !swaps_applied;
+  Obs.Counter.add obs_rejects !rejected;
   {
     assignment;
     ratio = float_of_int scorer.feasible /. float_of_int samples;

@@ -1,7 +1,17 @@
 (* rodlint: hot *)
+(* rodlint: obs *)
 
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
+
+let obs_runs = Obs.counter ~help:"ROD placements computed" "rod_place_runs_total"
+
+let obs_class1 =
+  Obs.counter
+    ~labels:[ ("class", "1") ]
+    ~help:"Operators assigned, by candidate class" "rod_place_ops_total"
+
+let obs_class2 = Obs.counter ~labels:[ ("class", "2") ] "rod_place_ops_total"
 
 type class_one_policy =
   | Max_plane_distance
@@ -121,6 +131,10 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
     let norm = sqrt acc.(0) in
     acc.(2) <- (if norm > 0. then (1. -. acc.(1)) /. norm else infinity)
   in
+  (* Class tallies are kept in plain locals inside the hot loop and
+     flushed to the registry once per placement. *)
+  let class1_total = ref 0 in
+  let class2_total = ref 0 in
   let assign j =
     let class_one_count = ref 0 in
     let first_one = ref (-1) in
@@ -171,6 +185,7 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
           | [] -> assert false)
     in
     assignment.(j) <- target;
+    if !class_one_count > 0 then incr class1_total else incr class2_total;
     Vec.add_inplace (Problem.op_load problem j) (Mat.row ln target);
     (match (trace, trace_scratch) with
     | Some log, Some w_after ->
@@ -190,10 +205,20 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
         :: !log
     | _ -> ())
   in
-  List.iter
-    (fun j -> if fixed.(j) = None then assign j)
-    (order_operators problem);
-  assignment
+  Obs.with_span ~cat:"place"
+    ~args:[ ("ops", string_of_int m); ("nodes", string_of_int n) ]
+    "rod.place"
+    (fun () ->
+      let order =
+        Obs.with_span ~cat:"place" "rod.order" (fun () ->
+            order_operators problem)
+      in
+      Obs.with_span ~cat:"place" "rod.assign" (fun () ->
+          List.iter (fun j -> if fixed.(j) = None then assign j) order);
+      Obs.Counter.incr obs_runs;
+      Obs.Counter.add obs_class1 !class1_total;
+      Obs.Counter.add obs_class2 !class2_total;
+      assignment)
 
 let place ?lower ?policy problem =
   place_internal ?lower ?policy

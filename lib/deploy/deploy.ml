@@ -1,5 +1,15 @@
+(* rodlint: obs *)
+
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
+
+let obs_deploys =
+  Obs.counter ~help:"Deployments completed (analysis gate passed)"
+    "rod_deploy_total"
+
+let obs_ratio =
+  Obs.gauge ~help:"Feasible-set ratio of the last deployment"
+    "rod_deploy_feasible_ratio"
 
 type t = {
   graph : Query.Graph.t;
@@ -13,30 +23,43 @@ type t = {
 
 let finish ?(polish = false) ?lower ?(samples = 8192) ~graph ~caps ~network
     ~profile () =
-  (* Static analysis gates every deployment: a plan with a statically
-     infeasible operator (or malformed load model) is rejected before
-     any placement work happens. *)
-  let analysis = Analysis.Plan_check.check_graph graph ~caps in
-  Analysis.Plan_check.assert_ok ~what:"deployment" analysis;
-  let problem = Rod.Problem.of_graph graph ~caps in
-  let assignment = Rod.Rod_algorithm.place ?lower problem in
-  let assignment =
-    if polish then
-      (Rod.Local_search.improve ~samples problem assignment)
-        .Rod.Local_search.assignment
-    else assignment
-  in
-  let plan = Rod.Plan.make problem assignment in
-  let est = Rod.Plan.volume_qmc ~samples ?lower plan in
-  {
-    graph;
-    problem;
-    plan;
-    ratio = est.Feasible.Volume.ratio;
-    network;
-    profile;
-    analysis;
-  }
+  Obs.with_span ~cat:"deploy" "deploy.finish" (fun () ->
+      (* Static analysis gates every deployment: a plan with a statically
+         infeasible operator (or malformed load model) is rejected before
+         any placement work happens. *)
+      let analysis =
+        Obs.with_span ~cat:"deploy" "deploy.analyze" (fun () ->
+            Analysis.Plan_check.check_graph graph ~caps)
+      in
+      Analysis.Plan_check.assert_ok ~what:"deployment" analysis;
+      let problem = Rod.Problem.of_graph graph ~caps in
+      let assignment =
+        Obs.with_span ~cat:"deploy" "deploy.place" (fun () ->
+            Rod.Rod_algorithm.place ?lower problem)
+      in
+      let assignment =
+        if polish then
+          Obs.with_span ~cat:"deploy" "deploy.polish" (fun () ->
+              (Rod.Local_search.improve ~samples problem assignment)
+                .Rod.Local_search.assignment)
+        else assignment
+      in
+      let plan = Rod.Plan.make problem assignment in
+      let est =
+        Obs.with_span ~cat:"deploy" "deploy.volume" (fun () ->
+            Rod.Plan.volume_qmc ~samples ?lower plan)
+      in
+      Obs.Counter.incr obs_deploys;
+      Obs.Gauge.set obs_ratio est.Feasible.Volume.ratio;
+      {
+        graph;
+        problem;
+        plan;
+        ratio = est.Feasible.Volume.ratio;
+        network;
+        profile;
+        analysis;
+      })
 
 let of_cost_model ?polish ?lower ?samples ~graph ~caps () =
   finish ?polish ?lower ?samples ~graph ~caps ~network:None ~profile:None ()

@@ -1,8 +1,25 @@
 (* rodlint: hot *)
+(* rodlint: obs *)
 
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
 module Pool = Parallel.Pool
+
+let obs_samples =
+  Obs.counter ~help:"Volume samples evaluated" "rod_volume_samples_total"
+
+let obs_feasible =
+  Obs.counter ~help:"Volume samples inside the feasible set"
+    "rod_volume_feasible_total"
+
+(* Per-chunk attribution of pool-parallel estimates: chunk index k of a
+   map_chunks partition maps to one worker slot, so these counters show
+   how feasibility mass spread across the pool's chunks. *)
+let obs_chunk_feasible k =
+  Obs.counter
+    ~labels:[ ("chunk", string_of_int k) ]
+    ~help:"Volume samples found feasible, by pool chunk"
+    "rod_volume_chunk_feasible_total"
 
 type estimate = {
   ratio : float;
@@ -39,8 +56,18 @@ let estimate ?pool ~count ~ln ~caps ?l ?lower ~samples () =
       match pool with
       | None -> count 0 samples
       | Some pool ->
-        Pool.map_reduce pool ~n:samples ~map:count ~combine:( + ) ~init:0
+        (* map_chunks partitions exactly like map_reduce and the fold
+           below runs in ascending chunk order, so the total is
+           bit-identical to the old map_reduce — but the per-chunk
+           counts survive for domain attribution. *)
+        let chunk_counts = Pool.map_chunks pool ~n:samples count in
+        Array.iteri
+          (fun k c -> Obs.Counter.add (obs_chunk_feasible k) c)
+          chunk_counts;
+        Array.fold_left ( + ) 0 chunk_counts
     in
+    Obs.Counter.add obs_samples samples;
+    Obs.Counter.add obs_feasible feasible;
     let ratio = float_of_int feasible /. float_of_int samples in
     {
       ratio;

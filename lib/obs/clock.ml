@@ -1,0 +1,29 @@
+type t =
+  | Steady of { mutable now : float; start : float; step : float }
+  | External of (unit -> float)
+
+let manual ?(at = 0.) () = Steady { now = at; start = at; step = 0. }
+
+let ticker ?(at = 0.) ?(dt = 1e-6) () =
+  if dt <= 0. then invalid_arg "Obs.Clock.ticker: dt <= 0";
+  Steady { now = at; start = at; step = dt }
+
+let of_fun f = External f
+
+let now = function
+  | Steady s ->
+    let v = s.now in
+    s.now <- v +. s.step;
+    v
+  | External f -> f ()
+
+let peek = function Steady s -> s.now | External f -> f ()
+
+let set clock time =
+  match clock with
+  | Steady s -> s.now <- time
+  | External _ -> invalid_arg "Obs.Clock.set: external clocks cannot be set"
+
+let reset = function
+  | Steady s -> s.now <- s.start
+  | External _ -> ()

@@ -1,0 +1,219 @@
+let float_str f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+(* JSON has no Infinity/NaN literals; telemetry values are finite, but
+   stay total anyway. *)
+let json_float f = if Float.is_finite f then float_str f else "null"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf (json_escape s);
+  Buffer.add_char buf '"'
+
+let add_labels_object buf labels =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      add_json_string buf k;
+      Buffer.add_string buf ": ";
+      add_json_string buf v)
+    labels;
+  Buffer.add_char buf '}'
+
+(* Cumulative bucket counts including the implicit +Inf bucket. *)
+let cumulative counts =
+  let n = Array.length counts in
+  let out = Array.make n 0 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + counts.(i);
+    out.(i) <- !acc
+  done;
+  out
+
+let metrics_json samples =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"rod-obs-metrics/1\",\n  \"metrics\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    {\n      \"name\": ";
+      add_json_string buf s.Metric.s_name;
+      Buffer.add_string buf ",\n      \"kind\": ";
+      add_json_string buf (Metric.kind_of_sample s.Metric.s_value);
+      Buffer.add_string buf ",\n      \"help\": ";
+      add_json_string buf s.Metric.s_help;
+      Buffer.add_string buf ",\n      \"labels\": ";
+      add_labels_object buf s.Metric.s_labels;
+      (match s.Metric.s_value with
+      | Metric.Counter_v v ->
+        Buffer.add_string buf ",\n      \"value\": ";
+        Buffer.add_string buf (string_of_int v)
+      | Metric.Gauge_v v ->
+        Buffer.add_string buf ",\n      \"value\": ";
+        Buffer.add_string buf (json_float v)
+      | Metric.Histogram_v { upper; counts; count; sum } ->
+        Buffer.add_string buf ",\n      \"count\": ";
+        Buffer.add_string buf (string_of_int count);
+        Buffer.add_string buf ",\n      \"sum\": ";
+        Buffer.add_string buf (json_float sum);
+        Buffer.add_string buf ",\n      \"buckets\": [";
+        let cum = cumulative counts in
+        Array.iteri
+          (fun b c ->
+            if b > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf "{\"le\": ";
+            if b < Array.length upper then
+              Buffer.add_string buf (json_float upper.(b))
+            else add_json_string buf "+Inf";
+            Buffer.add_string buf ", \"count\": ";
+            Buffer.add_string buf (string_of_int c);
+            Buffer.add_char buf '}')
+          cum;
+        Buffer.add_char buf ']');
+      Buffer.add_string buf "\n    }")
+    samples;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_help_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_prom_labels buf labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (prom_escape v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let add_prom_sample buf name labels value =
+  Buffer.add_string buf name;
+  add_prom_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let prometheus samples =
+  let buf = Buffer.create 4096 in
+  let last_family = ref "" in
+  List.iter
+    (fun s ->
+      let name = s.Metric.s_name in
+      if not (String.equal name !last_family) then begin
+        last_family := name;
+        if not (String.equal s.Metric.s_help "") then begin
+          Buffer.add_string buf "# HELP ";
+          Buffer.add_string buf name;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (prom_help_escape s.Metric.s_help);
+          Buffer.add_char buf '\n'
+        end;
+        Buffer.add_string buf "# TYPE ";
+        Buffer.add_string buf name;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Metric.kind_of_sample s.Metric.s_value);
+        Buffer.add_char buf '\n'
+      end;
+      match s.Metric.s_value with
+      | Metric.Counter_v v ->
+        add_prom_sample buf name s.Metric.s_labels (string_of_int v)
+      | Metric.Gauge_v v -> add_prom_sample buf name s.Metric.s_labels (float_str v)
+      | Metric.Histogram_v { upper; counts; count; sum } ->
+        let cum = cumulative counts in
+        Array.iteri
+          (fun b c ->
+            let le =
+              if b < Array.length upper then float_str upper.(b) else "+Inf"
+            in
+            add_prom_sample buf (name ^ "_bucket")
+              (s.Metric.s_labels @ [ ("le", le) ])
+              (string_of_int c))
+          cum;
+        add_prom_sample buf (name ^ "_sum") s.Metric.s_labels (float_str sum);
+        add_prom_sample buf (name ^ "_count") s.Metric.s_labels
+          (string_of_int count))
+    samples;
+  Buffer.contents buf
+
+let trace_json events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  List.iteri
+    (fun i (e : Span.event) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    {\"name\": ";
+      add_json_string buf e.name;
+      Buffer.add_string buf ", \"cat\": ";
+      add_json_string buf e.cat;
+      Buffer.add_string buf ", \"ph\": ";
+      (match e.dur with
+      | Some _ -> Buffer.add_string buf "\"X\""
+      | None -> Buffer.add_string buf "\"i\", \"s\": \"g\"");
+      Buffer.add_string buf ", \"pid\": 1, \"tid\": ";
+      Buffer.add_string buf (string_of_int e.track);
+      Buffer.add_string buf ", \"ts\": ";
+      Buffer.add_string buf (json_float (e.ts *. 1e6));
+      (match e.dur with
+      | Some dur ->
+        Buffer.add_string buf ", \"dur\": ";
+        Buffer.add_string buf (json_float (dur *. 1e6))
+      | None -> ());
+      (match e.args with
+      | [] -> ()
+      | args ->
+        Buffer.add_string buf ", \"args\": ";
+        add_labels_object buf args);
+      Buffer.add_char buf '}')
+    events;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

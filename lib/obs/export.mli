@@ -1,0 +1,26 @@
+(** Deterministic text exporters for registry snapshots and trace
+    events.
+
+    All three formats are pure functions of their input (no clocks, no
+    locales, stable float rendering), so identical telemetry yields
+    byte-identical exports — the property the double-run test pins. *)
+
+val metrics_json : Metric.sample list -> string
+(** Schema ["rod-obs-metrics/1"]: one object per metric with name,
+    kind, help, labels and value (histograms carry cumulative [le]
+    buckets ending at ["+Inf"], plus sum/count).  Ends in a newline. *)
+
+val prometheus : Metric.sample list -> string
+(** Prometheus text exposition format 0.0.4: [# HELP]/[# TYPE] once per
+    family, histograms expanded to [_bucket]/[_sum]/[_count] series
+    with cumulative [le] labels.  Ends in a newline. *)
+
+val trace_json : Span.event list -> string
+(** Chrome [trace_event] JSON (load in Perfetto or about:tracing):
+    complete events ([ph:"X"]) for spans, global instants ([ph:"i"])
+    for markers; timestamps in microseconds.  Ends in a newline. *)
+
+val float_str : float -> string
+(** Stable shortest-ish rendering used by every exporter: integers
+    without a fraction part, anything else via [%.9g]; non-finite as
+    [+Inf]/[-Inf]/[NaN]. *)

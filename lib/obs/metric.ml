@@ -1,0 +1,353 @@
+(* Metric instruments (counter / gauge / histogram) and the registry
+   that owns them.
+
+   Counters are Atomic so pool worker domains may bump them; gauges and
+   histograms are single-writer (use Histogram.shard + merge_into from
+   parallel sections, merging on the submitting domain in chunk order
+   to keep sums deterministic).  The registry keys instruments by
+   (name, sorted labels) behind a mutex, and snapshots sort by name
+   then labels, so export order never depends on registration order. *)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let make () = Atomic.make 0
+  let value t = Atomic.get t
+
+  let add t n =
+    if n < 0 then invalid_arg "Obs.Counter.add: negative increment";
+    ignore (Atomic.fetch_and_add t n)
+
+  let incr t = add t 1
+  let reset t = Atomic.set t 0
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let make () = { v = 0. }
+  let set t x = t.v <- x
+  let add t dx = t.v <- t.v +. dx
+  let value t = t.v
+  let reset t = t.v <- 0.
+end
+
+module Histogram = struct
+  type t = {
+    upper : float array; (* strictly increasing finite upper bounds *)
+    counts : int array; (* length upper + 1; the last is the +Inf bucket *)
+    mutable count : int;
+    mutable sum : float;
+    mutable min_seen : float;
+    mutable max_seen : float;
+  }
+
+  (* Latency-flavoured default: 10 µs .. 10 s, roughly log-spaced. *)
+  let default_buckets =
+    [|
+      1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2;
+      5e-2; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.;
+    |]
+
+  let linear ~start ~step ~count =
+    if count < 1 || step <= 0. then invalid_arg "Obs.Histogram.linear";
+    Array.init count (fun i -> start +. (step *. float_of_int i))
+
+  let exponential ~start ~factor ~count =
+    if count < 1 || start <= 0. || factor <= 1. then
+      invalid_arg "Obs.Histogram.exponential";
+    Array.init count (fun i -> start *. (factor ** float_of_int i))
+
+  let validate upper =
+    if Array.length upper = 0 then invalid_arg "Obs.Histogram: no buckets";
+    Array.iteri
+      (fun i le ->
+        if not (Float.is_finite le) then
+          invalid_arg "Obs.Histogram: non-finite bucket bound";
+        if i > 0 && not (upper.(i - 1) < le) then
+          invalid_arg "Obs.Histogram: bucket bounds must be strictly increasing")
+      upper
+
+  let make upper =
+    validate upper;
+    {
+      upper = Array.copy upper;
+      counts = Array.make (Array.length upper + 1) 0;
+      count = 0;
+      sum = 0.;
+      min_seen = infinity;
+      max_seen = neg_infinity;
+    }
+
+  let shard t = make t.upper
+
+  (* Prometheus "le" semantics: a value on a bucket boundary lands in
+     the bucket it bounds. *)
+  let bucket_index t v =
+    let n = Array.length t.upper in
+    let rec scan i = if i >= n || v <= t.upper.(i) then i else scan (i + 1) in
+    scan 0
+
+  let observe t v =
+    let idx = bucket_index t v in
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_seen then t.min_seen <- v;
+    if v > t.max_seen then t.max_seen <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let upper_bounds t = Array.copy t.upper
+  let bucket_counts t = Array.copy t.counts
+
+  let same_buckets a b =
+    Array.length a.upper = Array.length b.upper
+    && Array.for_all2 Float.equal a.upper b.upper
+
+  let merge_into ~into t =
+    if not (same_buckets into t) then
+      invalid_arg "Obs.Histogram.merge_into: bucket bounds differ";
+    Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+    into.count <- into.count + t.count;
+    into.sum <- into.sum +. t.sum;
+    if t.min_seen < into.min_seen then into.min_seen <- t.min_seen;
+    if t.max_seen > into.max_seen then into.max_seen <- t.max_seen
+
+  (* Linear interpolation inside the covering bucket, like Prometheus'
+     histogram_quantile; the first bucket is treated as starting at 0
+     (clamped to min_seen when that is higher) and the +Inf bucket
+     reports the largest finite bound (clamped to max_seen). *)
+  let quantile t q =
+    if q < 0. || q > 1. then invalid_arg "Obs.Histogram.quantile";
+    if t.count = 0 then 0.
+    else begin
+      let n = Array.length t.upper in
+      let rank = q *. float_of_int t.count in
+      let rec walk i cumulative =
+        if i >= n then Float.min t.max_seen t.upper.(n - 1) |> Float.max 0.
+        else
+          let here = t.counts.(i) in
+          let c = cumulative + here in
+          if here > 0 && float_of_int c >= rank then begin
+            let lo = if i = 0 then Float.min t.min_seen t.upper.(0) else t.upper.(i - 1) in
+            let hi = t.upper.(i) in
+            let inside =
+              (rank -. float_of_int cumulative) /. float_of_int here
+            in
+            let inside = Float.max 0. (Float.min 1. inside) in
+            lo +. ((hi -. lo) *. inside)
+          end
+          else walk (i + 1) c
+      in
+      walk 0 0
+    end
+
+  let p50 t = quantile t 0.5
+  let p95 t = quantile t 0.95
+  let p99 t = quantile t 0.99
+
+  let reset t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.count <- 0;
+    t.sum <- 0.;
+    t.min_seen <- infinity;
+    t.max_seen <- neg_infinity
+end
+
+type instrument =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+type registration = {
+  name : string;
+  labels : (string * string) list; (* sorted by label name *)
+  help : string;
+  instrument : instrument;
+}
+
+type sample_value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      upper : float array;
+      counts : int array; (* per-bucket, length upper + 1 *)
+      count : int;
+      sum : float;
+    }
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_help : string;
+  s_value : sample_value;
+}
+
+let kind_of_sample = function
+  | Counter_v _ -> "counter"
+  | Gauge_v _ -> "gauge"
+  | Histogram_v _ -> "histogram"
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_metric_name name =
+  String.length name > 0
+  && is_name_start name.[0]
+  && String.for_all is_name_char name
+
+let valid_label_name name =
+  String.length name > 0
+  && name.[0] <> ':'
+  && is_name_start name.[0]
+  && String.for_all (fun c -> c <> ':' && is_name_char c) name
+
+let compare_labels a b =
+  List.compare
+    (fun (ka, va) (kb, vb) ->
+      let c = String.compare ka kb in
+      if c <> 0 then c else String.compare va vb)
+    a b
+
+module Registry = struct
+  type t = {
+    mutable clock : Clock.t;
+    table : (string, registration) Hashtbl.t;
+    lock : Mutex.t;
+  }
+
+  let create ?clock () =
+    let clock = match clock with Some c -> c | None -> Clock.ticker () in
+    { clock; table = Hashtbl.create 64; lock = Mutex.create () }
+
+  let clock t = t.clock
+  let set_clock t c = t.clock <- c
+
+  let check_labels name labels =
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    List.iter
+      (fun (k, _) ->
+        if not (valid_label_name k) then
+          invalid_arg
+            (Printf.sprintf "Obs.Registry: invalid label name %S on %s" k name))
+      sorted;
+    let rec dup = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg
+            (Printf.sprintf "Obs.Registry: duplicate label %S on %s" a name)
+        else dup rest
+      | _ -> ()
+    in
+    dup sorted;
+    sorted
+
+  let key name labels =
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf '\x00';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '\x01';
+        Buffer.add_string buf v)
+      labels;
+    Buffer.contents buf
+
+  let with_lock t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let kind_of_instrument = function
+    | Counter _ -> "counter"
+    | Gauge _ -> "gauge"
+    | Histogram _ -> "histogram"
+
+  let get_or_create t ~name ~labels ~help ~make ~extract =
+    if not (valid_metric_name name) then
+      invalid_arg (Printf.sprintf "Obs.Registry: invalid metric name %S" name);
+    let labels = check_labels name labels in
+    let key = key name labels in
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some reg -> (
+          match extract reg.instrument with
+          | Some v -> v
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Obs.Registry: %s already registered as a %s" name
+                 (kind_of_instrument reg.instrument)))
+        | None ->
+          let v, instrument = make () in
+          Hashtbl.replace t.table key { name; labels; help; instrument };
+          v)
+
+  let counter t ?(labels = []) ?(help = "") name =
+    get_or_create t ~name ~labels ~help
+      ~make:(fun () ->
+        let c = Counter.make () in
+        (c, Counter c))
+      ~extract:(function Counter c -> Some c | _ -> None)
+
+  let gauge t ?(labels = []) ?(help = "") name =
+    get_or_create t ~name ~labels ~help
+      ~make:(fun () ->
+        let g = Gauge.make () in
+        (g, Gauge g))
+      ~extract:(function Gauge g -> Some g | _ -> None)
+
+  let histogram t ?buckets ?(labels = []) ?(help = "") name =
+    let buckets =
+      match buckets with Some b -> b | None -> Histogram.default_buckets
+    in
+    get_or_create t ~name ~labels ~help
+      ~make:(fun () ->
+        let h = Histogram.make buckets in
+        (h, Histogram h))
+      ~extract:(function Histogram h -> Some h | _ -> None)
+
+  let sample_of reg =
+    let s_value =
+      match reg.instrument with
+      | Counter c -> Counter_v (Counter.value c)
+      | Gauge g -> Gauge_v (Gauge.value g)
+      | Histogram h ->
+        Histogram_v
+          {
+            upper = Histogram.upper_bounds h;
+            counts = Histogram.bucket_counts h;
+            count = Histogram.count h;
+            sum = Histogram.sum h;
+          }
+    in
+    { s_name = reg.name; s_labels = reg.labels; s_help = reg.help; s_value }
+
+  let snapshot t =
+    let regs =
+      with_lock t (fun () ->
+          Hashtbl.fold (fun _ reg acc -> reg :: acc) t.table [])
+    in
+    let samples = List.map sample_of regs in
+    List.sort
+      (fun a b ->
+        let c = String.compare a.s_name b.s_name in
+        if c <> 0 then c else compare_labels a.s_labels b.s_labels)
+      samples
+
+  let reset t =
+    with_lock t (fun () ->
+        Hashtbl.iter
+          (fun _ reg ->
+            match reg.instrument with
+            | Counter c -> Counter.reset c
+            | Gauge g -> Gauge.reset g
+            | Histogram h -> Histogram.reset h)
+          t.table)
+
+  let size t = with_lock t (fun () -> Hashtbl.length t.table)
+end

@@ -1,0 +1,128 @@
+(** Metric instruments — counters, gauges, fixed-bucket histograms —
+    and the registry that owns them.
+
+    Counters are atomic (safe to bump from pool worker domains); gauges
+    and histograms are single-writer.  Parallel sections should fill a
+    {!Histogram.shard} per chunk and {!Histogram.merge_into} the shards
+    on the submitting domain in chunk order, mirroring the deterministic
+    ordered merges of [Parallel.Pool]. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** Raises [Invalid_argument] on a negative increment — counters are
+      monotone by construction. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val default_buckets : float array
+  (** Latency-flavoured bounds, 10 µs to 10 s, roughly log-spaced. *)
+
+  val linear : start:float -> step:float -> count:int -> float array
+  (** [count] bounds starting at [start], spaced by [step]. *)
+
+  val exponential : start:float -> factor:float -> count:int -> float array
+  (** [count] bounds starting at [start], each [factor] times the last. *)
+
+  val make : float array -> t
+  (** From strictly increasing finite upper bounds; an implicit +Inf
+      bucket catches everything above the last bound. *)
+
+  val shard : t -> t
+  (** A fresh empty histogram with the same bounds, for per-chunk
+      accumulation in parallel sections. *)
+
+  val observe : t -> float -> unit
+  (** Boundary values land in the bucket they bound ([v <= le]),
+      matching Prometheus. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Adds [t]'s buckets/count/sum into [into].  Raises
+      [Invalid_argument] when the bounds differ. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val upper_bounds : t -> float array
+  val bucket_counts : t -> int array
+  (** Per-bucket (not cumulative); the extra last entry is +Inf. *)
+
+  val quantile : t -> float -> float
+  (** Estimated quantile ([q] in [0,1]) by linear interpolation inside
+      the covering bucket, clamped by the observed min/max.  0. when
+      empty. *)
+
+  val p50 : t -> float
+  val p95 : t -> float
+  val p99 : t -> float
+end
+
+(** A frozen, export-ready view of one registered metric. *)
+
+type sample_value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      upper : float array;
+      counts : int array; (* per-bucket, length upper + 1 *)
+      count : int;
+      sum : float;
+    }
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list; (* sorted by label name *)
+  s_help : string;
+  s_value : sample_value;
+}
+
+val kind_of_sample : sample_value -> string
+(** ["counter"], ["gauge"] or ["histogram"]. *)
+
+module Registry : sig
+  type t
+
+  val create : ?clock:Clock.t -> unit -> t
+  (** Default clock is a deterministic {!Clock.ticker}. *)
+
+  val clock : t -> Clock.t
+  val set_clock : t -> Clock.t -> unit
+
+  val counter : t -> ?labels:(string * string) list -> ?help:string -> string -> Counter.t
+  val gauge : t -> ?labels:(string * string) list -> ?help:string -> string -> Gauge.t
+
+  val histogram :
+    t ->
+    ?buckets:float array ->
+    ?labels:(string * string) list ->
+    ?help:string ->
+    string ->
+    Histogram.t
+  (** Get-or-create keyed by (name, sorted labels).  Names must match
+      [[a-zA-Z_:][a-zA-Z0-9_:]*], label names the same without colons;
+      registering the same key as a different kind raises
+      [Invalid_argument].  [buckets]/[help] only apply on first
+      registration. *)
+
+  val snapshot : t -> sample list
+  (** Frozen copies, sorted by name then labels — export order never
+      depends on registration order. *)
+
+  val reset : t -> unit
+  (** Zero every instrument, keeping registrations. *)
+
+  val size : t -> int
+end

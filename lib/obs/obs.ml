@@ -1,0 +1,53 @@
+(* rod.obs — the unified observability layer.
+
+   One process-wide registry + tracer, sharing one deterministic ticker
+   clock, so every subsystem's telemetry lands on a common timeline and
+   two runs with the same seed export byte-identical artifacts.  The
+   module-level helpers below are what instrumented code calls; tests
+   that need isolation build their own Registry/Span/Clock values. *)
+
+module Counter = Metric.Counter
+module Gauge = Metric.Gauge
+module Histogram = Metric.Histogram
+module Registry = Metric.Registry
+module Clock = Clock
+module Samples = Samples
+module Metric = Metric
+module Span = Span
+module Export = Export
+
+let global_clock = Clock.ticker ()
+let global_registry = Registry.create ~clock:global_clock ()
+let global_tracer = Span.create ~clock:global_clock ()
+
+let registry () = global_registry
+let tracer () = global_tracer
+let clock () = Registry.clock global_registry
+
+let set_clock c =
+  Registry.set_clock global_registry c;
+  Span.set_clock global_tracer c
+
+let reset () =
+  Clock.reset (Registry.clock global_registry);
+  Clock.reset (Span.clock global_tracer);
+  Registry.reset global_registry;
+  Span.clear global_tracer
+
+let counter ?labels ?help name = Registry.counter global_registry ?labels ?help name
+let gauge ?labels ?help name = Registry.gauge global_registry ?labels ?help name
+
+let histogram ?buckets ?labels ?help name =
+  Registry.histogram global_registry ?buckets ?labels ?help name
+
+let snapshot () = Registry.snapshot global_registry
+let events () = Span.events global_tracer
+
+let with_span ?track ?cat ?args name f =
+  Span.with_span global_tracer ?track ?cat ?args name f
+
+let emit ?track ?cat ?args ~ts ~dur name =
+  Span.emit global_tracer ?track ?cat ?args ~ts ~dur name
+
+let instant ?track ?cat ?args ?ts name =
+  Span.instant global_tracer ?track ?cat ?args ?ts name

@@ -1,0 +1,57 @@
+type t = {
+  mutable data : float array;
+  mutable stored : int;
+  mutable count : int;
+  mutable sum : float;
+  mutable max_value : float;
+  capacity_limit : int;
+}
+
+let create ?(capacity_limit = 1 lsl 20) () =
+  {
+    data = [||];
+    stored = 0;
+    count = 0;
+    sum = 0.;
+    max_value = neg_infinity;
+    capacity_limit;
+  }
+
+let add t x =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  if x > t.max_value then t.max_value <- x;
+  if t.stored < t.capacity_limit then begin
+    if t.stored = Array.length t.data then begin
+      let fresh = Array.make (max 1024 (2 * Array.length t.data)) 0. in
+      Array.blit t.data 0 fresh 0 t.stored;
+      t.data <- fresh
+    end;
+    t.data.(t.stored) <- x;
+    t.stored <- t.stored + 1
+  end
+
+let count t = t.count
+
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+let max_value t = if t.count = 0 then 0. else t.max_value
+
+let to_array t = Array.sub t.data 0 t.stored
+
+(* Same interpolation rule as Workload.Stats.percentile, kept local so
+   the observability layer depends on nothing. *)
+let percentile t p =
+  if t.stored = 0 then 0.
+  else begin
+    if p < 0. || p > 100. then
+      invalid_arg "Obs.Samples.percentile: p outside [0,100]";
+    let sorted = to_array t in
+    Array.sort Float.compare sorted;
+    let n = Array.length sorted in
+    let pos = p /. 100. *. float_of_int (n - 1) in
+    let i = int_of_float (floor pos) in
+    let frac = pos -. float_of_int i in
+    if i >= n - 1 then sorted.(n - 1)
+    else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+  end

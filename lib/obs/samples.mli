@@ -1,0 +1,28 @@
+(** A growable buffer of float samples with exact percentiles.
+
+    This is the accumulator behind simulator latency summaries (moved
+    here from [lib/sim/sim_metrics] so the SPE, the simulator and the
+    experiment harness share one implementation).  For bounded-memory
+    streaming summaries prefer {!Metric.Histogram}; [Samples] keeps the
+    raw values (up to [capacity_limit]) so percentiles are exact. *)
+
+type t
+
+val create : ?capacity_limit:int -> unit -> t
+(** Collects float samples; beyond [capacity_limit] (default 2^20)
+    further samples update only the running count/mean/max (reservoir
+    quality is unnecessary for our summaries). *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** Over the stored prefix of samples, with linear interpolation
+    between order statistics; [p] in [0, 100].  0. when empty. *)
+
+val to_array : t -> float array

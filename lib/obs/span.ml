@@ -1,0 +1,58 @@
+type event = {
+  name : string;
+  cat : string;
+  track : int;
+  ts : float;
+  dur : float option;
+  args : (string * string) list;
+}
+
+type t = {
+  mutable clock : Clock.t;
+  mutable events : event list; (* reverse emission order *)
+  lock : Mutex.t;
+}
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Clock.ticker () in
+  { clock; events = []; lock = Mutex.create () }
+
+let clock t = t.clock
+let set_clock t c = t.clock <- c
+
+let push t e =
+  Mutex.lock t.lock;
+  t.events <- e :: t.events;
+  Mutex.unlock t.lock
+
+let emit t ?(track = 0) ?(cat = "rod") ?(args = []) ~ts ~dur name =
+  push t { name; cat; track; ts; dur = Some dur; args }
+
+let instant t ?(track = 0) ?(cat = "rod") ?(args = []) ?ts name =
+  let ts = match ts with Some ts -> ts | None -> Clock.now t.clock in
+  push t { name; cat; track; ts; dur = None; args }
+
+let with_span t ?(track = 0) ?(cat = "rod") ?(args = []) name f =
+  let t0 = Clock.now t.clock in
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = Clock.now t.clock in
+      push t { name; cat; track; ts = t0; dur = Some (t1 -. t0); args })
+    f
+
+let events t =
+  Mutex.lock t.lock;
+  let evs = List.rev t.events in
+  Mutex.unlock t.lock;
+  List.stable_sort (fun a b -> Float.compare a.ts b.ts) evs
+
+let length t =
+  Mutex.lock t.lock;
+  let n = List.length t.events in
+  Mutex.unlock t.lock;
+  n
+
+let clear t =
+  Mutex.lock t.lock;
+  t.events <- [];
+  Mutex.unlock t.lock

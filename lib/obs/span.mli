@@ -1,0 +1,64 @@
+(** Span tracer: named durations and instant markers on a shared
+    timeline, exportable as Chrome [trace_event] JSON.
+
+    Timestamps come either from the tracer's {!Clock.t} ({!with_span},
+    {!instant} without [?ts]) or are supplied explicitly in virtual
+    seconds ({!emit}, [instant ~ts]) — the simulator stamps events with
+    its own event times so placement, fault injection and recovery line
+    up on one timeline. *)
+
+type event = {
+  name : string;
+  cat : string; (* trace category, e.g. "place", "sim", "fault" *)
+  track : int; (* rendered as the tid lane in trace viewers *)
+  ts : float; (* seconds *)
+  dur : float option; (* None = instant marker *)
+  args : (string * string) list;
+}
+
+type t
+
+val create : ?clock:Clock.t -> unit -> t
+(** Default clock is a deterministic {!Clock.ticker}. *)
+
+val clock : t -> Clock.t
+val set_clock : t -> Clock.t -> unit
+
+val with_span :
+  t ->
+  ?track:int ->
+  ?cat:string ->
+  ?args:(string * string) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Times [f] with two clock reads and records a complete event; the
+    event is recorded even when [f] raises. *)
+
+val emit :
+  t ->
+  ?track:int ->
+  ?cat:string ->
+  ?args:(string * string) list ->
+  ts:float ->
+  dur:float ->
+  string ->
+  unit
+(** Record a complete event at an explicit (virtual) time. *)
+
+val instant :
+  t ->
+  ?track:int ->
+  ?cat:string ->
+  ?args:(string * string) list ->
+  ?ts:float ->
+  string ->
+  unit
+(** Record an instant marker; [ts] defaults to the tracer clock. *)
+
+val events : t -> event list
+(** All recorded events, stably sorted by timestamp (ties keep emission
+    order) — a canonical order for export and comparison. *)
+
+val length : t -> int
+val clear : t -> unit

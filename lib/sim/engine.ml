@@ -1,6 +1,28 @@
+(* rodlint: obs *)
+
 module Vec = Linalg.Vec
 module Graph = Query.Graph
 module Op = Query.Op
+
+let obs_runs = Obs.counter ~help:"Simulator runs completed" "rod_sim_runs_total"
+
+let obs_events =
+  Obs.counter ~help:"Simulator events processed" "rod_sim_events_total"
+
+let obs_migrations =
+  Obs.counter ~help:"Operator migrations started" "rod_sim_migrations_total"
+
+let obs_lost =
+  Obs.counter ~help:"Work items destroyed by injected faults"
+    "rod_sim_lost_total"
+
+let obs_queue_depth =
+  Obs.gauge ~help:"Event-queue depth after the last event pop"
+    "rod_sim_event_queue_depth"
+
+let obs_sink_latency =
+  Obs.histogram ~help:"End-to-end latency of sink outputs (seconds)"
+    "rod_sim_sink_latency_seconds"
 
 type config = {
   net_delay : float;
@@ -148,6 +170,17 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
         Sim_metrics.make_op_stat ~arity:(Op.arity (Graph.op graph j)))
   in
   let latencies = Sim_metrics.Samples.create () in
+  (* Per-op service-time histograms, resolved once up front so the
+     event loop never touches the registry lock. *)
+  let op_service =
+    Array.init m (fun j ->
+        Obs.histogram
+          ~labels:[ ("op", string_of_int j) ]
+          ~help:"Service wall time per work item (seconds)"
+          "rod_sim_op_service_seconds")
+  in
+  let migration_start = Array.make m 0. in
+  let obs_event_count = ref 0 in
   let arrivals_count = ref 0 in
   let items_processed = ref 0 in
   let outputs_count = ref 0 in
@@ -217,6 +250,7 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
         *. Fault.capacity_factor config.faults ~node:node_idx ~time:now
       in
       let wall = outcome.cpu /. capacity in
+      if measured now then Obs.Histogram.observe op_service.(item.op) wall;
       let finish = now +. wall in
       (* Busy time clipped to the measurement window. *)
       let lo = Float.max now config.warmup and hi = Float.min finish until in
@@ -258,7 +292,8 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
       if measured now then begin
         outputs_count := !outputs_count + count;
         for _ = 1 to count do
-          Sim_metrics.Samples.add latencies (now -. item.origin)
+          Sim_metrics.Samples.add latencies (now -. item.origin);
+          Obs.Histogram.observe obs_sink_latency (now -. item.origin)
         done
       end
     | readers ->
@@ -295,6 +330,7 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
       migrating.(op) <- true;
       assignment.(op) <- dest;
       incr migrations_count;
+      migration_start.(op) <- now;
       Event_queue.push events ~time:(now +. delay) (Migration_done op)
     end
   in
@@ -344,6 +380,12 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
     | Tick -> handle_tick now
     | Migration_done op ->
       migrating.(op) <- false;
+      Obs.emit ~cat:"sim"
+        ~args:
+          [ ("op", string_of_int op); ("to", string_of_int assignment.(op)) ]
+        ~ts:migration_start.(op)
+        ~dur:(now -. migration_start.(op))
+        "sim.migrate";
       let pending = buffers.(op) in
       let flush = Queue.create () in
       Queue.transfer pending flush;
@@ -351,10 +393,24 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
     | Crash_fault (node_idx, recovery) ->
       dead.(node_idx) <- true;
       let node = nodes.(node_idx) in
+      Obs.instant ~cat:"fault" ~ts:now
+        ~args:[ ("node", string_of_int node_idx) ]
+        "fault.crash";
       (* Queued work dies with the node; the in-service item (if any) is
          dropped when its Complete event fires. *)
       if measured now then lost_count := !lost_count + Queue.length node.queue;
       Queue.clear node.queue;
+      let moved = ref 0 in
+      Array.iteri
+        (fun j dest -> if dest <> assignment.(j) then incr moved)
+        recovery;
+      Obs.instant ~cat:"fault" ~ts:now
+        ~args:
+          [
+            ("node", string_of_int node_idx);
+            ("ops_moved", string_of_int !moved);
+          ]
+        "fault.recovery";
       Array.blit recovery 0 assignment 0 m
   in
   (match dynamic with
@@ -370,12 +426,26 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
     | Some t when t <= until -> (
       match Event_queue.pop events with
       | Some (time, event) ->
+        incr obs_event_count;
         handle time event;
+        Obs.Gauge.set obs_queue_depth (float_of_int (Event_queue.length events));
         loop ()
       | None -> ())
     | Some _ | None -> ()
   in
   loop ();
+  Obs.Counter.incr obs_runs;
+  Obs.Counter.add obs_events !obs_event_count;
+  Obs.Counter.add obs_migrations !migrations_count;
+  Obs.Counter.add obs_lost !lost_count;
+  Obs.emit ~cat:"sim"
+    ~args:
+      [
+        ("arrivals", string_of_int !arrivals_count);
+        ("outputs", string_of_int !outputs_count);
+        ("events", string_of_int !obs_event_count);
+      ]
+    ~ts:0. ~dur:until "sim.run";
   Array.iter
     (fun node ->
       backlog := !backlog + Queue.length node.queue;

@@ -1,48 +1,4 @@
-module Samples = struct
-  type t = {
-    mutable data : float array;
-    mutable stored : int;
-    mutable count : int;
-    mutable sum : float;
-    mutable max_value : float;
-    capacity_limit : int;
-  }
-
-  let create ?(capacity_limit = 1 lsl 20) () =
-    {
-      data = [||];
-      stored = 0;
-      count = 0;
-      sum = 0.;
-      max_value = neg_infinity;
-      capacity_limit;
-    }
-
-  let add t x =
-    t.count <- t.count + 1;
-    t.sum <- t.sum +. x;
-    if x > t.max_value then t.max_value <- x;
-    if t.stored < t.capacity_limit then begin
-      if t.stored = Array.length t.data then begin
-        let fresh = Array.make (max 1024 (2 * Array.length t.data)) 0. in
-        Array.blit t.data 0 fresh 0 t.stored;
-        t.data <- fresh
-      end;
-      t.data.(t.stored) <- x;
-      t.stored <- t.stored + 1
-    end
-
-  let count t = t.count
-
-  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
-
-  let max_value t = if t.count = 0 then 0. else t.max_value
-
-  let to_array t = Array.sub t.data 0 t.stored
-
-  let percentile t p =
-    if t.stored = 0 then 0. else Workload.Stats.percentile (to_array t) p
-end
+module Samples = Obs.Samples
 
 type op_stat = {
   consumed : int array;

@@ -1,27 +1,8 @@
-(** Measurement plumbing for the simulator: a growable sample buffer and
-    the per-run statistics record. *)
+(** Measurement plumbing for the simulator: the per-run statistics
+    record.  The sample buffer lives in [rod.obs] now ({!Obs.Samples});
+    the alias keeps existing [Sim_metrics.Samples] callers working. *)
 
-module Samples : sig
-  type t
-
-  val create : ?capacity_limit:int -> unit -> t
-  (** Collects float samples; beyond [capacity_limit] (default 2^20)
-      further samples update only the running count/mean/max (reservoir
-      quality is unnecessary for our summaries). *)
-
-  val add : t -> float -> unit
-
-  val count : t -> int
-
-  val mean : t -> float
-
-  val max_value : t -> float
-
-  val percentile : t -> float -> float
-  (** Over the stored prefix of samples. *)
-
-  val to_array : t -> float array
-end
+module Samples = Obs.Samples
 
 type op_stat = {
   consumed : int array;  (** Tuples processed, per input arc. *)

@@ -1,7 +1,22 @@
+(* rodlint: obs *)
+
 module Vec = Linalg.Vec
 module Graph = Query.Graph
 module Event_queue = Dsim.Event_queue
-module Samples = Dsim.Sim_metrics.Samples
+module Samples = Obs.Samples
+
+let obs_runs = Obs.counter ~help:"SPE distributed runs" "rod_spe_runs_total"
+
+let obs_arrivals =
+  Obs.counter ~help:"Source tuples injected (measured window)"
+    "rod_spe_arrivals_total"
+
+let obs_outputs =
+  Obs.counter ~help:"Tuples emitted by sinks (measured window)"
+    "rod_spe_outputs_total"
+
+let obs_lost =
+  Obs.counter ~help:"Tuples destroyed by injected faults" "rod_spe_lost_total"
 
 type config = {
   net_delay : float;
@@ -182,8 +197,22 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
     | Crash_fault (node_idx, recovery) ->
       dead.(node_idx) <- true;
       let node = nodes.(node_idx) in
+      Obs.instant ~cat:"fault" ~ts:now
+        ~args:[ ("node", string_of_int node_idx) ]
+        "fault.crash";
       if measured now then lost := !lost + Queue.length node.queue;
       Queue.clear node.queue;
+      let moved = ref 0 in
+      Array.iteri
+        (fun j dest -> if dest <> assignment.(j) then incr moved)
+        recovery;
+      Obs.instant ~cat:"fault" ~ts:now
+        ~args:
+          [
+            ("node", string_of_int node_idx);
+            ("ops_moved", string_of_int !moved);
+          ]
+        "fault.recovery";
       Array.blit recovery 0 assignment 0 m
   in
   List.iter
@@ -206,6 +235,31 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
     Array.fold_left (fun acc node -> acc + Queue.length node.queue) 0 nodes
   in
   let span = until -. config.warmup in
+  let outputs_count = List.length !outputs in
+  Obs.Counter.incr obs_runs;
+  Obs.Counter.add obs_arrivals !arrivals;
+  Obs.Counter.add obs_outputs outputs_count;
+  Obs.Counter.add obs_lost !lost;
+  Array.iteri
+    (fun i node ->
+      let labels = [ ("node", string_of_int i) ] in
+      Obs.Gauge.set
+        (Obs.gauge ~labels ~help:"Busy fraction over the measured window"
+           "rod_spe_node_utilization")
+        (node.busy_time /. span);
+      Obs.Gauge.set
+        (Obs.gauge ~labels ~help:"Work items still queued at run end"
+           "rod_spe_node_queue_depth")
+        (float_of_int (Queue.length node.queue)))
+    nodes;
+  Obs.emit ~cat:"spe"
+    ~args:
+      [
+        ("arrivals", string_of_int !arrivals);
+        ("outputs", string_of_int outputs_count);
+        ("lost", string_of_int !lost);
+      ]
+    ~ts:0. ~dur:until "spe.run";
   {
     outputs = List.rev !outputs;
     utilization = Array.map (fun node -> node.busy_time /. span) nodes;

@@ -30,7 +30,7 @@ val default_config : config
 type result = {
   outputs : (int * Tuple.t) list;  (** Sink outputs, in emission order. *)
   utilization : float array;  (** Per node, within the measured window. *)
-  latencies : Dsim.Sim_metrics.Samples.t;
+  latencies : Obs.Samples.t;
       (** Sink-output latency: completion time minus the event-time of
           the source tuple that triggered it. *)
   arrivals : int;

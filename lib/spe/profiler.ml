@@ -82,3 +82,7 @@ let profile ?(replays = 20) network ~inputs =
       ()
   in
   { graph; run; per_op }
+
+(* Same sanctioned wall-clock read, packaged as an injectable telemetry
+   clock (see the note above time_replays). *)
+let wall_clock = Obs.Clock.of_fun Unix.gettimeofday

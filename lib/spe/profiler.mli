@@ -33,3 +33,10 @@ val profile :
 (** [replays] (default 20) controls how many times each operator's
     recorded input is re-executed for timing; more replays, steadier
     costs. *)
+
+val wall_clock : Obs.Clock.t
+(** Real elapsed time as an observability clock.  [Obs.set_clock
+    wall_clock] trades deterministic telemetry for true durations; the
+    underlying [Unix.gettimeofday] lives here because this module owns
+    the repo's sanctioned wall-clock reads (rodlint.allow:
+    determinism/wallclock). *)

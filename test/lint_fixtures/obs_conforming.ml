@@ -1,0 +1,15 @@
+(* rodlint: obs *)
+
+(* String rendering is not a console side-channel: sprintf, ksprintf
+   into a buffer, and fprintf to an explicit channel all stay legal in
+   an obs-instrumented module.  Only stdout/stderr writes are flagged. *)
+
+let label op = Printf.sprintf "op%d" op
+
+let describe ops nodes =
+  let buffer = Buffer.create 64 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  out "placement: %d operators over %d nodes\n" ops nodes;
+  Buffer.contents buffer
+
+let dump channel ratio = Printf.fprintf channel "ratio=%.3f\n" ratio

@@ -1,0 +1,11 @@
+(* rodlint: obs *)
+
+(* Every console side-channel shape the obs/print-telemetry rule must
+   catch in an instrumented module: formatted printing to stdout and
+   stderr through Printf and Format, plus the bare Stdlib printers. *)
+
+let report samples = Printf.printf "samples=%d\n" samples
+let warn message = Format.eprintf "warning: %s@." message
+let trace name = print_endline name
+let moan message = prerr_string message
+let count n = Stdlib.print_int n

@@ -205,6 +205,39 @@ let test_lint_hot () =
     "conforming file: clean" []
     (rules "lint_fixtures/hot_conforming.ml")
 
+let test_lint_obs () =
+  Alcotest.(check (list string))
+    "violating file: every console side-channel shape"
+    [
+      "obs/print-telemetry"; "obs/print-telemetry"; "obs/print-telemetry";
+      "obs/print-telemetry"; "obs/print-telemetry";
+    ]
+    (rules "lint_fixtures/obs_violating.ml");
+  Alcotest.(check (list string))
+    "conforming file: string rendering stays legal" []
+    (rules "lint_fixtures/obs_conforming.ml")
+
+let test_lint_obs_marker_detection () =
+  (* Without the marker, console printing is not a telemetry concern... *)
+  Alcotest.(check (list string))
+    "no marker, no obs rules" []
+    (List.map
+       (fun d -> d.Lint.rule)
+       (Lint.lint_string ~filename:"m.ml" "let f x = Printf.printf \"%d\" x"));
+  (* ...the marker comment switches the rule on, and ?obs overrides. *)
+  Alcotest.(check (list string))
+    "marker enables" [ "obs/print-telemetry" ]
+    (List.map
+       (fun d -> d.Lint.rule)
+       (Lint.lint_string ~filename:"m.ml"
+          "(* rodlint: obs *)\nlet f x = Printf.printf \"%d\" x"));
+  Alcotest.(check (list string))
+    "explicit override" [ "obs/print-telemetry" ]
+    (List.map
+       (fun d -> d.Lint.rule)
+       (Lint.lint_string ~obs:true ~filename:"m.ml"
+          "let f () = print_endline \"done\""))
+
 let test_lint_positions () =
   match Lint.lint_file "lint_fixtures/det_violating.ml" with
   | first :: _ ->
@@ -283,6 +316,9 @@ let suite =
     Alcotest.test_case "lint: determinism rules" `Quick test_lint_determinism;
     Alcotest.test_case "lint: parallel-safety rules" `Quick test_lint_parallel;
     Alcotest.test_case "lint: hot-path rules" `Quick test_lint_hot;
+    Alcotest.test_case "lint: obs telemetry rule" `Quick test_lint_obs;
+    Alcotest.test_case "lint: obs marker detection" `Quick
+      test_lint_obs_marker_detection;
     Alcotest.test_case "lint: positions" `Quick test_lint_positions;
     Alcotest.test_case "lint: hot marker detection" `Quick
       test_lint_hot_marker_detection;

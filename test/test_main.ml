@@ -19,4 +19,5 @@ let () =
       ("cql", Test_cql.suite);
       ("deploy", Test_deploy.suite);
       ("analysis", Test_analysis.suite);
+      ("obs", Test_obs.suite);
     ]

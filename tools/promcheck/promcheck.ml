@@ -1,0 +1,338 @@
+(* promcheck FILE...
+
+   Validates Prometheus text exposition format 0.0.4 as produced by
+   [Obs.Export.prometheus]: metric/label name grammar, label quoting,
+   value syntax (decimal, +Inf, -Inf, NaN), HELP/TYPE declared at most
+   once per family and TYPE before any of the family's samples, and the
+   histogram invariants (an le="+Inf" bucket whose count equals _count,
+   cumulative bucket counts nondecreasing in le order, _sum and _count
+   present).  Exits nonzero with file:line diagnostics on violation —
+   the [@promcheck] alias runs it over a fresh rod_cli export so a
+   format regression fails the tier-1 gate. *)
+
+let usage = "usage: promcheck FILE..."
+
+type family = {
+  mutable mtype : string option;  (* counter / gauge / histogram / ... *)
+  mutable help_seen : bool;
+  mutable samples : int;  (* samples seen for this family *)
+}
+
+(* One histogram series (family + labels minus "le"): the material for
+   the cross-line invariants, checked after the whole file is read. *)
+type series = {
+  mutable buckets : (float * float * int) list;  (* le, count, line *)
+  mutable sum : (float * int) option;
+  mutable count : (float * int) option;
+}
+
+let errors = ref 0
+
+let err file line fmt =
+  Printf.ksprintf
+    (fun message ->
+      incr errors;
+      Printf.eprintf "%s:%d: %s\n" file line message)
+    fmt
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_metric_name s =
+  String.length s > 0 && is_name_start s.[0] && String.for_all is_name_char s
+
+let valid_label_name s =
+  String.length s > 0
+  && is_name_start s.[0]
+  && s.[0] <> ':'
+  && String.for_all (fun c -> is_name_char c && c <> ':') s
+
+let parse_value s =
+  match s with
+  | "+Inf" | "Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some nan
+  | _ -> float_of_string_opt s
+
+(* The base family of a sample name: histogram series surface as
+   <family>_bucket / _sum / _count, so strip a recognized suffix when
+   the base carries a histogram TYPE. *)
+let strip_suffix families name =
+  let try_suffix suffix =
+    let nl = String.length name and sl = String.length suffix in
+    if nl > sl && String.sub name (nl - sl) sl = suffix then
+      let base = String.sub name 0 (nl - sl) in
+      match Hashtbl.find_opt families base with
+      | Some fam when fam.mtype = Some "histogram" -> Some base
+      | _ -> None
+    else None
+  in
+  match List.find_map try_suffix [ "_bucket"; "_sum"; "_count" ] with
+  | Some base -> base
+  | None -> name
+
+(* Parse {k="v",...} starting after the '{'; returns (labels, rest). *)
+let parse_labels file line s =
+  let n = String.length s in
+  let labels = ref [] in
+  let rec skip_ws i = if i < n && s.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec pairs i =
+    let i = skip_ws i in
+    if i >= n then begin
+      err file line "unterminated label set";
+      (None, n)
+    end
+    else if s.[i] = '}' then (Some (List.rev !labels), i + 1)
+    else begin
+      let start = i in
+      let rec name_end j =
+        if j < n && s.[j] <> '=' && s.[j] <> '}' then name_end (j + 1) else j
+      in
+      let eq = name_end i in
+      if eq >= n || s.[eq] <> '=' then begin
+        err file line "label without '=' in label set";
+        (None, n)
+      end
+      else begin
+        let lname = String.sub s start (eq - start) in
+        if not (valid_label_name lname) then
+          err file line "invalid label name %S" lname;
+        if eq + 1 >= n || s.[eq + 1] <> '"' then begin
+          err file line "label value for %S is not quoted" lname;
+          (None, n)
+        end
+        else begin
+          (* Scan the quoted value honoring backslash, quote and
+             newline escapes. *)
+          let buffer = Buffer.create 16 in
+          let rec value j =
+            if j >= n then begin
+              err file line "unterminated label value for %S" lname;
+              None
+            end
+            else if s.[j] = '\\' then
+              if j + 1 >= n then begin
+                err file line "dangling backslash in label value for %S" lname;
+                None
+              end
+              else begin
+                (match s.[j + 1] with
+                | '\\' -> Buffer.add_char buffer '\\'
+                | '"' -> Buffer.add_char buffer '"'
+                | 'n' -> Buffer.add_char buffer '\n'
+                | c -> err file line "bad escape '\\%c' in label value" c);
+                value (j + 2)
+              end
+            else if s.[j] = '"' then Some (j + 1)
+            else begin
+              Buffer.add_char buffer s.[j];
+              value (j + 1)
+            end
+          in
+          match value (eq + 2) with
+          | None -> (None, n)
+          | Some after ->
+            labels := (lname, Buffer.contents buffer) :: !labels;
+            let after = skip_ws after in
+            if after < n && s.[after] = ',' then pairs (after + 1)
+            else if after < n && s.[after] = '}' then
+              (Some (List.rev !labels), after + 1)
+            else begin
+              err file line "expected ',' or '}' after label value";
+              (None, n)
+            end
+        end
+      end
+    end
+  in
+  pairs 0
+
+let series_key family labels =
+  family
+  ^ String.concat ""
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "le" then None else Some ("\x00" ^ k ^ "\x01" ^ v))
+         (List.sort compare labels))
+
+let check_file file =
+  let families : (string, family) Hashtbl.t = Hashtbl.create 64 in
+  let histograms : (string, series) Hashtbl.t = Hashtbl.create 64 in
+  let family name =
+    match Hashtbl.find_opt families name with
+    | Some f -> f
+    | None ->
+      let f = { mtype = None; help_seen = false; samples = 0 } in
+      Hashtbl.add families name f;
+      f
+  in
+  let total_samples = ref 0 in
+  let ic = open_in_bin file in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let ln = !lineno in
+       if line = "" then ()
+       else if String.length line >= 1 && line.[0] = '#' then begin
+         match String.split_on_char ' ' line with
+         | "#" :: "HELP" :: name :: _ ->
+           if not (valid_metric_name name) then
+             err file ln "HELP for invalid metric name %S" name;
+           let f = family name in
+           if f.help_seen then err file ln "duplicate HELP for %s" name;
+           f.help_seen <- true
+         | "#" :: "TYPE" :: name :: rest ->
+           if not (valid_metric_name name) then
+             err file ln "TYPE for invalid metric name %S" name;
+           let mtype = String.concat " " rest in
+           if
+             not
+               (List.mem mtype
+                  [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+           then err file ln "unknown TYPE %S for %s" mtype name;
+           let f = family name in
+           if f.mtype <> None then err file ln "duplicate TYPE for %s" name;
+           if f.samples > 0 then
+             err file ln "TYPE for %s after its samples" name;
+           f.mtype <- Some mtype
+         | _ -> ()  (* other comments are legal and ignored *)
+       end
+       else begin
+         (* A sample: name[{labels}] value *)
+         let n = String.length line in
+         let rec name_end i =
+           if i < n && is_name_char line.[i] then name_end (i + 1) else i
+         in
+         let stop = name_end 0 in
+         let name = String.sub line 0 stop in
+         if not (valid_metric_name name) then
+           err file ln "invalid metric name at line start: %S" name
+         else begin
+           let labels, after =
+             if stop < n && line.[stop] = '{' then
+               parse_labels file ln
+                 (String.sub line (stop + 1) (n - stop - 1))
+               |> fun (labels, consumed) -> (labels, stop + 1 + consumed)
+             else (Some [], stop)
+           in
+           match labels with
+           | None -> ()  (* label parse already reported *)
+           | Some labels ->
+             (match
+                List.sort compare (List.map fst labels)
+                |> List.fold_left
+                     (fun prev k ->
+                       if Some k = prev then
+                         err file ln "duplicate label %S on %s" k name;
+                       Some k)
+                     None
+              with
+             | _ -> ());
+             let rest = String.sub line after (n - after) in
+             let rest = String.trim rest in
+             (match parse_value rest with
+             | None -> err file ln "unparseable sample value %S" rest
+             | Some value ->
+               incr total_samples;
+               let base = strip_suffix families name in
+               let f = family base in
+               f.samples <- f.samples + 1;
+               if f.mtype = None then
+                 err file ln "sample for %s before (or without) its TYPE" base;
+               if f.mtype = Some "histogram" then begin
+                 let key = series_key base labels in
+                 let s =
+                   match Hashtbl.find_opt histograms key with
+                   | Some s -> s
+                   | None ->
+                     let s = { buckets = []; sum = None; count = None } in
+                     Hashtbl.add histograms key s;
+                     s
+                 in
+                 if name = base ^ "_bucket" then begin
+                   match List.assoc_opt "le" labels with
+                   | None -> err file ln "%s_bucket without an le label" base
+                   | Some le -> (
+                     match parse_value le with
+                     | None -> err file ln "unparseable le=%S" le
+                     | Some le -> s.buckets <- (le, value, ln) :: s.buckets)
+                 end
+                 else if name = base ^ "_sum" then s.sum <- Some (value, ln)
+                 else if name = base ^ "_count" then s.count <- Some (value, ln)
+                 else err file ln "bare sample %s for histogram family" name
+               end)
+         end
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (* Cross-line histogram invariants. *)
+  Hashtbl.iter
+    (fun key s ->
+      let shown =
+        match String.index_opt key '\x00' with
+        | Some i -> String.sub key 0 i
+        | None -> key
+      in
+      let buckets = List.rev s.buckets in
+      (match buckets with
+      | [] -> err file 0 "histogram series %s has no buckets" shown
+      | _ ->
+        let sorted =
+          List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b) buckets
+        in
+        if
+          List.map (fun (le, _, _) -> le) sorted
+          <> List.map (fun (le, _, _) -> le) buckets
+        then
+          err file 0 "histogram series %s buckets not in ascending le order"
+            shown;
+        ignore
+          (List.fold_left
+             (fun prev (le, count, ln) ->
+               (match prev with
+               | Some (_, prev_count) when count < prev_count ->
+                 err file ln
+                   "histogram series %s cumulative count decreases at le=%g"
+                   shown le
+               | _ -> ());
+               Some (le, count))
+             None sorted);
+        let inf_bucket =
+          List.find_opt (fun (le, _, _) -> le = infinity) sorted
+        in
+        (match inf_bucket with
+        | None -> err file 0 "histogram series %s lacks an le=\"+Inf\" bucket" shown
+        | Some (_, inf_count, ln) -> (
+          match s.count with
+          | Some (count, _) when count <> inf_count ->
+            err file ln
+              "histogram series %s: +Inf bucket %g <> _count %g" shown
+              inf_count count
+          | _ -> ())));
+      if s.sum = None then err file 0 "histogram series %s lacks _sum" shown;
+      if s.count = None then err file 0 "histogram series %s lacks _count" shown)
+    histograms;
+  (!total_samples, Hashtbl.length families)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  List.iter
+    (fun file ->
+      let samples, families = check_file file in
+      if !errors = 0 then
+        Printf.printf "promcheck: %s ok (%d samples, %d families)\n" file
+          samples families)
+    files;
+  if !errors > 0 then begin
+    Printf.eprintf "promcheck: %d error(s)\n" !errors;
+    exit 1
+  end
