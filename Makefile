@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean check bench-quick chaos-quick lint promcheck
+.PHONY: all build test bench examples clean check bench-quick chaos-quick lint rodscan promcheck
 
 all: build
 
@@ -14,15 +14,21 @@ check:
 	dune build @fmt
 	dune build @all
 	dune build @lint
+	dune build @rodscan
 	dune runtest
 	dune build @chaos-quick
 	dune build @promcheck
 
-# rodlint over lib/ and bin/: determinism, parallel-safety and
-# hot-path rules (see DESIGN.md), with rodlint.allow as the only
-# escape hatch.
+# rodlint over lib/ and bin/ (parse-tree rules) plus rodscan over the
+# library typedtrees (interprocedural determinism taint, parallel race
+# lint, hot-path allocation check) — see DESIGN.md §10 for the rule
+# catalogue and the two escape hatches.
 lint:
-	dune build @lint
+	dune build @lint @rodscan
+
+# Typedtree analysis and its fixture self-test only.
+rodscan:
+	dune build @rodscan
 
 # Seeded fault-injection smoke suite: every chaos scenario in quick
 # mode, judged by the differential oracles (fails the build on any

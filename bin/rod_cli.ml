@@ -675,13 +675,23 @@ let analyze_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the report as JSON (rod-plan-check/1).")
   in
+  let sarif_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"PATH"
+          ~doc:
+            "Also write the report as SARIF 2.1.0 to $(docv) — the same \
+             format tools/rodscan emits, so both analyzers feed one code \
+             scanning pipeline.")
+  in
   let rate_arg =
     Arg.(
       value & opt float 150.
       & info [ "profile-rate" ] ~docv:"TPS"
           ~doc:"Synthetic tuple rate per input used when profiling a query file.")
   in
-  let run file nodes cap seed rate threshold json =
+  let run file nodes cap seed rate threshold json sarif =
     let graph_result =
       if Filename.check_suffix file ".rodgraph" then (
         match Query.Graph_io.load ~path:file with
@@ -711,6 +721,26 @@ let analyze_cmd =
       let report = Analysis.Plan_check.check_graph ~threshold graph ~caps in
       if json then print_string (Analysis.Plan_check.to_json report)
       else Format.printf "%a@." Analysis.Plan_check.pp report;
+      Option.iter
+        (fun path ->
+          let results =
+            List.map
+              (fun (d : Analysis.Plan_check.diag) ->
+                {
+                  Analysis.Sarif.rule_id = d.code;
+                  level =
+                    (match d.severity with
+                    | Analysis.Plan_check.Error -> "error"
+                    | Analysis.Plan_check.Warning -> "warning");
+                  message = d.message;
+                  file = Some file;
+                  line = None;
+                  col = None;
+                })
+              report.Analysis.Plan_check.diags
+          in
+          Analysis.Sarif.write ~path ~tool:"rod-plan-check" results)
+        sarif;
       if Analysis.Plan_check.ok report then `Ok ()
       else `Error (false, Printf.sprintf "%s: plan rejected by static analysis" file)
   in
@@ -718,7 +748,7 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ file_arg $ nodes_arg $ cap_arg $ seed_arg $ rate_arg
-        $ threshold_arg $ json_flag))
+        $ threshold_arg $ json_flag $ sarif_arg))
   in
   Cmd.v
     (Cmd.info "analyze"

@@ -420,8 +420,28 @@ let prefix_matches ~prefix s =
   let ls = String.length s and lx = String.length prefix in
   lx <= ls && String.sub s 0 lx = prefix
 
+(* Paths reach the allowlist from two spellings of the same file:
+   [dune build @lint] hands the linter build-relative paths
+   ([lib/x.ml], or [_build/default/lib/x.ml] when someone points it at
+   the build tree), while a direct [tools/rodlint ./lib] invocation
+   produces [./lib/x.ml].  Strip both decorations before matching so an
+   entry written one way cannot silently stop matching the other. *)
+let normalize_path p =
+  let strip prefix s =
+    if prefix_matches ~prefix s then
+      Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+    else None
+  in
+  let rec go s =
+    match strip "./" s with
+    | Some s -> go s
+    | None -> (
+      match strip "_build/default/" s with Some s -> go s | None -> s)
+  in
+  go p
+
 let matches entry (d : diag) =
-  suffix_matches ~suffix:entry.path_suffix d.file
+  suffix_matches ~suffix:(normalize_path entry.path_suffix) (normalize_path d.file)
   && prefix_matches ~prefix:entry.rule_prefix d.rule
 
 let split_allowed allowlist diags =

@@ -81,6 +81,12 @@ val load_allowlist : string -> allowlist
 
 val empty_allowlist : allowlist
 
+val normalize_path : string -> string
+(** Strip leading [./] and [_build/default/] decorations (repeatedly,
+    in any order) so the same file matches the same allowlist entry
+    under [dune build @lint], a direct [tools/rodlint ./lib] run, and a
+    build-tree invocation. *)
+
 val split_allowed : allowlist -> diag list -> diag list * diag list
 (** [(kept, suppressed)]; marks matching entries as used. *)
 

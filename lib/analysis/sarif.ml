@@ -1,0 +1,85 @@
+(* Minimal SARIF 2.1.0 emitter shared by rodscan and `rod_cli analyze`.
+   Hand-rolled JSON, matching the style of Plan_check.to_json — the
+   repo deliberately carries no JSON dependency. *)
+
+type result = {
+  rule_id : string;
+  level : string;
+  message : string;
+  file : string option;
+  line : int option;
+  col : int option;
+}
+
+let escape s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let to_string ~tool ?(tool_version = "1.0.0") ?(rules = []) results =
+  let buffer = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  out "{\n";
+  out "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out "  \"version\": \"2.1.0\",\n";
+  out "  \"runs\": [\n    {\n";
+  out "      \"tool\": {\n        \"driver\": {\n";
+  out "          \"name\": \"%s\",\n" (escape tool);
+  out "          \"version\": \"%s\"" (escape tool_version);
+  if rules <> [] then begin
+    out ",\n          \"rules\": [\n";
+    List.iteri
+      (fun idx (id, desc) ->
+        out "            { \"id\": \"%s\"" (escape id);
+        if desc <> "" then
+          out ", \"shortDescription\": { \"text\": \"%s\" }" (escape desc);
+        out " }%s\n" (if idx = List.length rules - 1 then "" else ","))
+      rules
+  end
+  else out "\n";
+  out "        }\n      },\n";
+  out "      \"results\": [\n";
+  List.iteri
+    (fun idx r ->
+      out "        {\n";
+      out "          \"ruleId\": \"%s\",\n" (escape r.rule_id);
+      out "          \"level\": \"%s\",\n" (escape r.level);
+      out "          \"message\": { \"text\": \"%s\" }" (escape r.message);
+      (match r.file with
+      | None -> ()
+      | Some file ->
+        out ",\n          \"locations\": [\n";
+        out "            { \"physicalLocation\": {\n";
+        out "                \"artifactLocation\": { \"uri\": \"%s\" }"
+          (escape file);
+        (match r.line with
+        | None -> ()
+        | Some line ->
+          (* SARIF regions are 1-based in both coordinates; the repo's
+             diag columns are 0-based compiler columns. *)
+          out ",\n                \"region\": { \"startLine\": %d" line;
+          (match r.col with
+          | None -> ()
+          | Some col -> out ", \"startColumn\": %d" (col + 1));
+          out " }");
+        out "\n              }\n            }\n          ]");
+      out "\n        }%s\n" (if idx = List.length results - 1 then "" else ","))
+    results;
+  out "      ]\n    }\n  ]\n}\n";
+  Buffer.contents buffer
+
+let write ~path ~tool ?tool_version ?rules results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~tool ?tool_version ?rules results))

@@ -1,0 +1,33 @@
+(** Minimal SARIF 2.1.0 emitter, shared by [tools/rodscan] and
+    [rod_cli analyze --sarif] so both static-analysis surfaces speak
+    the same machine-readable format (one [run] per invocation, one
+    [result] per finding). *)
+
+type result = {
+  rule_id : string;  (** Stable rule id, e.g. ["det/taint"]. *)
+  level : string;  (** SARIF level: ["error"], ["warning"] or ["note"]. *)
+  message : string;
+  file : string option;  (** Artifact URI; omitted when [None]. *)
+  line : int option;  (** 1-based start line. *)
+  col : int option;  (** 0-based compiler column; emitted +1. *)
+}
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars). *)
+
+val to_string :
+  tool:string ->
+  ?tool_version:string ->
+  ?rules:(string * string) list ->
+  result list ->
+  string
+(** Render one SARIF run.  [rules] lists [(id, short description)]
+    pairs for the driver's rule table (descriptions may be [""]). *)
+
+val write :
+  path:string ->
+  tool:string ->
+  ?tool_version:string ->
+  ?rules:(string * string) list ->
+  result list ->
+  unit

@@ -1,3 +1,5 @@
+(* rodlint: deterministic *)
+
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
 module Graph = Query.Graph

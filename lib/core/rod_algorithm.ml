@@ -135,12 +135,20 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
      flushed to the registry once per placement. *)
   let class1_total = ref 0 in
   let class2_total = ref 0 in
+  (* Min_new_arcs collects every class-one candidate for its
+     arc-count tie-break.  Kept in preallocated index/distance scratch
+     arrays (reset per operator) so the scoring loop stays
+     allocation-free; the tie-break itself runs once per operator,
+     outside the loop. *)
+  let one_scored_idx = Array.make n 0 in
+  let one_scored_dist = Array.make n 0. in
+  let one_scored_len = ref 0 in
   let assign j =
     let class_one_count = ref 0 in
     let first_one = ref (-1) in
     let best_one = ref (-1) in
     let best_one_dist = ref neg_infinity in
-    let one_scored = ref [] in
+    one_scored_len := 0;
     let best_two = ref (-1) in
     let best_two_dist = ref neg_infinity in
     for i = n - 1 downto 0 do
@@ -150,7 +158,10 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
         incr class_one_count;
         first_one := i;
         (match policy with
-        | Min_new_arcs _ -> one_scored := (i, dist) :: !one_scored
+        | Min_new_arcs _ ->
+          one_scored_idx.(!one_scored_len) <- i;
+          one_scored_dist.(!one_scored_len) <- dist;
+          incr one_scored_len
         | Max_plane_distance | First_fit -> ());
         (* >= so that ties resolve to the lowest index (loop descends). *)
         if dist >= !best_one_dist then begin
@@ -171,7 +182,9 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
         | Max_plane_distance -> !best_one
         | Min_new_arcs _ -> (
           let scored =
-            List.map (fun (i, dist) -> (new_cut_arcs j i, -.dist, i)) !one_scored
+            List.init !one_scored_len (fun k ->
+                let i = one_scored_idx.(k) in
+                (new_cut_arcs j i, -.one_scored_dist.(k), i))
           in
           let by_arcs_dist_index (a1, d1, i1) (a2, d2, i2) =
             let c = Int.compare a1 a2 in

@@ -1,4 +1,5 @@
 (* rodlint: hot *)
+(* rodlint: deterministic *)
 
 let primes =
   [| 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71 |]

@@ -1,4 +1,5 @@
 (* rodlint: hot *)
+(* rodlint: deterministic *)
 
 module Vec = Linalg.Vec
 

@@ -1,5 +1,6 @@
 (* rodlint: hot *)
 (* rodlint: obs *)
+(* rodlint: deterministic *)
 
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
@@ -125,6 +126,7 @@ let max_scale ~ln ~caps ~direction =
   then invalid_arg "Volume.max_scale: direction must be nonnegative, nonzero";
   let best = ref infinity in
   for i = 0 to Mat.rows ln - 1 do
+    (* rodscan: alloc-ok headroom bound: one dot per node, once per deploy query, not the QMC kernel *)
     let along = Vec.dot (Mat.row ln i) direction in
     if along > 0. then best := Float.min !best (caps.(i) /. along)
   done;

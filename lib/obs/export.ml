@@ -1,3 +1,5 @@
+(* rodlint: deterministic *)
+
 let float_str f =
   if Float.is_nan f then "NaN"
   else if f = Float.infinity then "+Inf"

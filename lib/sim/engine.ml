@@ -1,4 +1,5 @@
 (* rodlint: obs *)
+(* rodlint: deterministic *)
 
 module Vec = Linalg.Vec
 module Graph = Query.Graph

@@ -1,0 +1,15 @@
+(* rodlint: hot *)
+
+(* Conforming: the steady-state loop writes into caller-provided
+   scratch only; the one allocating site (a diagnostic trail of the
+   nonzero inputs) carries a justified alloc-ok hatch. *)
+
+let scale_into dst xs =
+  let trail = ref [] in
+  for i = 0 to Array.length xs - 1 do
+    dst.(i) <- xs.(i) *. 2.0;
+    if Float.compare xs.(i) 0. <> 0 then
+      (* rodscan: alloc-ok diagnostic trail, bounded by input size and only built for nonzero entries *)
+      trail := i :: !trail
+  done;
+  !trail

@@ -1,0 +1,13 @@
+(* rodlint: hot *)
+(* rodscan-expect: alloc/literal alloc/closure *)
+
+(* Hot-marked module allocating on every iteration of its loop: a
+   closure and a tuple per candidate. *)
+
+let best xs =
+  let best = ref (-1, neg_infinity) in
+  for i = 0 to Array.length xs - 1 do
+    let score = fun () -> xs.(i) *. 2.0 in
+    if score () > snd !best then best := (i, score ())
+  done;
+  !best

@@ -1,0 +1,9 @@
+(* rodlint: deterministic *)
+
+(* Conforming: randomness is threaded as an explicit seeded state, so
+   the result is a pure function of the seed. *)
+
+let perturb st x = x +. Random.State.float st 1.0
+let run ~seed xs =
+  let st = Random.State.make [| seed |] in
+  Array.map (perturb st) xs

@@ -1,0 +1,6 @@
+(* Unmarked helper module: the nondeterminism lives here, so the leak
+   into Det_taint_violating is only visible interprocedurally — the
+   marked module never mentions Random itself. *)
+
+let noisy () = Random.float 1.0
+let jitter x = x +. noisy ()

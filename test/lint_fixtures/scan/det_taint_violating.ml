@@ -1,0 +1,10 @@
+(* rodlint: deterministic *)
+(* rodscan-expect: det/taint *)
+
+(* Global Random state reaches this deterministic-marked module two
+   calls deep (perturb -> Det_taint_dep.jitter -> Det_taint_dep.noisy
+   -> Random.float); no file mentions Random here, so only the
+   interprocedural taint pass can see it. *)
+
+let perturb x = Det_taint_dep.jitter x
+let run xs = Array.map perturb xs

@@ -1,0 +1,13 @@
+(* Conforming: shared state is either an Atomic.t or a captured array
+   written only at indices derived from the closure's own loop
+   variable — the disjoint-slice idiom of the repo's kernels. *)
+
+let squares pool n =
+  let out = Array.make n 0 in
+  let hits = Atomic.make 0 in
+  Parallel.Pool.parallel_for pool ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- i * i;
+        Atomic.incr hits
+      done);
+  (out, Atomic.get hits)

@@ -1,0 +1,13 @@
+(* rodscan-expect: race/captured-ref *)
+
+(* A plain ref captured by the parallel_for body: every chunk races on
+   total through := / incr.  The fix is an Atomic.t or per-chunk
+   accumulation (see Race_capture_conforming). *)
+
+let sum pool n =
+  let total = ref 0 in
+  Parallel.Pool.parallel_for pool ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        total := !total + i
+      done);
+  !total

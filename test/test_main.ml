@@ -19,5 +19,6 @@ let () =
       ("cql", Test_cql.suite);
       ("deploy", Test_deploy.suite);
       ("analysis", Test_analysis.suite);
+      ("scan", Test_scan.suite);
       ("obs", Test_obs.suite);
     ]

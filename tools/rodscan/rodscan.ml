@@ -1,0 +1,210 @@
+(* rodscan [--allow FILE] [--json] [--sarif PATH] [--stats] PATH...
+   rodscan --fixtures DIR
+
+   Typedtree-level analysis over the .cmt files dune produces (see
+   Analysis.Scan for the pass and rule catalogue).  PATHs are scanned
+   recursively for .cmt files — under dune that means pointing it at
+   [lib] inside [_build/default], where both the cmts (.objs/byte) and
+   the source copies (for markers and escape hatches) live.
+
+   Exits nonzero when any unsuppressed finding remains, when the
+   allowlist has a stale entry, or — in --fixtures mode — when any
+   fixture's findings differ from its (* rodscan-expect: ... *)
+   declaration. *)
+
+let usage =
+  "usage: rodscan [--allow FILE] [--json] [--sarif PATH] [--stats] PATH...\n\
+  \       rodscan --fixtures DIR"
+
+let is_cmt path = Filename.check_suffix path ".cmt"
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc entry -> collect acc (Filename.concat path entry)) acc
+  else if is_cmt path then path :: acc
+  else acc
+
+let load_units paths =
+  List.fold_left collect [] paths
+  |> List.sort_uniq String.compare
+  |> List.filter_map Analysis.Scan.unit_of_cmt
+
+let sarif_results diags =
+  List.map
+    (fun (d : Analysis.Lint.diag) ->
+      {
+        Analysis.Sarif.rule_id = d.rule;
+        level = "error";
+        message = d.message;
+        file = Some d.file;
+        line = Some d.line;
+        col = Some d.col;
+      })
+    diags
+
+let print_json diags stats suppressed stale =
+  let open Printf in
+  let esc = Analysis.Sarif.escape in
+  printf "{\n  \"schema\": \"rod-rodscan/1\",\n";
+  printf "  \"units\": %d,\n" stats.Analysis.Scan.units_scanned;
+  printf "  \"definitions\": %d,\n" stats.Analysis.Scan.defs_analyzed;
+  printf "  \"suppressed\": %d,\n" suppressed;
+  printf "  \"findings\": [\n";
+  List.iteri
+    (fun idx (d : Analysis.Lint.diag) ->
+      printf
+        "    { \"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \
+         \"%s\", \"message\": \"%s\" }%s\n"
+        (esc d.file) d.line d.col (esc d.rule) (esc d.message)
+        (if idx = List.length diags - 1 then "" else ","))
+    diags;
+  printf "  ],\n";
+  printf "  \"stale_allow\": [%s]\n"
+    (String.concat ", "
+       (List.map (fun (p, r) -> sprintf "\"%s %s\"" (esc p) (esc r)) stale));
+  printf "}\n"
+
+(* --- fixture self-test mode -------------------------------------------
+
+   Every fixture declares its expected rule ids in a
+   (* rodscan-expect: rule [rule...] *) comment; a conforming fixture
+   declares none.  The whole directory is scanned as one unit set so
+   interprocedural fixtures (a Random leak crossing files) work. *)
+
+let run_fixtures dir =
+  let units = load_units [ dir ] in
+  if units = [] then begin
+    Printf.eprintf "rodscan --fixtures: no .cmt files under %s\n" dir;
+    exit 2
+  end;
+  let diags, _stats = Analysis.Scan.scan_units units in
+  let module SSet = Set.Make (String) in
+  let found = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Analysis.Lint.diag) ->
+      let cur =
+        Option.value (Hashtbl.find_opt found d.file) ~default:SSet.empty
+      in
+      Hashtbl.replace found d.file (SSet.add d.rule cur))
+    diags;
+  let failures = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (u : Analysis.Scan.unit_info) ->
+      (* Skip dune's generated wrapper module (no source on disk). *)
+      if Sys.file_exists u.source then begin
+        incr checked;
+        let expected = SSet.of_list u.expect in
+        let got =
+          Option.value (Hashtbl.find_opt found u.source) ~default:SSet.empty
+        in
+        if SSet.equal expected got then
+          Printf.printf "fixture ok: %s%s\n" u.source
+            (if SSet.is_empty expected then " (conforming)"
+             else
+               Printf.sprintf " (rejected: %s)"
+                 (String.concat ", " (SSet.elements expected)))
+        else begin
+          incr failures;
+          Printf.printf "fixture FAIL: %s expected {%s} got {%s}\n" u.source
+            (String.concat ", " (SSet.elements expected))
+            (String.concat ", " (SSet.elements got));
+          List.iter
+            (fun (d : Analysis.Lint.diag) ->
+              if d.file = u.source then
+                Printf.printf "  %s\n" (Analysis.Lint.render d))
+            diags
+        end
+      end)
+    (List.sort
+       (fun (a : Analysis.Scan.unit_info) b -> String.compare a.source b.source)
+       units);
+  Printf.printf "rodscan fixtures: %d checked, %d failed\n" !checked !failures;
+  if !failures > 0 || !checked = 0 then exit 1
+
+let () =
+  let allow_file = ref None in
+  let json = ref false in
+  let sarif = ref None in
+  let stats_flag = ref false in
+  let fixtures = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allow" :: file :: rest ->
+      allow_file := Some file;
+      parse rest
+    | "--sarif" :: path :: rest ->
+      sarif := Some path;
+      parse rest
+    | "--fixtures" :: dir :: rest ->
+      fixtures := Some dir;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--stats" :: rest ->
+      stats_flag := true;
+      parse rest
+    | ("--help" | "-help") :: _ ->
+      print_endline usage;
+      exit 0
+    | ("--allow" | "--sarif" | "--fixtures") :: [] ->
+      prerr_endline usage;
+      exit 2
+    | p :: rest ->
+      paths := p :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !fixtures with
+  | Some dir -> run_fixtures dir
+  | None ->
+    if !paths = [] then begin
+      prerr_endline usage;
+      exit 2
+    end;
+    let allowlist =
+      match !allow_file with
+      | None -> Analysis.Lint.empty_allowlist
+      | Some file -> (
+        try Analysis.Lint.load_allowlist file
+        with Failure msg ->
+          prerr_endline msg;
+          exit 2)
+    in
+    let units = load_units (List.rev !paths) in
+    let diags, stats = Analysis.Scan.scan_units units in
+    let kept, suppressed = Analysis.Lint.split_allowed allowlist diags in
+    let stale = Analysis.Lint.unused_entries allowlist in
+    if !json then print_json kept stats (List.length suppressed) stale
+    else begin
+      List.iter (fun d -> print_endline (Analysis.Lint.render d)) kept;
+      List.iter
+        (fun (path, rule) ->
+          Printf.printf
+            "stale allowlist entry: %s %s (suppresses nothing)\n" path rule)
+        stale
+    end;
+    Option.iter
+      (fun path ->
+        Analysis.Sarif.write ~path ~tool:"rodscan"
+          ~rules:Analysis.Scan.rules (sarif_results kept))
+      !sarif;
+    if !stats_flag && not !json then
+      Printf.printf
+        "rodscan --stats: %d passes (%s), %d rules, %d units, %d \
+         definitions, %d findings (%d allow-suppressed, %d hatch-suppressed, \
+         %d stale allow entries)\n"
+        (List.length Analysis.Scan.passes)
+        (String.concat ", " Analysis.Scan.passes)
+        (List.length Analysis.Scan.rules)
+        stats.Analysis.Scan.units_scanned stats.Analysis.Scan.defs_analyzed
+        (List.length kept) (List.length suppressed)
+        stats.Analysis.Scan.hatches_used (List.length stale);
+    if not !json then
+      Printf.printf "rodscan: %d units, %d findings (%d suppressed)%s\n"
+        stats.Analysis.Scan.units_scanned (List.length kept)
+        (List.length suppressed)
+        (if kept = [] && stale = [] then "" else " — FAILED");
+    if kept <> [] || stale <> [] then exit 1
