@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean check bench-quick chaos-quick lint rodscan promcheck
+.PHONY: all build test bench examples clean check bench-quick bench-ladder benchdiff chaos-quick lint rodscan promcheck
 
 all: build
 
@@ -48,6 +48,19 @@ bench:
 # plain-text table so the perf trajectory across PRs stays diffable.
 bench-quick:
 	dune exec bench/main.exe -- --quick --micro-only
+
+# The placement scale ladder only (under --micro-only, --only narrows
+# by benchmark-name substring, so `place/` selects every placement
+# rung up to ROD-m10000-n256).  Appends a record to BENCH_rod.json.
+bench-ladder:
+	dune exec bench/main.exe -- --quick --micro-only --only place/
+
+# Advisory perf gate: compares the newest BENCH_rod.json record against
+# the previous one and fails on a >25% slowdown in any place/* entry.
+# Deliberately not part of tier-1 `check` — wall-clock on a shared box
+# regresses spuriously; run it where timings are trustworthy.
+benchdiff:
+	dune exec tools/benchdiff/benchdiff.exe -- BENCH_rod.json
 
 examples:
 	dune exec examples/quickstart.exe

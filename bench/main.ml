@@ -106,6 +106,25 @@ let micro_tests ?only () =
         (Staged.stage
            (let _, problem50 = fixture ~m:50 ~d:5 ~n_nodes:10 in
             fun () -> Rod.Local_search.rod_polished ~samples:256 problem50));
+      (* The scale ladder (ROADMAP item 3): each rung roughly an order
+         of magnitude up, so the per-PR trajectory toward "1000
+         operators under 100 ms" reads straight out of BENCH_rod.json.
+         The 1000-operator rung caps passes — rung timings must bound
+         the polish loop, not its luck on a given fixture. *)
+      Test.make ~name:"place/ROD+LS-m200"
+        (Staged.stage
+           (let _, problem200' = fixture ~m:200 ~d:5 ~n_nodes:10 in
+            fun () -> Rod.Local_search.rod_polished ~samples:256 problem200'));
+      Test.make ~name:"place/ROD+LS-m1000-n64"
+        (Staged.stage
+           (let _, problem1000 = fixture ~m:1000 ~d:5 ~n_nodes:64 in
+            fun () ->
+              Rod.Local_search.rod_polished ~samples:256 ~max_passes:3
+                problem1000));
+      Test.make ~name:"place/ROD-m10000-n256"
+        (Staged.stage
+           (let _, problem10k = fixture ~m:10000 ~d:5 ~n_nodes:256 in
+            fun () -> Rod.Rod_algorithm.place problem10k));
       Test.make ~name:"place/LLF-m100"
         (Staged.stage (fun () -> Baselines.llf ~rates problem100));
       Test.make ~name:"place/connected-m100"

@@ -94,7 +94,7 @@ let check_ident ctx loc lid =
 
 (* --- parallel-safety: closures handed to the domain pool --- *)
 
-let pool_functions = [ "parallel_for"; "map_reduce"; "map_chunks" ]
+let pool_functions = [ "parallel_for"; "map_reduce"; "map_chunks"; "map_chunks_i" ]
 
 let pat_vars pat =
   let acc = ref [] in

@@ -490,7 +490,8 @@ let det_pass ctx defs summaries taint =
 
 (* ---------- pass 2: parallel race lint ---------- *)
 
-let pool_fns = SSet.of_list [ "parallel_for"; "map_reduce"; "map_chunks"; "run" ]
+let pool_fns =
+  SSet.of_list [ "parallel_for"; "map_reduce"; "map_chunks"; "map_chunks_i"; "run" ]
 
 let mutating_calls =
   [

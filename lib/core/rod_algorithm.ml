@@ -115,10 +115,13 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
   let trace_scratch =
     match trace with Some _ -> Some (Vec.zeros d) | None -> None
   in
-  let candidate_score j i =
+  (* The capacity ratio C_i / C_T depends only on the node, so it is
+     divided out once here instead of once per (operator, node) pair. *)
+  let cap_ratios = Array.init n (fun i -> caps.(i) /. c_total) in
+  let candidate_score_exact j i =
     let lo_j = Problem.op_load problem j in
     let ln_i = Mat.row ln i in
-    let cap_ratio = caps.(i) /. c_total in
+    let cap_ratio = cap_ratios.(i) in
     below := true;
     acc.(0) <- 0.;
     acc.(1) <- 0.;
@@ -130,6 +133,34 @@ let place_internal ?lower ?(policy = Max_plane_distance) ?trace ~fixed problem =
     done;
     let norm = sqrt acc.(0) in
     acc.(2) <- (if norm > 0. then (1. -. acc.(1)) /. norm else infinity)
+  in
+  (* With the lower corner at the origin (the default), w . lower_norm
+     accumulates exactly +0. for any finite w, so the common case drops
+     that term from the fused pass and the plane distance collapses to
+     1/|w|.  A non-finite |w|^2 means some w_k overflowed or went nan;
+     the old loop would have poisoned acc.(1) through wk *. 0. = nan, so
+     that (rare) candidate reruns the exact two-term loop and scores
+     stay bit-identical either way. *)
+  let lower_zero = Array.for_all (fun x -> Float.equal x 0.) lower_norm in
+  let candidate_score j i =
+    if not lower_zero then candidate_score_exact j i
+    else begin
+      let lo_j = Problem.op_load problem j in
+      let ln_i = Mat.row ln i in
+      let cap_ratio = cap_ratios.(i) in
+      below := true;
+      acc.(0) <- 0.;
+      for k = 0 to d - 1 do
+        let wk = (ln_i.(k) +. lo_j.(k)) /. l.(k) /. cap_ratio in
+        if not (wk <= 1.) then below := false;
+        acc.(0) <- acc.(0) +. (wk *. wk)
+      done;
+      if Float.is_finite acc.(0) then begin
+        let norm = sqrt acc.(0) in
+        acc.(2) <- (if norm > 0. then 1. /. norm else infinity)
+      end
+      else candidate_score_exact j i
+    end
   in
   (* Class tallies are kept in plain locals inside the hot loop and
      flushed to the registry once per placement. *)

@@ -183,15 +183,17 @@ let chunk_bounds ~chunks ~n =
   let chunks = max 1 (min chunks n) in
   Array.init chunks (fun c -> (c * n / chunks, (c + 1) * n / chunks))
 
-let map_chunks ?chunks pool ~n f =
+let map_chunks_i ?chunks pool ~n f =
   if n <= 0 then [||]
   else begin
     let chunks = match chunks with Some c -> max 1 c | None -> pool.ways in
-    if pool.ways <= 1 || chunks <= 1 || n = 1 then [| f 0 n |]
+    if pool.ways <= 1 || chunks <= 1 || n = 1 then [| f 0 0 n |]
     else
       let bounds = chunk_bounds ~chunks ~n in
-      run_batch pool (Array.map (fun (lo, hi) () -> f lo hi) bounds)
+      run_batch pool (Array.mapi (fun c (lo, hi) () -> f c lo hi) bounds)
   end
+
+let map_chunks ?chunks pool ~n f = map_chunks_i ?chunks pool ~n (fun _ lo hi -> f lo hi)
 
 let parallel_for ?chunks pool ~n f = ignore (map_chunks ?chunks pool ~n f)
 

@@ -54,6 +54,16 @@ val map_chunks : ?chunks:int -> t -> n:int -> (int -> int -> 'a) -> 'a array
 (** Like {!parallel_for} but collects the chunk results in ascending
     chunk order.  Returns [[||]] when [n <= 0]. *)
 
+val map_chunks_i : ?chunks:int -> t -> n:int -> (int -> int -> int -> 'a) -> 'a array
+(** [map_chunks_i pool ~n f] is {!map_chunks} with the chunk index
+    passed as the first argument: [f c lo hi] for the [c]-th chunk.
+    The index lets a kernel write into a preallocated per-chunk scratch
+    row instead of allocating its accumulator per dispatch — the
+    batched-dispatch idiom of the fused local-search kernels.  Chunk
+    indices are dense in [0, chunks) and [chunks] never exceeds
+    [max (ways pool) (Option.value chunks ~default:0)], so scratch
+    sized by [ways] is safe for callers that omit [chunks]. *)
+
 val map_reduce :
   ?chunks:int ->
   t ->

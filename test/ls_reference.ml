@@ -1,0 +1,85 @@
+(* The historical mutate-and-undo local-search driver, preserved as a
+   test oracle on top of the public scorer API: every candidate is
+   evaluated by actually applying the move, reading the feasible count
+   and undoing it — four O(samples) passes per (operator, node) pair,
+   exactly like the implementation this repo shipped before the fused
+   read-only sweeps.  test_ls_equiv.ml pins the rewrite to this path
+   bit for bit: assignment, ratio, move and pass counts. *)
+
+module LS = Rod.Local_search
+
+let improve ?pool ?(samples = 2048) ?(max_passes = 20) problem assignment =
+  let m = Rod.Problem.n_ops problem and n = Rod.Problem.n_nodes problem in
+  if Array.length assignment <> m then
+    invalid_arg "Ls_reference.improve: assignment length";
+  if max_passes < 1 then invalid_arg "Ls_reference.improve: max_passes < 1";
+  let assignment = Array.copy assignment in
+  let scorer = LS.make_scorer ?pool problem assignment samples in
+  let moves = ref 0 in
+  let passes = ref 0 in
+  let improved = ref true in
+  (* One sweep of single-operator relocations; best-of-n per operator,
+     applied immediately when it gains. *)
+  let relocation_sweep () =
+    let any = ref false in
+    for j = 0 to m - 1 do
+      let home = assignment.(j) in
+      let best_gain = ref 0 and best_node = ref home in
+      for i = 0 to n - 1 do
+        if i <> home then begin
+          let before = LS.feasible scorer in
+          LS.move scorer j ~from_node:home ~to_node:i;
+          let gain = LS.feasible scorer - before in
+          LS.move scorer j ~from_node:i ~to_node:home;
+          if gain > !best_gain then begin
+            best_gain := gain;
+            best_node := i
+          end
+        end
+      done;
+      if !best_node <> home then begin
+        LS.move scorer j ~from_node:home ~to_node:!best_node;
+        assignment.(j) <- !best_node;
+        incr moves;
+        any := true
+      end
+    done;
+    !any
+  in
+  (* Pairwise exchanges, evaluated by performing the swap and undoing
+     it when it does not gain. *)
+  let swap_sweep () =
+    let any = ref false in
+    for j1 = 0 to m - 1 do
+      for j2 = j1 + 1 to m - 1 do
+        let a = assignment.(j1) and b = assignment.(j2) in
+        if a <> b then begin
+          let before = LS.feasible scorer in
+          LS.move scorer j1 ~from_node:a ~to_node:b;
+          LS.move scorer j2 ~from_node:b ~to_node:a;
+          if LS.feasible scorer > before then begin
+            assignment.(j1) <- b;
+            assignment.(j2) <- a;
+            moves := !moves + 2;
+            any := true
+          end
+          else begin
+            LS.move scorer j1 ~from_node:b ~to_node:a;
+            LS.move scorer j2 ~from_node:a ~to_node:b
+          end
+        end
+      done
+    done;
+    !any
+  in
+  while !improved && !passes < max_passes do
+    incr passes;
+    let relocated = relocation_sweep () in
+    improved := relocated || swap_sweep ()
+  done;
+  {
+    LS.assignment;
+    ratio = float_of_int (LS.feasible scorer) /. float_of_int samples;
+    moves = !moves;
+    passes = !passes;
+  }

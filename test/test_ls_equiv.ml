@@ -1,0 +1,196 @@
+(* Equivalence suite for the fused read-only local-search rewrite.
+
+   Two obligations: (1) the new sweeps must reproduce the historical
+   mutate-and-undo driver (ls_reference.ml) bit for bit — assignment,
+   ratio, move and pass counts — at pool sizes 1/2/4, including
+   degenerate shapes; (2) the read-only primitives (gain, swap_gain,
+   relocation_gains) must equal the feasibility delta that actually
+   performing the move reports, on random problems. *)
+
+module Pool = Parallel.Pool
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Problem = Rod.Problem
+module LS = Rod.Local_search
+
+let with_pool ways f =
+  let pool = Pool.create ways in
+  Fun.protect
+    ~finally:(fun () -> if ways > 1 then Pool.shutdown pool)
+    (fun () -> f pool)
+
+let fixture ?(seed = 4242) ~m ~d ~n_nodes ~cap () =
+  let rng = Random.State.make [| seed |] in
+  let graph =
+    Query.Randgraph.generate_trees ~rng ~n_inputs:d ~ops_per_tree:(m / d)
+  in
+  Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:n_nodes ~cap)
+
+let check_equal name reference outcome =
+  Alcotest.(check (array int))
+    (name ^ " assignment") reference.LS.assignment outcome.LS.assignment;
+  Alcotest.check (Alcotest.float 0.) (name ^ " ratio") reference.LS.ratio
+    outcome.LS.ratio;
+  Alcotest.(check int) (name ^ " moves") reference.LS.moves outcome.LS.moves;
+  Alcotest.(check int) (name ^ " passes") reference.LS.passes outcome.LS.passes
+
+let equiv ~name ?(samples = 512) ?max_passes problem start =
+  List.iter
+    (fun ways ->
+      with_pool ways (fun pool ->
+          let reference =
+            Ls_reference.improve ~pool ~samples ?max_passes problem start
+          in
+          let outcome = LS.improve ~pool ~samples ?max_passes problem start in
+          check_equal (Printf.sprintf "%s ways=%d" name ways) reference outcome))
+    [ 1; 2; 4 ]
+
+(* A pile-up start (everything on node 0) drives long relocation runs;
+   the alternating start leaves work for the swap sweep too. *)
+let test_equiv_random_starts () =
+  let problem = fixture ~m:24 ~d:3 ~n_nodes:4 ~cap:1. () in
+  equiv ~name:"pile-up" problem (Array.make 24 0);
+  equiv ~name:"alternating" problem (Array.init 24 (fun j -> j mod 2))
+
+let test_equiv_rod_start () =
+  let problem = fixture ~m:30 ~d:3 ~n_nodes:5 ~cap:1. () in
+  equiv ~name:"rod-start" problem (Rod.Rod_algorithm.place problem)
+
+let test_equiv_degenerate () =
+  (* Single operator. *)
+  let p1 = fixture ~m:1 ~d:1 ~n_nodes:2 ~cap:1. () in
+  equiv ~name:"m=1" ~samples:128 p1 [| 0 |];
+  (* Single node: no relocation candidate, no swappable pair. *)
+  let p2 = fixture ~m:8 ~d:2 ~n_nodes:1 ~cap:1. () in
+  equiv ~name:"n=1" ~samples:128 p2 (Array.make 8 0);
+  (* Single sample. *)
+  let p3 = fixture ~m:12 ~d:2 ~n_nodes:3 ~cap:1. () in
+  equiv ~name:"samples=1" ~samples:1 p3 (Array.make 12 0);
+  (* Capacities so tight every sample violates everywhere: nothing can
+     ever gain, so the skip index must reach the same quiet single pass
+     as grinding through the mutate-and-undo evaluation. *)
+  let p4 = fixture ~m:12 ~d:2 ~n_nodes:3 ~cap:1e-9 () in
+  equiv ~name:"all-infeasible" ~samples:128 p4 (Array.make 12 0);
+  (* Pass cap of 1 stops mid-climb; both paths must stop at the same
+     intermediate state. *)
+  let p5 = fixture ~m:24 ~d:3 ~n_nodes:4 ~cap:1. () in
+  equiv ~name:"max_passes=1" ~max_passes:1 p5 (Array.make 24 0)
+
+(* --- property checks of the read-only primitives ------------------- *)
+
+(* Random dense problems plus a random starting assignment.  Loads are
+   strictly positive (no all-zero column) and capacities strictly
+   positive, per the Problem.t invariants the skip index relies on. *)
+let instance_gen =
+  QCheck.Gen.(
+    let* m = 2 -- 8 in
+    let* d = 1 -- 3 in
+    let* n = 2 -- 4 in
+    let* entries = array_size (return (m * d)) (float_range 0.05 1.) in
+    let* caps = array_size (return n) (float_range 0.2 2.) in
+    let* assignment = array_size (return m) (0 -- (n - 1)) in
+    let lo = Array.init m (fun j -> Array.sub entries (j * d) d) in
+    return (lo, caps, assignment))
+
+let print_instance (lo, caps, assignment) =
+  Format.asprintf "lo = %a caps = %a assignment = %s" Mat.pp
+    (Mat.of_arrays lo) Vec.pp caps
+    (String.concat ";" (Array.to_list (Array.map string_of_int assignment)))
+
+let arbitrary_instance = QCheck.make ~print:print_instance instance_gen
+
+let samples = 64
+
+(* gain j ~to_node must equal feasible-after-move minus feasible-before
+   — measured by really moving (and moving back before the next probe;
+   any float drift the undo leaves behind is part of the state both
+   sides then read, so the comparison stays exact). *)
+let prop_gain_matches_move =
+  QCheck.Test.make ~name:"gain = feasible delta of the move" ~count:60
+    arbitrary_instance (fun (lo, caps, assignment) ->
+      let problem = Problem.create ~lo:(Mat.of_arrays lo) ~caps in
+      let m = Problem.n_ops problem and n = Problem.n_nodes problem in
+      List.for_all
+        (fun ways ->
+          with_pool ways (fun pool ->
+              let scorer = LS.make_scorer ~pool problem assignment samples in
+              let ok = ref true in
+              for j = 0 to m - 1 do
+                let home = assignment.(j) in
+                for i = 0 to n - 1 do
+                  if i <> home then begin
+                    let predicted = LS.gain scorer j ~to_node:i in
+                    let before = LS.feasible scorer in
+                    LS.move scorer j ~from_node:home ~to_node:i;
+                    let actual = LS.feasible scorer - before in
+                    LS.move scorer j ~from_node:i ~to_node:home;
+                    if predicted <> actual then ok := false
+                  end
+                done
+              done;
+              !ok))
+        [ 1; 4 ])
+
+let prop_swap_gain_matches_moves =
+  QCheck.Test.make ~name:"swap_gain = feasible delta of the exchange"
+    ~count:60 arbitrary_instance (fun (lo, caps, assignment) ->
+      let problem = Problem.create ~lo:(Mat.of_arrays lo) ~caps in
+      let m = Problem.n_ops problem in
+      with_pool 1 (fun pool ->
+          let scorer = LS.make_scorer ~pool problem assignment samples in
+          let ok = ref true in
+          for j1 = 0 to m - 1 do
+            for j2 = j1 + 1 to m - 1 do
+              let a = assignment.(j1) and b = assignment.(j2) in
+              if a <> b then begin
+                let predicted = LS.swap_gain scorer j1 j2 in
+                let before = LS.feasible scorer in
+                LS.move scorer j1 ~from_node:a ~to_node:b;
+                LS.move scorer j2 ~from_node:b ~to_node:a;
+                let actual = LS.feasible scorer - before in
+                LS.move scorer j1 ~from_node:b ~to_node:a;
+                LS.move scorer j2 ~from_node:a ~to_node:b;
+                if predicted <> actual then ok := false
+              end
+            done
+          done;
+          !ok))
+
+(* The fused kernel must agree with the scalar primitive on every
+   target, and stay below the positive bound that gates it. *)
+let prop_fused_matches_gain =
+  QCheck.Test.make ~name:"relocation_gains = gain per target, <= bound"
+    ~count:60 arbitrary_instance (fun (lo, caps, assignment) ->
+      let problem = Problem.create ~lo:(Mat.of_arrays lo) ~caps in
+      let m = Problem.n_ops problem and n = Problem.n_nodes problem in
+      List.for_all
+        (fun ways ->
+          with_pool ways (fun pool ->
+              let scorer = LS.make_scorer ~pool problem assignment samples in
+              let ok = ref true in
+              for j = 0 to m - 1 do
+                let gains = Array.copy (LS.relocation_gains scorer j) in
+                let bound = LS.relocation_positive_bound scorer j in
+                for i = 0 to n - 1 do
+                  if gains.(i) <> LS.gain scorer j ~to_node:i then ok := false;
+                  if gains.(i) > bound then ok := false
+                done
+              done;
+              !ok))
+        [ 1; 4 ])
+
+let suite =
+  [
+    Alcotest.test_case "old = new: random starts (1/2/4)" `Quick
+      test_equiv_random_starts;
+    Alcotest.test_case "old = new: ROD start (1/2/4)" `Quick
+      test_equiv_rod_start;
+    Alcotest.test_case "old = new: degenerate shapes (1/2/4)" `Quick
+      test_equiv_degenerate;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_gain_matches_move;
+        prop_swap_gain_matches_moves;
+        prop_fused_matches_gain;
+      ]

@@ -14,6 +14,7 @@ let () =
       ("graph_io", Test_graph_io.suite);
       ("spe", Test_spe.suite);
       ("placement_props", Test_placement_props.suite);
+      ("ls_equiv", Test_ls_equiv.suite);
       ("chaos", Test_chaos.suite);
       ("experiments", Test_experiments.suite);
       ("cql", Test_cql.suite);

@@ -1,0 +1,162 @@
+(* benchdiff: compare the newest BENCH_rod.json record against the
+   previous one and fail on placement-suite regressions.
+
+   The file is the rod-microbench/2 accumulator written by bench/main.ml,
+   one record per run.  This reads the last two records, lines up their
+   "place/" entries and exits 1 when any is more than [threshold] slower
+   than before.  Advisory by design: wall-clock on a busy box regresses
+   spuriously, so this is a separate target, not part of tier-1 `check`.
+
+   The parser is deliberately shape-bound to the writer (fixed
+   indentation, one entry per line) rather than a general JSON reader —
+   the two live in the same repo and move together. *)
+
+let threshold = 1.25
+
+type record = {
+  mutable rev : string;
+  mutable quick : string;
+  mutable domains : string;
+  mutable results : (string * float) list;  (* reversed while parsing *)
+}
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Record bodies use 6-space indentation for their own fields; the
+   nested obs snapshot is re-indented to 8+ spaces, so matching exact
+   prefixes below cannot confuse the two. *)
+let parse content =
+  let records = ref [] in
+  let current = ref None in
+  let in_results = ref false in
+  let header field line =
+    (* |      "field": value,| -> |value| *)
+    let prefix = Printf.sprintf "      %S: " field in
+    if starts_with prefix line then begin
+      let v = String.sub line (String.length prefix)
+          (String.length line - String.length prefix) in
+      let v = String.trim v in
+      let v =
+        if String.length v > 0 && v.[String.length v - 1] = ',' then
+          String.sub v 0 (String.length v - 1)
+        else v
+      in
+      Some v
+    end
+    else None
+  in
+  let entry record line =
+    (* |        "name": { "ns_per_run": 1.23e+06, "r_square": ... }| *)
+    match
+      Scanf.sscanf (String.trim line) "%S: { \"ns_per_run\": %s@,"
+        (fun name v -> (name, v))
+    with
+    | name, v ->
+      (match float_of_string_opt v with
+      | Some ns -> record.results <- (name, ns) :: record.results
+      | None -> () (* "null": the run produced no estimate *))
+    | exception Scanf.Scan_failure _ | exception End_of_file -> ()
+  in
+  List.iter
+    (fun line ->
+      if line = "    {" then begin
+        (match !current with Some r -> records := r :: !records | None -> ());
+        current :=
+          Some { rev = "?"; quick = "?"; domains = "?"; results = [] };
+        in_results := false
+      end
+      else
+        match !current with
+        | None -> ()
+        | Some r ->
+          if !in_results then
+            if starts_with "        \"" line then entry r line
+            else in_results := false
+          else if line = "      \"results\": {" then in_results := true
+          else begin
+            (match header "rev" line with Some v -> r.rev <- v | None -> ());
+            (match header "quick" line with
+            | Some v -> r.quick <- v
+            | None -> ());
+            match header "domains" line with
+            | Some v -> r.domains <- v
+            | None -> ()
+          end)
+    (String.split_on_char '\n' content);
+  (match !current with Some r -> records := r :: !records | None -> ());
+  (* Oldest first. *)
+  List.rev_map
+    (fun r ->
+      r.results <- List.rev r.results;
+      r)
+    !records
+  |> List.rev
+
+let pretty ns =
+  if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+  else Printf.sprintf "%.1f ns" ns
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_rod.json"
+  in
+  if not (Sys.file_exists path) then begin
+    Printf.printf "benchdiff: %s not found, nothing to compare\n" path;
+    exit 0
+  end;
+  let content =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match List.rev (parse content) with
+  | [] | [ _ ] ->
+    Printf.printf "benchdiff: %s has fewer than two records, nothing to compare\n"
+      path;
+    exit 0
+  | newest :: previous :: _ ->
+    Printf.printf "benchdiff: %s (rev %s) vs %s (rev %s)\n" path newest.rev
+      path previous.rev;
+    if newest.domains <> previous.domains || newest.quick <> previous.quick
+    then
+      Printf.printf
+        "benchdiff: note: setups differ (domains %s vs %s, quick %s vs %s)\n"
+        newest.domains previous.domains newest.quick previous.quick;
+    let regressions = ref 0 in
+    let compared = ref 0 in
+    List.iter
+      (fun (name, ns) ->
+        let is_place =
+          let rec scan i =
+            i + 6 <= String.length name
+            && (String.sub name i 6 = "place/" || scan (i + 1))
+          in
+          scan 0
+        in
+        if is_place then
+          match List.assoc_opt name previous.results with
+          | None -> Printf.printf "  %-34s %14s      (new entry)\n" name (pretty ns)
+          | Some old when old > 0. ->
+            incr compared;
+            let ratio = ns /. old in
+            let flag = ratio > threshold in
+            if flag then incr regressions;
+            Printf.printf "  %-34s %14s %5.2fx%s\n" name (pretty ns) ratio
+              (if flag then "  REGRESSION" else "")
+          | Some _ -> ())
+      newest.results;
+    if !compared = 0 then
+      Printf.printf "benchdiff: no place/* entries in common\n";
+    if !regressions > 0 then begin
+      Printf.printf "benchdiff: %d entr%s regressed more than %.0f%%\n"
+        !regressions
+        (if !regressions = 1 then "y" else "ies")
+        ((threshold -. 1.) *. 100.);
+      exit 1
+    end
+    else Printf.printf "benchdiff: ok\n"
