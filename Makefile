@@ -56,9 +56,11 @@ bench-ladder:
 	dune exec bench/main.exe -- --quick --micro-only --only place/
 
 # Advisory perf gate: compares the newest BENCH_rod.json record against
-# the previous one and fails on a >25% slowdown in any place/* entry.
-# Deliberately not part of tier-1 `check` — wall-clock on a shared box
-# regresses spuriously; run it where timings are trustworthy.
+# the previous one and fails on a >25% slowdown in any place/* entry
+# (entries with a poor OLS fit on either side, r^2 < 0.9, are shown but
+# not judged — the estimate itself is noise).  Deliberately not part of
+# tier-1 `check` — wall-clock on a shared box regresses spuriously; run
+# it where timings are trustworthy.
 benchdiff:
 	dune exec tools/benchdiff/benchdiff.exe -- BENCH_rod.json
 

@@ -4,20 +4,25 @@
    The file is the rod-microbench/2 accumulator written by bench/main.ml,
    one record per run.  This reads the last two records, lines up their
    "place/" entries and exits 1 when any is more than [threshold] slower
-   than before.  Advisory by design: wall-clock on a busy box regresses
-   spuriously, so this is a separate target, not part of tier-1 `check`.
+   than before.  Entries whose OLS fit is poor on either side
+   (r^2 < [min_r_square]) are shown but not judged — a bad fit means
+   the ns/run estimate itself is noise.  Advisory by design: wall-clock
+   on a busy box regresses spuriously, so this is a separate target,
+   not part of tier-1 `check`.
 
    The parser is deliberately shape-bound to the writer (fixed
    indentation, one entry per line) rather than a general JSON reader —
    the two live in the same repo and move together. *)
 
 let threshold = 1.25
+let min_r_square = 0.9
 
 type record = {
   mutable rev : string;
   mutable quick : string;
   mutable domains : string;
-  mutable results : (string * float) list;  (* reversed while parsing *)
+  (* (name, ns_per_run, r_square), reversed while parsing *)
+  mutable results : (string * float * float) list;
 }
 
 let starts_with prefix s =
@@ -48,14 +53,20 @@ let parse content =
     else None
   in
   let entry record line =
-    (* |        "name": { "ns_per_run": 1.23e+06, "r_square": ... }| *)
+    (* |        "name": { "ns_per_run": 1.23e+06, "r_square": 0.99 }…| *)
     match
-      Scanf.sscanf (String.trim line) "%S: { \"ns_per_run\": %s@,"
-        (fun name v -> (name, v))
+      Scanf.sscanf (String.trim line)
+        "%S: { \"ns_per_run\": %s@, \"r_square\": %s@ "
+        (fun name ns r2 -> (name, ns, r2))
     with
-    | name, v ->
-      (match float_of_string_opt v with
-      | Some ns -> record.results <- (name, ns) :: record.results
+    | name, ns, r2 ->
+      (match float_of_string_opt ns with
+      | Some ns ->
+        (* "null" r^2 parses to none -> treat as a failed fit (nan). *)
+        let r2 =
+          match float_of_string_opt r2 with Some r -> r | None -> nan
+        in
+        record.results <- (name, ns, r2) :: record.results
       | None -> () (* "null": the run produced no estimate *))
     | exception Scanf.Scan_failure _ | exception End_of_file -> ()
   in
@@ -86,13 +97,13 @@ let parse content =
           end)
     (String.split_on_char '\n' content);
   (match !current with Some r -> records := r :: !records | None -> ());
-  (* Oldest first. *)
+  (* !records is newest-first (built by prepending); one rev_map both
+     restores file order (oldest first) and un-reverses the entries. *)
   List.rev_map
     (fun r ->
       r.results <- List.rev r.results;
       r)
     !records
-  |> List.rev
 
 let pretty ns =
   if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
@@ -130,7 +141,7 @@ let () =
     let regressions = ref 0 in
     let compared = ref 0 in
     List.iter
-      (fun (name, ns) ->
+      (fun (name, ns, r2) ->
         let is_place =
           let rec scan i =
             i + 6 <= String.length name
@@ -139,15 +150,24 @@ let () =
           scan 0
         in
         if is_place then
-          match List.assoc_opt name previous.results with
-          | None -> Printf.printf "  %-34s %14s      (new entry)\n" name (pretty ns)
-          | Some old when old > 0. ->
-            incr compared;
+          let prior =
+            List.find_opt (fun (n, _, _) -> n = name) previous.results
+          in
+          match prior with
+          | None ->
+            Printf.printf "  %-34s %14s      (new entry)\n" name (pretty ns)
+          | Some (_, old, old_r2) when old > 0. ->
             let ratio = ns /. old in
-            let flag = ratio > threshold in
-            if flag then incr regressions;
-            Printf.printf "  %-34s %14s %5.2fx%s\n" name (pretty ns) ratio
-              (if flag then "  REGRESSION" else "")
+            if r2 >= min_r_square && old_r2 >= min_r_square then begin
+              incr compared;
+              let flag = ratio > threshold in
+              if flag then incr regressions;
+              Printf.printf "  %-34s %14s %5.2fx%s\n" name (pretty ns) ratio
+                (if flag then "  REGRESSION" else "")
+            end
+            else
+              Printf.printf "  %-34s %14s %5.2fx  (noisy fit, not judged)\n"
+                name (pretty ns) ratio
           | Some _ -> ())
       newest.results;
     if !compared = 0 then
