@@ -9,7 +9,9 @@ test:
 	dune runtest
 
 # The tier-1 gate: formatting (dune files) + build + lint + full test
-# suite + the seeded chaos smoke run.
+# suite + the seeded chaos smoke run + the enforced perf diff (a fresh
+# quick ladder record over the place/* and controller/* rungs, compared
+# against the previous one; noisy fits with r^2 < 0.9 are skipped).
 check:
 	dune build @fmt
 	dune build @all
@@ -18,6 +20,8 @@ check:
 	dune runtest
 	dune build @chaos-quick
 	dune build @promcheck
+	$(MAKE) bench-ladder
+	$(MAKE) benchdiff
 
 # rodlint over lib/ and bin/ (parse-tree rules) plus rodscan over the
 # library typedtrees (interprocedural determinism taint, parallel race
@@ -49,18 +53,19 @@ bench:
 bench-quick:
 	dune exec bench/main.exe -- --quick --micro-only
 
-# The placement scale ladder only (under --micro-only, --only narrows
-# by benchmark-name substring, so `place/` selects every placement
-# rung up to ROD-m10000-n256).  Appends a record to BENCH_rod.json.
+# The scale ladder only (under --micro-only, --only narrows by
+# benchmark-name substring, comma-separated: `place/,controller/`
+# selects every placement rung up to ROD-m10000-n256 plus the online
+# replanner rung).  Appends a record to BENCH_rod.json.
 bench-ladder:
-	dune exec bench/main.exe -- --quick --micro-only --only place/
+	dune exec bench/main.exe -- --quick --micro-only --only place/,controller/
 
-# Advisory perf gate: compares the newest BENCH_rod.json record against
-# the previous one and fails on a >25% slowdown in any place/* entry
-# (entries with a poor OLS fit on either side, r^2 < 0.9, are shown but
-# not judged — the estimate itself is noise).  Deliberately not part of
-# tier-1 `check` — wall-clock on a shared box regresses spuriously; run
-# it where timings are trustworthy.
+# Enforced perf gate (part of `check`): compares the newest
+# BENCH_rod.json record against the previous one and fails on a >25%
+# slowdown in any place/* or controller/* entry.  Entries with a poor
+# OLS fit on either side (r^2 < 0.9) are shown but not judged — the
+# estimate itself is noise, which is what keeps the gate enforceable
+# on a shared box.
 benchdiff:
 	dune exec tools/benchdiff/benchdiff.exe -- BENCH_rod.json
 

@@ -88,8 +88,14 @@ let micro_tests ?only () =
   let keep test =
     match only with
     | None -> true
-    | Some needle ->
-      contains_substring ("rod/" ^ Test.name test) needle
+    | Some needles ->
+      (* Comma-separated needles select the union of their matches,
+         so one invocation can cover several rung families
+         (e.g. --only place/,controller/). *)
+      List.exists
+        (fun needle ->
+          needle <> "" && contains_substring ("rod/" ^ Test.name test) needle)
+        (String.split_on_char ',' needles)
   in
   Test.make_grouped ~name:"rod"
     (List.filter keep
@@ -134,6 +140,27 @@ let micro_tests ?only () =
         (Staged.stage (fun () -> Baselines.correlation ~series problem100));
       Test.make ~name:"place/random-m100"
         (Staged.stage (fun () -> Baselines.random_balanced ~rng problem100));
+      Test.make ~name:"controller/replan-m200"
+        (Staged.stage
+           (let _, problem = fixture ~m:200 ~d:5 ~n_nodes:10 in
+            let assignment = Rod.Rod_algorithm.place problem in
+            let l = Problem.total_coefficients problem in
+            let c_total = Problem.total_capacity problem in
+            let dim = Problem.dim problem in
+            (* A drifted rate point (stream 0 well past its mean share)
+               so the rung times both replanner phases: margin repair
+               and budgeted volume polish. *)
+            let drifted =
+              Linalg.Vec.init dim (fun k ->
+                  let base =
+                    0.6 *. c_total /. (float_of_int dim *. l.(k))
+                  in
+                  if k = 0 then 2.4 *. base else base)
+            in
+            fun () ->
+              Dynamic.Replanner.replan ~samples:1024 ~rates:drifted ~budget:3
+                ~cost_of:(fun _ -> 0.)
+                problem ~assignment));
       Test.make ~name:"volume/qmc-4096"
         (Staged.stage (fun () ->
              Feasible.Volume.ratio_qmc ~ln ~caps ~samples:4096 ()));

@@ -389,6 +389,21 @@ let trace_cmd =
 
 (* --- simulate --- *)
 
+let controller_summary ctl =
+  let accepted, rejected, moves =
+    List.fold_left
+      (fun (a, r, m) (dec : Dynamic.Controller.decision) ->
+        match dec.Dynamic.Controller.action with
+        | Dynamic.Controller.Replanned o ->
+          (a + 1, r, m + List.length o.Dynamic.Replanner.moves)
+        | Dynamic.Controller.Rejected _ -> (a, r + 1, m)
+        | Dynamic.Controller.Hold -> (a, r, m))
+      (0, 0, 0)
+      (Dynamic.Controller.decisions ctl)
+  in
+  Format.printf "controller: %d replans accepted (%d moves), %d rejected@."
+    accepted moves rejected
+
 let simulate_term =
   let load_arg =
     Arg.(
@@ -401,8 +416,32 @@ let simulate_term =
       value & opt float 64.
       & info [ "duration" ] ~docv:"T" ~doc:"Simulated seconds.")
   in
+  let controller_arg =
+    Arg.(
+      value & flag
+      & info [ "controller" ]
+          ~doc:
+            "Run the $(b,rod.dynamic) margin controller over the simulation: \
+             replan under a move budget when the modeled feasible-set margin \
+             erodes, and migrate live (pause-drain-resume).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "budget" ] ~docv:"B"
+          ~doc:"Migration budget per replan (with $(b,--controller)).")
+  in
+  let decisions_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "decisions" ] ~docv:"FILE"
+          ~doc:
+            "Write the controller's decision log as JSON (schema \
+             rod-replan-log/1) to $(docv) (with $(b,--controller)).")
+  in
   let run kind inputs ops_per_tree nodes seed algorithm load duration
-      obs_metrics obs_trace prom =
+      controller budget decisions obs_metrics obs_trace prom =
     let graph = build_graph kind ~seed ~inputs ~ops_per_tree in
     let problem =
       Problem.of_graph graph ~caps:(Problem.homogeneous_caps ~n:nodes ~cap:1.)
@@ -421,18 +460,44 @@ let simulate_term =
                (Workload.Bmodel.trace ~rng ~bias:0.65 ~levels ~mean_rate:1.
                   ~dt:1.)))
     in
-    let metrics =
-      Dsim.Probe.simulate_traces
-        ~config:{ Dsim.Engine.default_config with warmup = 1. }
-        ~graph ~assignment ~caps:problem.Problem.caps ~traces ()
-    in
-    Format.printf "%a@." Dsim.Sim_metrics.pp metrics;
+    let config = { Dsim.Engine.default_config with warmup = 1. } in
+    if controller then begin
+      let ctl =
+        Dynamic.Controller.create
+          ~config:{ Dynamic.Controller.default_config with budget }
+          ~cost_of:(Dynamic.Statesize.graph_cost graph)
+          problem ~assignment
+      in
+      let arrivals =
+        Array.map
+          (fun trace -> Workload.Generators.deterministic_arrivals ~trace)
+          traces
+      in
+      let metrics =
+        Dsim.Engine.run ~graph ~assignment ~caps:problem.Problem.caps
+          ~arrivals ~config
+          ~dynamic:(Dynamic.Controller.engine_config ctl)
+          ~until:duration ()
+      in
+      Format.printf "%a@." Dsim.Sim_metrics.pp metrics;
+      controller_summary ctl;
+      Option.iter
+        (fun path -> write_file path (Dynamic.Controller.decisions_json ctl))
+        decisions
+    end
+    else begin
+      let metrics =
+        Dsim.Probe.simulate_traces ~config ~graph ~assignment
+          ~caps:problem.Problem.caps ~traces ()
+      in
+      Format.printf "%a@." Dsim.Sim_metrics.pp metrics
+    end;
     export_obs obs_metrics obs_trace prom
   in
   Term.(
     const run $ graph_arg $ inputs_arg $ ops_arg $ nodes_arg $ seed_arg
-    $ algorithm_arg $ load_arg $ duration_arg $ metrics_arg $ obs_trace_arg
-    $ prom_arg)
+    $ algorithm_arg $ load_arg $ duration_arg $ controller_arg $ budget_arg
+    $ decisions_arg $ metrics_arg $ obs_trace_arg $ prom_arg)
 
 let simulate_cmd =
   Cmd.v
@@ -794,6 +859,108 @@ let deploy_cmd =
        ~doc:"Place a graph and print the full deployment summary.")
     term
 
+(* --- replan --- *)
+
+let replan_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "budget" ] ~docv:"B"
+          ~doc:"Maximum migrations the replanner may propose.")
+  in
+  let rates_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rates" ] ~docv:"R1,R2,..."
+          ~doc:
+            "Observed system rate point, tuples/s per input stream.  Default: \
+             a 60%-load mean point with $(b,--drift) applied to stream 0.")
+  in
+  let drift_arg =
+    Arg.(
+      value & opt float 2.5
+      & info [ "drift" ] ~docv:"F"
+          ~doc:"Without $(b,--rates): scale stream 0's mean rate by $(docv).")
+  in
+  let run kind inputs ops_per_tree nodes seed samples budget rates drift
+      metrics obs_trace prom =
+    let graph = build_graph kind ~seed ~inputs ~ops_per_tree in
+    let caps = Problem.homogeneous_caps ~n:nodes ~cap:1. in
+    let deployment = Deploy.of_cost_model ~samples ~graph ~caps () in
+    print_string (Deploy.describe deployment);
+    let d_sys = Query.Load_model.d_system (Query.Load_model.derive graph) in
+    let rates =
+      match rates with
+      | Some s ->
+        Vec.of_list
+          (List.map
+             (fun field -> float_of_string (String.trim field))
+             (String.split_on_char ',' s))
+      | None ->
+        let problem = deployment.Deploy.problem in
+        let l = Problem.total_coefficients problem in
+        let c_total = Problem.total_capacity problem in
+        Vec.init d_sys (fun k ->
+            let base = 0.6 *. c_total /. (float_of_int d_sys *. l.(k)) in
+            if k = 0 then drift *. base else base)
+    in
+    if Vec.dim rates <> d_sys then
+      `Error
+        ( false,
+          Printf.sprintf "--rates needs %d comma-separated values" d_sys )
+    else begin
+      Format.printf "observed rates:";
+      List.iter (fun r -> Format.printf " %.2f" r) (Vec.to_list rates);
+      Format.printf "@.";
+      let deployment', outcome = Deploy.replan ~samples ~budget deployment ~rates in
+      let pp_margin label = function
+        | None -> ()
+        | Some (m : Dynamic.Margin.t) ->
+          Format.printf "margin %s: %.4f (max node utilization %.3f)@." label
+            m.Dynamic.Margin.margin m.Dynamic.Margin.utilization
+      in
+      pp_margin "before" outcome.Dynamic.Replanner.margin_before;
+      if outcome.Dynamic.Replanner.accepted then begin
+        Format.printf
+          "replan accepted: %d move(s) within budget %d, transfer cost %.3f s@."
+          (List.length outcome.Dynamic.Replanner.moves)
+          budget outcome.Dynamic.Replanner.cost;
+        List.iter
+          (fun (mv : Dynamic.Replanner.move) ->
+            Format.printf "  move %s: node %d -> node %d@."
+              (Query.Graph.op graph mv.Dynamic.Replanner.op).Query.Op.name
+              mv.Dynamic.Replanner.from_node mv.Dynamic.Replanner.to_node)
+          outcome.Dynamic.Replanner.moves;
+        pp_margin "after" outcome.Dynamic.Replanner.margin_after;
+        Format.printf "feasible-set ratio: %.4f -> %.4f@."
+          outcome.Dynamic.Replanner.ratio_before
+          outcome.Dynamic.Replanner.ratio_after;
+        print_string (Deploy.describe deployment')
+      end
+      else
+        Format.printf
+          "replan rejected: no move set within budget %d improves the \
+           placement at this rate point@."
+          budget;
+      export_obs metrics obs_trace prom;
+      `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ graph_arg $ inputs_arg $ ops_arg $ nodes_arg $ seed_arg
+        $ samples_arg $ budget_arg $ rates_arg $ drift_arg $ metrics_arg
+        $ obs_trace_arg $ prom_arg))
+  in
+  Cmd.v
+    (Cmd.info "replan"
+       ~doc:
+         "Deploy a graph with ROD, then replan it online for an observed \
+          rate point under a migration budget.")
+    term
+
 (* --- experiment --- *)
 
 let experiment_cmd =
@@ -914,7 +1081,7 @@ let main_cmd =
     [
       place_cmd; volume_cmd; trace_cmd; simulate_cmd; sim_cmd; cluster_cmd;
       optimal_cmd; compile_cmd; analyze_cmd; failure_cmd; deploy_cmd;
-      experiment_cmd; chaos_cmd;
+      replan_cmd; experiment_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -29,6 +29,8 @@ let pp fmt v =
 
 let check name passed detail = { name; passed; detail }
 
+let custom ~name ~passed ~detail = check name passed detail
+
 (* Shared body of both conservation oracles: [produced] maps a stream to
    its total tuple count, [consumed] an (operator, arc) to what the
    operator took from it.  Flow on every arc obeys
@@ -97,12 +99,15 @@ let conservation_spe ?(drained = false) ~network ~injected
          result.Spe.Dist_executor.lost)
     :: flow
 
-let sink_multiset ~mode ~cutoff ~(logical : Spe.Executor.result)
-    ~(dist : Spe.Dist_executor.result) =
+(* Multiset difference of two sink-output lists restricted to outputs
+   timestamped [<= cutoff]: how many of [want] are absent from [got]
+   ([missing]) and how many of [got] have no counterpart in [want]
+   ([extra]), plus the two restricted cardinalities. *)
+let multiset_diff ~cutoff ~want ~got =
   let key (op, t) = Format.asprintf "%d|%a" op Spe.Tuple.pp t in
   let keep (_, t) = Spe.Tuple.ts t <= cutoff in
-  let want = List.filter keep logical.Spe.Executor.outputs in
-  let got = List.filter keep dist.Spe.Dist_executor.outputs in
+  let want = List.filter keep want in
+  let got = List.filter keep got in
   let counts = Hashtbl.create 256 in
   List.iter
     (fun o ->
@@ -118,14 +123,99 @@ let sink_multiset ~mode ~cutoff ~(logical : Spe.Executor.result)
       | _ -> incr extra)
     got;
   let missing = Hashtbl.fold (fun _ c acc -> acc + max 0 c) counts 0 in
+  (List.length want, List.length got, missing, !extra)
+
+let sink_multiset ~mode ~cutoff ~(logical : Spe.Executor.result)
+    ~(dist : Spe.Dist_executor.result) =
+  let n_want, n_got, missing, extra =
+    multiset_diff ~cutoff ~want:logical.Spe.Executor.outputs
+      ~got:dist.Spe.Dist_executor.outputs
+  in
   let name, ok =
     match mode with
-    | `Equal -> ("sink-multiset:equal", !extra = 0 && missing = 0)
-    | `Subset -> ("sink-multiset:subset", !extra = 0)
+    | `Equal -> ("sink-multiset:equal", extra = 0 && missing = 0)
+    | `Subset -> ("sink-multiset:subset", extra = 0)
   in
   check name ok
     (Printf.sprintf "logical %d dist %d (missing %d, extra %d) at ts <= %g"
-       (List.length want) (List.length got) missing !extra cutoff)
+       n_want n_got missing extra cutoff)
+
+let migration_differential ?(drained = true) ~network ~injected ~cutoff
+    ~(migrated : Spe.Dist_executor.result)
+    ~(baseline : Spe.Dist_executor.result) () =
+  (* Per-arc flow on the migrated run.  [consumed <= produced] is
+     exactly the no-reprocess law: a tuple buffered across a
+     pause–drain–resume handoff must be consumed at most once; a
+     drained run must consume it exactly once. *)
+  let flow =
+    let produced = function
+      | Graph.Sys_input k -> injected.(k)
+      | Graph.Op_output u ->
+        migrated.Spe.Dist_executor.op_stats.(u).Spe.Executor.emitted
+    in
+    let consumed v i =
+      migrated.Spe.Dist_executor.op_stats.(v).Spe.Executor.consumed.(i)
+    in
+    conservation_checks ~drained ~tag:"migrate"
+      ~n_ops:(Spe.Network.n_ops network)
+      ~sources:(Spe.Network.sources network) ~produced ~consumed
+  in
+  let n_want, n_got, missing, extra =
+    multiset_diff ~cutoff ~want:baseline.Spe.Dist_executor.outputs
+      ~got:migrated.Spe.Dist_executor.outputs
+  in
+  let sink =
+    if drained then
+      check "migrate:sink-equal"
+        (missing = 0 && extra = 0)
+        (Printf.sprintf
+           "baseline %d migrated %d (missing %d, extra %d) at ts <= %g" n_want
+           n_got missing extra cutoff)
+    else
+      check "migrate:sink-subset" (extra = 0)
+        (Printf.sprintf "baseline %d migrated %d (extra %d) at ts <= %g"
+           n_want n_got extra cutoff)
+  in
+  let consumed_eq =
+    if not drained then []
+    else begin
+      (* Both drained runs saw every tuple exactly once, so per-arc
+         consumption must agree with the never-migrated execution. *)
+      let mismatches = ref 0 and arcs = ref 0 in
+      Array.iteri
+        (fun v (st : Spe.Executor.op_run_stat) ->
+          let base = baseline.Spe.Dist_executor.op_stats.(v) in
+          Array.iteri
+            (fun i c ->
+              incr arcs;
+              if c <> base.Spe.Executor.consumed.(i) then incr mismatches)
+            st.Spe.Executor.consumed)
+        migrated.Spe.Dist_executor.op_stats;
+      [
+        check "migrate:consumed-eq" (!mismatches = 0)
+          (Printf.sprintf "%d/%d arcs differ from the never-migrated run"
+             !mismatches !arcs);
+      ]
+    end
+  in
+  let drained_checks =
+    if not drained then []
+    else
+      [
+        check "migrate:drained"
+          (migrated.Spe.Dist_executor.backlog = 0
+          && migrated.Spe.Dist_executor.lost = 0)
+          (Printf.sprintf "backlog %d lost %d"
+             migrated.Spe.Dist_executor.backlog migrated.Spe.Dist_executor.lost);
+      ]
+  in
+  let moved =
+    check "migrate:count"
+      (migrated.Spe.Dist_executor.migrations > 0)
+      (Printf.sprintf "migrations started: %d"
+         migrated.Spe.Dist_executor.migrations)
+  in
+  (moved :: drained_checks) @ flow @ (sink :: consumed_eq)
 
 let latency_not_improved ?(tol = 0.05) ~healthy ~faulted () =
   let count m = Metrics.Samples.count m.Metrics.latencies in

@@ -25,6 +25,10 @@ val pp : Format.formatter -> verdict -> unit
 (** One line per check, stable rendering (determinism tests compare
     it byte-for-byte). *)
 
+val custom : name:string -> passed:bool -> detail:string -> check
+(** A scenario-specific check in the shared shape, so ad-hoc invariants
+    render and aggregate like the built-in oracles. *)
+
 val conservation :
   ?drained:bool ->
   graph:Query.Graph.t ->
@@ -59,6 +63,36 @@ val sink_multiset :
     oracle; [`Subset] (distributed ⊆ logical) is the fault-run oracle
     for loss-monotone networks (stateless operators and joins, where
     losing inputs can only remove outputs). *)
+
+val migration_differential :
+  ?drained:bool ->
+  network:Spe.Network.t ->
+  injected:int array ->
+  cutoff:float ->
+  migrated:Spe.Dist_executor.result ->
+  baseline:Spe.Dist_executor.result ->
+  unit ->
+  check list
+(** Differential oracles pinning live migration against a
+    never-migrated execution of the same network and inputs:
+
+    - [migrate:count] — the migrated run actually started a migration
+      (guards the scenario itself against silently testing nothing);
+    - [migrate:opV.I] — per-arc flow conservation on the migrated run.
+      [consumed <= produced] {e is} the "no tuple processed twice" law:
+      a tuple buffered across a pause–drain–resume handoff may be
+      consumed at most once; with [drained] (the default) the
+      inequality must be an equality ("exactly once"), and
+      [migrate:drained] additionally requires zero backlog and losses;
+    - [migrate:sink-equal] ([drained]) — the sink-output multisets of
+      the two runs agree up to [cutoff]; or [migrate:sink-subset]
+      (faulted runs, loss-monotone networks) — migration plus faults
+      never {e invent} outputs the never-migrated run lacks;
+    - [migrate:consumed-eq] ([drained]) — per-arc consumption counts
+      match the never-migrated run exactly.
+
+    [baseline] must come from the same network, inputs, and fault
+    schedule, differing only in migrations. *)
 
 val latency_not_improved :
   ?tol:float ->

@@ -137,19 +137,19 @@ let fixture ?(storm_factor = 0.) ?(slack = 4.) ~quick ~seed () =
     until = horizon +. slack;
   }
 
-let engine_run fx ~faults =
+let engine_run ?dynamic fx ~faults =
   Dsim.Engine.run ~graph:fx.graph ~assignment:fx.assignment ~caps:fx.caps
     ~arrivals:fx.arrivals
     ~config:{ Dsim.Engine.default_config with faults }
-    ~until:fx.until ()
+    ?dynamic ~until:fx.until ()
 
-let dist_run fx ~faults =
+let dist_run ?(migrations = []) ?timing fx ~faults =
   Spe.Dist_executor.run ~network:fx.network ~assignment:fx.assignment
     ~caps:fx.caps
     ~cost:(Spe.Dist_executor.cost_model_of_graph fx.graph)
     ~inputs:fx.inputs
     ~config:{ Spe.Dist_executor.default_config with faults }
-    ~until:fx.until ()
+    ~migrations ?timing ~until:fx.until ()
 
 let volume_samples ~quick = if quick then 2048 else 8192
 
@@ -286,6 +286,196 @@ let blackout_core ~quick ~seed =
   in
   { schedule; healthy; faulted; dist = Some dist; verdict }
 
+(* Final destination per operator, in first-appearance order, no-ops
+   dropped — the engines skip a migration to the current node, so a
+   replanner proposal that revisits an operator must collapse before
+   being scripted. *)
+let dedupe_moves ~assignment moves =
+  let final = Hashtbl.create 8 in
+  List.iter (fun (op, dest) -> Hashtbl.replace final op dest) moves;
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (op, _) ->
+      if Hashtbl.mem seen op then None
+      else begin
+        Hashtbl.add seen op ();
+        match Hashtbl.find_opt final op with
+        | Some dest when dest <> assignment.(op) -> Some (op, dest)
+        | _ -> None
+      end)
+    moves
+
+(* A scripted engine controller firing one batch of moves at the first
+   tick at or after [at]. *)
+let scripted_dynamic ~graph ~interval ~migration_delay ~drain_delay ~at moves =
+  let fired = ref false in
+  {
+    Dsim.Engine.interval;
+    migration_delay;
+    drain_delay;
+    state_delay = Dynamic.Statesize.graph_cost graph;
+    decide =
+      (fun ~time ~utilization:_ ~op_cpu:_ ~rates:_ ~assignment:_ ->
+        if (not !fired) && time >= at then begin
+          fired := true;
+          moves
+        end
+        else []);
+  }
+
+(* Live migration under a move budget on a healthy run: the budgeted
+   replanner proposes the moves (toward a skewed rate point), both
+   engines execute the pause–drain–resume protocol mid-run, and the
+   migration differential oracles pin the result against a
+   never-migrated execution of the same inputs. *)
+let migrate_core ~quick ~seed =
+  let fx = fixture ~quick ~seed () in
+  let rate = if quick then 80. else 150. in
+  (* Tick-aligned, so the scripted engine controller and the scripted
+     dist migrations fire at the same instant. *)
+  let t_move = Float.of_int (int_of_float (fx.horizon /. 3.)) in
+  let proposal =
+    Dynamic.Replanner.replan ~budget:2
+      ~rates:(Vec.of_list [ 1.6 *. rate; rate ])
+      ~cost_of:(Dynamic.Statesize.network_cost fx.network)
+      fx.problem ~assignment:fx.assignment
+  in
+  let moves =
+    match
+      dedupe_moves ~assignment:fx.assignment
+        (List.map
+           (fun mv -> (mv.Dynamic.Replanner.op, mv.Dynamic.Replanner.to_node))
+           proposal.Dynamic.Replanner.moves)
+    with
+    | _ :: _ as moves when proposal.Dynamic.Replanner.accepted -> moves
+    | _ ->
+      (* The fixture plan may already be a local optimum; migrate one
+         operator anyway so the protocol still runs. *)
+      [ (0, (fx.assignment.(0) + 1) mod n_nodes) ]
+  in
+  let healthy = engine_run fx ~faults:Fault.none in
+  let faulted =
+    engine_run
+      ~dynamic:
+        (scripted_dynamic ~graph:fx.graph ~interval:1. ~migration_delay:0.3
+           ~drain_delay:0.05 ~at:t_move moves)
+      fx ~faults:Fault.none
+  in
+  let timing =
+    {
+      Spe.Dist_executor.default_timing with
+      state_delay = Dynamic.Statesize.network_cost fx.network;
+    }
+  in
+  let migrated =
+    dist_run ~migrations:[ (t_move, moves) ] ~timing fx ~faults:Fault.none
+  in
+  let baseline = dist_run fx ~faults:Fault.none in
+  let logical = Spe.Executor.run fx.network ~inputs:fx.inputs in
+  let verdict =
+    Oracle.conservation ~drained:true ~graph:fx.graph ~injected:fx.injected
+      faulted
+    @ Oracle.migration_differential ~network:fx.network ~injected:fx.injected
+        ~cutoff:fx.last_ts ~migrated ~baseline ()
+    @ [
+        Oracle.sink_multiset ~mode:`Equal ~cutoff:fx.last_ts ~logical
+          ~dist:migrated;
+        Oracle.custom ~name:"migrate:engine-count"
+          ~passed:(faulted.Metrics.migrations = List.length moves)
+          ~detail:
+            (Printf.sprintf "engine started %d of %d scripted migrations"
+               faulted.Metrics.migrations (List.length moves));
+      ]
+  in
+  {
+    schedule = Fault.none;
+    healthy;
+    faulted;
+    dist = Some migrated;
+    verdict;
+  }
+
+(* Crashes interleaved with live migrations: one crash kills a
+   migration's source node mid-drain (the paused operator's buffered
+   input must survive the node it left), a second kills another
+   migration's destination before its handoff (that migration must
+   abort).  Loss makes only the inequality/subset oracles applicable;
+   the baseline for the differential is the fault-free never-migrated
+   run, which dominates every loss-monotone execution. *)
+let migrate_crash_core ~quick ~seed =
+  let fx = fixture ~slack:8. ~quick ~seed () in
+  let t_move = Float.of_int (int_of_float (fx.horizon /. 3.)) in
+  let src_a = fx.assignment.(0) in
+  let op_b =
+    let rec find j =
+      if j >= Array.length fx.assignment then 0
+      else if fx.assignment.(j) <> src_a then j
+      else find (j + 1)
+    in
+    find 1
+  in
+  let src_b = fx.assignment.(op_b) in
+  let pick excluded =
+    let rec go i = if List.mem i excluded then go (i + 1) else i in
+    go 0
+  in
+  (* [dest_b] dies before the handoff; [dest_a] must survive it. *)
+  let dest_b = pick [ src_a; src_b ] in
+  let dest_a = pick [ src_a; dest_b ] in
+  let moves = [ (0, dest_a); (op_b, dest_b) ] in
+  let dead1 = Array.init n_nodes (fun i -> i = src_a) in
+  let recovery1 =
+    Inject.recovery_assignment fx.problem ~assignment:fx.assignment ~dead:dead1
+  in
+  let dead2 = Array.init n_nodes (fun i -> i = src_a || i = dest_b) in
+  let recovery2 =
+    Inject.recovery_assignment fx.problem ~assignment:recovery1 ~dead:dead2
+  in
+  let schedule =
+    [
+      Fault.Crash { node = src_a; at = t_move +. 0.2; recovery = recovery1 };
+      Fault.Crash { node = dest_b; at = t_move +. 0.3; recovery = recovery2 };
+    ]
+  in
+  let healthy = engine_run fx ~faults:Fault.none in
+  let faulted =
+    engine_run
+      ~dynamic:
+        (scripted_dynamic ~graph:fx.graph ~interval:1. ~migration_delay:0.6
+           ~drain_delay:0.4 ~at:t_move moves)
+      fx ~faults:schedule
+  in
+  let timing =
+    {
+      Spe.Dist_executor.drain_delay = 0.4;
+      handoff_delay = 0.6;
+      state_delay = Dynamic.Statesize.network_cost fx.network;
+    }
+  in
+  let migrated =
+    dist_run ~migrations:[ (t_move, moves) ] ~timing fx ~faults:schedule
+  in
+  let baseline = dist_run fx ~faults:Fault.none in
+  let logical = Spe.Executor.run fx.network ~inputs:fx.inputs in
+  let verdict =
+    Oracle.conservation ~graph:fx.graph ~injected:fx.injected faulted
+    @ Oracle.migration_differential ~drained:false ~network:fx.network
+        ~injected:fx.injected ~cutoff:fx.last_ts ~migrated ~baseline ()
+    @ recovery_checks ~assignment:fx.assignment ~schedule
+    @ [
+        Oracle.sink_multiset ~mode:`Subset ~cutoff:fx.last_ts ~logical
+          ~dist:migrated;
+        Oracle.custom ~name:"migrate:abort-path"
+          ~passed:(migrated.Spe.Dist_executor.migrations = 2)
+          ~detail:
+            (Printf.sprintf
+               "dist engine started %d migrations (one aborted by the \
+                destination crash)"
+               migrated.Spe.Dist_executor.migrations);
+      ]
+  in
+  { schedule; healthy; faulted; dist = Some migrated; verdict }
+
 (* ------------------------------------------------------------------ *)
 
 let with_replay core ~quick ~seed =
@@ -314,6 +504,12 @@ let all =
     make "storm" "b-model burst storm layered on the input traces"
       storm_core;
     make "blackout" "crash + straggler + jitter combined" blackout_core;
+    make "migrate"
+      "live migration under a move budget, pinned by differential oracles"
+      migrate_core;
+    make "migrate-crash"
+      "crashes mid-drain and before handoff during live migrations"
+      migrate_crash_core;
   ]
 
 let find id = List.find_opt (fun s -> String.equal s.id id) all

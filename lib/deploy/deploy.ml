@@ -123,6 +123,41 @@ let headroom t ~direction =
     Feasible.Volume.max_scale ~ln:(Rod.Plan.node_loads t.plan)
       ~caps:t.problem.Rod.Problem.caps ~direction
 
+let replan ?pool ?samples ?(budget = 3) ?cost_of t ~rates =
+  let model = Query.Load_model.derive t.graph in
+  if Vec.dim rates <> Query.Load_model.d_system model then
+    invalid_arg "Deploy.replan: system rate dimension";
+  let vars = Query.Load_model.eval_vars model ~sys_rates:rates in
+  let cost_of =
+    match cost_of with
+    | Some f -> f
+    | None -> Dynamic.Statesize.graph_cost t.graph
+  in
+  Obs.with_span ~cat:"deploy" "deploy.replan" (fun () ->
+      let outcome =
+        Dynamic.Replanner.replan ?pool ?samples ~rates:vars ~budget ~cost_of
+          t.problem
+          ~assignment:(Rod.Plan.assignment t.plan)
+      in
+      if not outcome.Dynamic.Replanner.accepted then (t, outcome)
+      else begin
+        (* The same static gate that admits initial deployments admits
+           replans: a model that no longer passes cannot be redeployed. *)
+        let analysis =
+          Obs.with_span ~cat:"deploy" "deploy.analyze" (fun () ->
+              Analysis.Plan_check.check_graph t.graph
+                ~caps:t.problem.Rod.Problem.caps)
+        in
+        Analysis.Plan_check.assert_ok ~what:"replanned deployment" analysis;
+        let plan =
+          Rod.Plan.make t.problem outcome.Dynamic.Replanner.assignment
+        in
+        let est = Rod.Plan.volume_qmc plan in
+        Obs.Counter.incr obs_deploys;
+        Obs.Gauge.set obs_ratio est.Feasible.Volume.ratio;
+        ({ t with plan; ratio = est.Feasible.Volume.ratio; analysis }, outcome)
+      end)
+
 let probe ?duration t ~rates =
   Dsim.Probe.probe_point ?duration ~graph:t.graph ~assignment:(assignment t)
     ~caps:t.problem.Rod.Problem.caps ~rates ()

@@ -77,6 +77,24 @@ val headroom : t -> direction:Linalg.Vec.t -> float
 (** Largest multiple of [direction] (a system-rate direction) the plan
     sustains. *)
 
+val replan :
+  ?pool:Parallel.Pool.t ->
+  ?samples:int ->
+  ?budget:int ->
+  ?cost_of:(int -> float) ->
+  t ->
+  rates:Linalg.Vec.t ->
+  t * Dynamic.Replanner.outcome
+(** Budgeted online replanning at an observed {e system} rate point:
+    the rates are mapped through the load model's introduced variables,
+    {!Dynamic.Replanner.replan} proposes at most [budget] (default 3)
+    migrations priced by [cost_of] (default
+    {!Dynamic.Statesize.graph_cost} on the deployed graph), and — when
+    the replan is accepted — the static analysis gate re-admits the
+    model before the deployment is rebuilt around the new plan.  A
+    rejected replan returns the deployment unchanged.  The outcome's
+    margins/ratios say why. *)
+
 val probe : ?duration:float -> t -> rates:Linalg.Vec.t -> Dsim.Probe.verdict
 (** Confirm a rate point in the discrete-event simulator. *)
 

@@ -1,0 +1,93 @@
+(** The online margin controller: watch the observed rate point, replan
+    when the feasible-set margin erodes.
+
+    Each {!observe} is one control decision: smooth the rate reading
+    ({!Margin.smooth}), measure the margin of the {e engine-reported}
+    assignment ({!Margin.of_assignment}), and — when the margin falls
+    below the threshold and the cooldown has elapsed — run the budgeted
+    {!Replanner} and hand the accepted moves back as migrations.  The
+    controller trusts the engine's assignment over its own bookkeeping
+    (crash recoveries remap placements behind its back), publishes
+    [rod_ctl_*] metrics and a [ctl.replan] span through [rod.obs], and
+    keeps a decision log exportable as deterministic JSON
+    ([rod-replan-log/1]) for golden-fixture pinning.
+
+    Determinism: decisions are pure functions of the observation
+    sequence (the replanner is pool-size-invariant and nothing consults
+    a clock or RNG), so the decision log is bit-identical across pool
+    sizes and reruns. *)
+
+type config = {
+  threshold : float;
+      (** Replan when [margin < threshold] (default 0.1 — i.e. some
+          node above 90% modeled utilization). *)
+  budget : int;  (** Migration budget per replan (default 3). *)
+  samples : int;  (** Replanner QMC sample size (default 1024). *)
+  smoothing : float;
+      (** EWMA [alpha] applied to observed rates (default 0.5). *)
+  cooldown : float;
+      (** Minimum seconds between replan attempts (default 2). *)
+}
+
+val default_config : config
+
+type action =
+  | Hold  (** Margin healthy, or cooling down. *)
+  | Replanned of Replanner.outcome  (** Accepted; moves were returned. *)
+  | Rejected of Replanner.outcome
+      (** The replanner found nothing passing its acceptance gate. *)
+
+type decision = {
+  time : float;
+  rates : Linalg.Vec.t;  (** Smoothed rates the decision used. *)
+  margin : Margin.t;  (** Margin of the current placement at [rates]. *)
+  action : action;
+}
+
+type t
+
+val create :
+  ?pool:Parallel.Pool.t ->
+  ?config:config ->
+  ?cost_of:(int -> float) ->
+  Rod.Problem.t ->
+  assignment:int array ->
+  t
+(** A controller for the given problem starting from [assignment]
+    (copied).  [cost_of] is the per-operator state-transfer cost in
+    seconds (default: everything free); wire {!Statesize.graph_cost}
+    or {!Statesize.network_cost} here. *)
+
+val observe : t -> time:float -> rates:Linalg.Vec.t -> assignment:int array -> (int * int) list
+(** One control decision at [time] given raw observed [rates] and the
+    engine's current [assignment] (adopted as ground truth).  Returns
+    the migrations to start — non-empty only on an accepted replan,
+    never more than [budget] moves.  [time] must not decrease across
+    calls. *)
+
+val assignment : t -> int array
+(** The controller's current view of the placement (a copy). *)
+
+val cost_of : t -> int -> float
+(** The state-transfer cost model the controller was built with (also
+    the natural [state_delay] for the engines). *)
+
+val decisions : t -> decision list
+(** All decisions, oldest first. *)
+
+val decisions_json : t -> string
+(** The decision log as canonical JSON, schema [rod-replan-log/1]:
+    stable field order, {!Obs.Export.float_str} number formatting,
+    [null] for an infinite headroom — byte-identical across reruns and
+    pool sizes, suitable for golden fixtures. *)
+
+val engine_config :
+  ?interval:float ->
+  ?migration_delay:float ->
+  ?drain_delay:float ->
+  t ->
+  Dsim.Engine.dynamic_config
+(** The controller packaged for {!Dsim.Engine.run}: [decide] feeds each
+    tick's observed rates into {!observe}, and [state_delay] is the
+    controller's [cost_of].  Defaults: 1 s interval, 300 ms migration
+    pause, 50 ms drain window. *)

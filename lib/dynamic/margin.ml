@@ -1,0 +1,53 @@
+(* rodlint: deterministic *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type t = {
+  headroom : float;
+  margin : float;
+  distance : float;
+  utilization : float;
+}
+
+let measure plan ~rates =
+  let problem = plan.Rod.Plan.problem in
+  let d = Rod.Problem.dim problem in
+  if Vec.dim rates <> d then invalid_arg "Margin.measure: rate dimension";
+  Array.iter
+    (fun r ->
+      if r < 0. || Float.is_nan r then
+        invalid_arg "Margin.measure: rates must be nonnegative")
+    rates;
+  let w = Rod.Plan.weight_matrix plan in
+  let rows = List.init (Mat.rows w) (Mat.row w) in
+  if Vec.norm1 rates <= 0. then
+    (* An idle system: no constraint binds along a zero ray. *)
+    {
+      headroom = infinity;
+      margin = 1.;
+      distance = Feasible.Geometry.min_plane_distance rows;
+      utilization = 0.;
+    }
+  else begin
+    let ln = Rod.Plan.node_loads plan in
+    let caps = problem.Rod.Problem.caps in
+    let headroom = Feasible.Volume.max_scale ~ln ~caps ~direction:rates in
+    let utilization = if headroom = infinity then 0. else 1. /. headroom in
+    let point = Rod.Problem.normalized_point problem rates in
+    {
+      headroom;
+      margin = 1. -. utilization;
+      distance = Feasible.Geometry.min_plane_distance ~point rows;
+      utilization;
+    }
+  end
+
+let of_assignment problem ~assignment ~rates =
+  measure (Rod.Plan.make problem assignment) ~rates
+
+let smooth ~alpha ~prev rates =
+  if alpha <= 0. || alpha > 1. then invalid_arg "Margin.smooth: alpha in (0, 1]";
+  if Vec.dim prev <> Vec.dim rates then invalid_arg "Margin.smooth: dimensions";
+  Vec.init (Vec.dim rates) (fun k ->
+      (alpha *. rates.(k)) +. ((1. -. alpha) *. prev.(k)))

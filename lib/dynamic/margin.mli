@@ -1,0 +1,48 @@
+(** Feasible-set margin of a placement at an observed rate point — the
+    quantity the dynamic controller watches.
+
+    The static ROD objective is the {e size} of the feasible set; at
+    runtime the interesting question becomes {e where the observed rate
+    point sits inside it}.  Both readings below reuse the feasibility
+    machinery of {!Feasible.Volume} and {!Feasible.Geometry}:
+
+    - [headroom] is the boundary scale along the observed ray
+      ({!Feasible.Volume.max_scale}): [headroom * rates] sits exactly on
+      the feasible boundary, so [headroom > 1] means the point is
+      interior and [headroom < 1] means the placement is already
+      infeasible at the observed rates.
+    - [margin = 1 - 1/headroom] is the same information as a bounded
+      fraction: how much of the ray from the origin through the rate
+      point is still unused.  [0] on the boundary, negative when
+      infeasible, [1] when the system is idle.  Because every node
+      constraint is linear, [1/headroom] equals the maximum node
+      utilization, so [margin = 1 - max_i u_i].
+    - [distance] is the §3.3 normalized-space reading: the minimum
+      plane distance from the normalized rate point to any node
+      hyperplane ({!Feasible.Geometry.min_plane_distance}) — the radius
+      of the largest rate ball guaranteed feasible around the point. *)
+
+type t = {
+  headroom : float;
+      (** Boundary scale along the observed ray; [infinity] when the
+          rate point is zero (an idle system constrains nothing). *)
+  margin : float;  (** [1 - 1/headroom], in [(-inf, 1]]. *)
+  distance : float;
+      (** Minimum normalized plane distance from the rate point to a
+          node hyperplane; negative when some node is over capacity. *)
+  utilization : float;  (** Maximum node utilization at [rates]. *)
+}
+
+val measure : Rod.Plan.t -> rates:Linalg.Vec.t -> t
+(** Margin of a plan at a rate point in the problem's variable space
+    (dimension {!Rod.Problem.dim}; rates must be nonnegative).
+    Deterministic: pure closed-form geometry, no sampling. *)
+
+val of_assignment :
+  Rod.Problem.t -> assignment:int array -> rates:Linalg.Vec.t -> t
+(** {!measure} of [Rod.Plan.make problem assignment]. *)
+
+val smooth : alpha:float -> prev:Linalg.Vec.t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Exponential rate smoothing, [alpha * now + (1 - alpha) * prev] with
+    [alpha] in [(0, 1]] — the controller's defense against reacting to a
+    single bursty control interval. *)

@@ -1,0 +1,25 @@
+(* rodlint: deterministic *)
+
+type model = {
+  per_tuple : float;
+  rate_hint : float;
+}
+
+let default = { per_tuple = 2e-5; rate_hint = 100. }
+
+let seconds model tuples = model.per_tuple *. Float.max 0. tuples
+
+let graph_cost ?(model = default) graph j =
+  match (Query.Graph.op graph j).Query.Op.kind with
+  | Query.Op.Linear _ | Query.Op.Var_selectivity _ -> 0.
+  | Query.Op.Join { window; _ } ->
+    seconds model (2. *. window *. model.rate_hint)
+
+let network_cost ?(model = default) network j =
+  match Spe.Network.op network j with
+  | Spe.Sop.Filter _ | Spe.Sop.Map _ | Spe.Sop.Project _ | Spe.Sop.Union _ ->
+    0.
+  | Spe.Sop.Equi_join { window; _ } ->
+    seconds model (2. *. window *. model.rate_hint)
+  | Spe.Sop.Aggregate { window; _ } | Spe.Sop.Distinct { window; _ } ->
+    seconds model (window *. model.rate_hint)

@@ -1,0 +1,32 @@
+(** Per-operator state-transfer cost model — the price term of the
+    budgeted replanner's objective and the per-operator pause of the
+    pause–drain–resume protocol.
+
+    Migrating an operator means shipping its live state: a windowed
+    operator holds roughly [window * rate] tuples per input side, a
+    stateless one holds nothing.  The model turns that population into
+    transfer {e seconds} ([per_tuple] each), so the same number serves
+    both as the replanner's move cost and as the [state_delay] the
+    engines add to the handoff pause — moving a heavy join really does
+    pause longer than moving a filter. *)
+
+type model = {
+  per_tuple : float;  (** Transfer seconds per buffered state tuple. *)
+  rate_hint : float;
+      (** Assumed tuples/s per input of a windowed operator (state
+          population is window-bound, not measured). *)
+}
+
+val default : model
+(** [per_tuple = 2e-5] (50k state tuples per second of pause),
+    [rate_hint = 100.]. *)
+
+val graph_cost : ?model:model -> Query.Graph.t -> int -> float
+(** Transfer seconds for operator [j] of a cost-model graph: joins hold
+    [window * rate_hint] tuples per side, everything else is
+    stateless. *)
+
+val network_cost : ?model:model -> Spe.Network.t -> int -> float
+(** Transfer seconds for operator [j] of a semantic network: equi-joins
+    hold a window per side, aggregates and distinct one window;
+    filters, maps, projections and unions are stateless. *)

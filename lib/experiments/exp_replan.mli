@@ -1,0 +1,7 @@
+(** EXPREPLAN: a slow rate drift makes the static ROD placement
+    infeasible; the [rod.dynamic] margin controller replans under a
+    move budget and migrates live, recovering a positive feasible-set
+    margin at the drifted rate point. *)
+
+val name : string
+val run : ?quick:bool -> Format.formatter -> unit

@@ -25,6 +25,7 @@ let all =
     { id = "expinc"; name = Exp_incremental.name; run = Exp_incremental.run };
     { id = "expfail"; name = Exp_failure.name; run = Exp_failure.run };
     { id = "expchaos"; name = Exp_chaos.name; run = Exp_chaos.run };
+    { id = "expreplan"; name = Exp_replan.name; run = Exp_replan.run };
   ]
 
 let find id =

@@ -1,6 +1,7 @@
 let balance ?(imbalance_threshold = 0.2) ?(max_moves_per_tick = 1) () ~time
-    ~utilization ~op_cpu ~assignment =
+    ~utilization ~op_cpu ~rates ~assignment =
   ignore time;
+  ignore rates;
   let n = Array.length utilization in
   if n < 2 then []
   else begin
@@ -29,10 +30,12 @@ let balance ?(imbalance_threshold = 0.2) ?(max_moves_per_tick = 1) () ~time
     end
   end
 
-let config ?(interval = 1.) ?(migration_delay = 0.3) ?imbalance_threshold
-    ?max_moves_per_tick () =
+let config ?(interval = 1.) ?(migration_delay = 0.3) ?(drain_delay = 0.05)
+    ?(state_delay = fun _ -> 0.) ?imbalance_threshold ?max_moves_per_tick () =
   {
     Engine.interval;
     migration_delay;
+    drain_delay;
+    state_delay;
     decide = balance ?imbalance_threshold ?max_moves_per_tick ();
   }

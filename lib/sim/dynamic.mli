@@ -11,21 +11,27 @@ val balance :
   time:float ->
   utilization:float array ->
   op_cpu:float array ->
+  rates:float array ->
   assignment:int array ->
   (int * int) list
 (** A greedy utilization balancer: when the most loaded node exceeds the
     least loaded by more than [imbalance_threshold] (default 0.2 of
     capacity), move the hottest operators of the most loaded node toward
     the least loaded one — at most [max_moves_per_tick] (default 1)
-    moves per wake-up, mirroring conservative production balancers. *)
+    moves per wake-up, mirroring conservative production balancers.
+    Ignores the observed [rates] (a margin-aware controller lives in
+    [rod.dynamic]). *)
 
 val config :
   ?interval:float ->
   ?migration_delay:float ->
+  ?drain_delay:float ->
+  ?state_delay:(int -> float) ->
   ?imbalance_threshold:float ->
   ?max_moves_per_tick:int ->
   unit ->
   Engine.dynamic_config
 (** The balancer packaged as an engine config.  Defaults: 1 s control
     interval, 300 ms migration pause (the paper's "few hundred
-    milliseconds"). *)
+    milliseconds"), 50 ms drain window, zero per-operator state
+    transfer. *)

@@ -45,10 +45,13 @@ let default_config =
 type dynamic_config = {
   interval : float;
   migration_delay : float;
+  drain_delay : float;
+  state_delay : int -> float;
   decide :
     time:float ->
     utilization:float array ->
     op_cpu:float array ->
+    rates:float array ->
     assignment:int array ->
     (int * int) list;
 }
@@ -77,6 +80,7 @@ type event =
   | Deliver of work_item  (* routed to the operator's current node *)
   | Complete of int * work_item * service_outcome
   | Tick  (* dynamic controller wake-up *)
+  | Handoff of int  (* operator whose drain window closed *)
   | Migration_done of int  (* operator whose state transfer finished *)
   | Crash_fault of int * int array  (* node dies; switch to recovery *)
 
@@ -135,7 +139,8 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
     invalid_arg "Engine.run: arrivals per input stream expected";
   if until <= config.warmup then invalid_arg "Engine.run: until <= warmup";
   (match dynamic with
-  | Some dc when dc.interval <= 0. || dc.migration_delay < 0. ->
+  | Some dc
+    when dc.interval <= 0. || dc.migration_delay < 0. || dc.drain_delay < 0. ->
     invalid_arg "Engine.run: bad dynamic config"
   | Some _ | None -> ());
   Fault.validate ~n_nodes:n ~n_ops:m config.faults;
@@ -153,8 +158,35 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
      their input until the state transfer completes. *)
   let migrating = Array.make m false in
   let buffers = Array.init m (fun _ -> Queue.create ()) in
+  (* Destination of an in-flight migration; [-1] when not migrating.
+     The assignment only flips at the drain-window handoff. *)
+  let pending = Array.make m (-1) in
   let op_cpu_window = Array.make m 0. in
   let last_busy = Array.make n 0. in
+  (* Per-stream arrival cursors for the controller's rate gauges, built
+     only when a dynamic controller is attached. *)
+  let arr_sorted =
+    match dynamic with
+    | None -> [||]
+    | Some _ ->
+      Array.map
+        (fun times ->
+          let a = Array.of_list times in
+          Array.sort Float.compare a;
+          a)
+        arrivals
+  in
+  let rate_cursor = Array.make d 0 in
+  let input_rate_gauges =
+    match dynamic with
+    | None -> [||]
+    | Some _ ->
+      Array.init d (fun k ->
+          Obs.gauge
+            ~labels:[ ("stream", string_of_int k) ]
+            ~help:"Observed input rate over the last control interval (tuples/s)"
+            "rod_sim_input_rate")
+  in
   let migrations_count = ref 0 in
   let dropped_count = ref 0 in
   let joins = Hashtbl.create 4 in
@@ -310,15 +342,15 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
           readers
       done
   in
-  (* Start an operator migration: its queued work moves into its buffer
-     (the in-service item, if any, finishes on the old node) and no work
-     is served until the state transfer completes. *)
+  (* Pause–drain–resume, step 1 (pause): the operator's queued work
+     moves into its buffer (the in-service item, if any, finishes on the
+     old node), new input buffers, and a drain window opens for in-flight
+     tuples.  The assignment does NOT flip yet — that happens at the
+     [Handoff] closing the drain window. *)
   let start_migration now op dest =
     if (not migrating.(op)) && dest <> assignment.(op) && dest >= 0 && dest < n
     then begin
-      let delay =
-        match dynamic with Some dc -> dc.migration_delay | None -> 0.
-      in
+      let drain = match dynamic with Some dc -> dc.drain_delay | None -> 0. in
       let old_queue = nodes.(assignment.(op)).queue in
       let kept = Queue.create () in
       Queue.iter
@@ -329,10 +361,10 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
       Queue.clear old_queue;
       Queue.transfer kept old_queue;
       migrating.(op) <- true;
-      assignment.(op) <- dest;
+      pending.(op) <- dest;
       incr migrations_count;
       migration_start.(op) <- now;
-      Event_queue.push events ~time:(now +. delay) (Migration_done op)
+      Event_queue.push events ~time:(now +. drain) (Handoff op)
     end
   in
   let handle_tick now =
@@ -347,8 +379,23 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
             Float.min 1. used)
           nodes
       in
+      let rates =
+        Array.mapi
+          (fun k times ->
+            let c = ref rate_cursor.(k) in
+            while !c < Array.length times && times.(!c) <= now do
+              incr c
+            done;
+            let count = !c - rate_cursor.(k) in
+            rate_cursor.(k) <- !c;
+            let r = float_of_int count /. dc.interval in
+            Obs.Gauge.set input_rate_gauges.(k) r;
+            r)
+          arr_sorted
+      in
       let decisions =
         dc.decide ~time:now ~utilization ~op_cpu:(Array.copy op_cpu_window)
+          ~rates
           ~assignment:(Array.copy assignment)
       in
       Array.fill op_cpu_window 0 m 0.;
@@ -379,8 +426,22 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
       emit now item outcome.emitted;
       start_service node_idx now
     | Tick -> handle_tick now
+    | Handoff op ->
+      (* Drain window closed: flip ownership iff the destination is
+         still alive, then transfer state.  A dead destination aborts
+         the migration — the operator resumes wherever the (possibly
+         recovery-remapped) assignment says it lives. *)
+      let dest = pending.(op) in
+      if dest >= 0 && not dead.(dest) then assignment.(op) <- dest;
+      let delay, state =
+        match dynamic with
+        | Some dc -> (dc.migration_delay, Float.max 0. (dc.state_delay op))
+        | None -> (0., 0.)
+      in
+      Event_queue.push events ~time:(now +. delay +. state) (Migration_done op)
     | Migration_done op ->
       migrating.(op) <- false;
+      pending.(op) <- -1;
       Obs.emit ~cat:"sim"
         ~args:
           [ ("op", string_of_int op); ("to", string_of_int assignment.(op)) ]

@@ -46,27 +46,46 @@ val default_config : config
 type dynamic_config = {
   interval : float;  (** Controller wake-up period, seconds. *)
   migration_delay : float;
-      (** Pause while an operator's state moves between nodes (the paper
-          reports "a few hundred milliseconds" base overhead in
+      (** Base pause while an operator's state moves between nodes (the
+          paper reports "a few hundred milliseconds" base overhead in
           Borealis); the operator processes nothing during the pause and
           its input queues up. *)
+  drain_delay : float;
+      (** Drain window between the pause and the handoff: the old node
+          keeps ownership while in-flight tuples settle into the
+          operator's buffer.  Ownership flips only when the window
+          closes — and only if the destination is still alive; a dead
+          destination aborts the migration and the operator resumes
+          wherever the (possibly recovery-remapped) assignment says. *)
+  state_delay : int -> float;
+      (** Per-operator state-transfer seconds added to
+          [migration_delay] after the handoff (negative values are
+          clamped to [0]) — e.g. {!Statesize} in [rod.dynamic], so a
+          windowed join pauses longer than a stateless filter. *)
   decide :
     time:float ->
     utilization:float array ->
     op_cpu:float array ->
+    rates:float array ->
     assignment:int array ->
     (int * int) list;
       (** Called every [interval] with per-node utilization over the
-          last interval, per-operator CPU seconds over the last interval
-          and the current assignment (read-only copies); returns
-          [(operator, destination)] migrations to start.  Operators
-          already migrating are skipped. *)
+          last interval, per-operator CPU seconds over the last
+          interval, per-input-stream observed arrival rates (tuples/s
+          over the last interval, also published as the
+          [rod_sim_input_rate] gauges) and the current assignment
+          (read-only copies); returns [(operator, destination)]
+          migrations to start.  Operators already migrating are
+          skipped. *)
 }
 (** Optional dynamic load distribution running {e inside} the
     simulation — the reactive scheme the paper argues cannot keep up
-    with short-term bursts.  Tuples addressed to a migrating operator
-    buffer until the pause ends; in-flight tuples are re-routed to the
-    operator's current node on delivery. *)
+    with short-term bursts.  Each migration is a pause–drain–resume:
+    tuples addressed to a migrating operator buffer from the pause
+    until the resume, the drain window closes with a handoff flipping
+    ownership, the state transfer charges
+    [migration_delay + state_delay op], and the resume flushes the
+    buffer to the operator's current node. *)
 
 val run :
   graph:Query.Graph.t ->

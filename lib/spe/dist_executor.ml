@@ -26,6 +26,15 @@ type config = {
 
 let default_config = { net_delay = 1e-3; warmup = 0.; faults = Dsim.Fault.none }
 
+type migration_timing = {
+  drain_delay : float;
+  handoff_delay : float;
+  state_delay : int -> float;
+}
+
+let default_timing =
+  { drain_delay = 0.05; handoff_delay = 0.3; state_delay = (fun _ -> 0.) }
+
 type result = {
   outputs : (int * Tuple.t) list;
   utilization : float array;
@@ -33,6 +42,7 @@ type result = {
   arrivals : int;
   backlog : int;
   lost : int;
+  migrations : int;
   op_stats : Executor.op_run_stat array;
 }
 
@@ -59,10 +69,13 @@ type node_state = {
 type event =
   | Deliver of work_item
   | Complete of int * work_item * Tuple.t list  (* node, item, outputs *)
+  | Migrate of (int * int) list  (* scripted (op, dest) migrations *)
+  | Handoff of int  (* operator whose drain window closed *)
+  | Resume of int  (* operator whose state transfer finished *)
   | Crash_fault of int * int array  (* node dies; switch to recovery *)
 
 let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
-    ~until () =
+    ?(migrations = []) ?(timing = default_timing) ~until () =
   let m = Network.n_ops network in
   let d = Network.n_inputs network in
   let n = Vec.dim caps in
@@ -76,6 +89,16 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
   if Array.length inputs <> d then
     invalid_arg "Dist_executor.run: one tuple list per input stream";
   if until <= config.warmup then invalid_arg "Dist_executor.run: until <= warmup";
+  if timing.drain_delay < 0. || timing.handoff_delay < 0. then
+    invalid_arg "Dist_executor.run: negative migration timing";
+  List.iter
+    (fun (_, moves) ->
+      List.iter
+        (fun (op, dest) ->
+          if op < 0 || op >= m || dest < 0 || dest >= n then
+            invalid_arg "Dist_executor.run: bad migration")
+        moves)
+    migrations;
   Dsim.Fault.validate ~n_nodes:n ~n_ops:m config.faults;
   let assignment = Array.copy assignment in
   let dead = Array.make n false in
@@ -91,6 +114,14 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
   let outputs = ref [] in
   let latencies = Samples.create () in
   let arrivals = ref 0 in
+  (* Pause–drain–resume migration state, mirroring [Dsim.Engine]:
+     operators mid-migration buffer their input; ownership flips only at
+     the handoff closing the drain window. *)
+  let migrating = Array.make m false in
+  let mig_pending = Array.make m (-1) in
+  let mig_buffers = Array.init m (fun _ -> Queue.create ()) in
+  let migration_start = Array.make m 0. in
+  let migrations_count = ref 0 in
   let measured t = t >= config.warmup && t <= until in
   (* Source tuples arrive at their timestamps. *)
   Array.iteri
@@ -148,15 +179,39 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
       Event_queue.push events ~time:finish (Complete (node_idx, item, produced))
   in
   let deliver now item =
-    let node_idx = assignment.(item.op) in
-    if dead.(node_idx) then begin
-      (* Only a broken recovery still routes here. *)
-      if measured now then incr lost
-    end
+    if migrating.(item.op) then Queue.add item mig_buffers.(item.op)
     else begin
-      let node = nodes.(node_idx) in
-      Queue.add item node.queue;
-      if not node.busy then start_service node_idx now
+      let node_idx = assignment.(item.op) in
+      if dead.(node_idx) then begin
+        (* Only a broken recovery still routes here. *)
+        if measured now then incr lost
+      end
+      else begin
+        let node = nodes.(node_idx) in
+        Queue.add item node.queue;
+        if not node.busy then start_service node_idx now
+      end
+    end
+  in
+  (* Pause: the operator's queued work moves to its buffer (an
+     in-service item finishes on the old node), new input buffers, and
+     the drain window opens.  The assignment flips at the [Handoff]. *)
+  let start_migration now op dest =
+    if (not migrating.(op)) && dest <> assignment.(op) then begin
+      let old_queue = nodes.(assignment.(op)).queue in
+      let kept = Queue.create () in
+      Queue.iter
+        (fun item ->
+          if item.op = op then Queue.add item mig_buffers.(op)
+          else Queue.add item kept)
+        old_queue;
+      Queue.clear old_queue;
+      Queue.transfer kept old_queue;
+      migrating.(op) <- true;
+      mig_pending.(op) <- dest;
+      incr migrations_count;
+      migration_start.(op) <- now;
+      Event_queue.push events ~time:(now +. timing.drain_delay) (Handoff op)
     end
   in
   let emit now item produced =
@@ -194,6 +249,31 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
     | Complete (node_idx, item, produced) ->
       emit now item produced;
       start_service node_idx now
+    | Migrate moves ->
+      List.iter (fun (op, dest) -> start_migration now op dest) moves
+    | Handoff op ->
+      (* Flip ownership iff the destination survived the drain window;
+         a dead destination aborts the migration and the operator
+         resumes wherever the (possibly recovery-remapped) assignment
+         says it lives. *)
+      let dest = mig_pending.(op) in
+      if dest >= 0 && not dead.(dest) then assignment.(op) <- dest;
+      let pause =
+        timing.handoff_delay +. Float.max 0. (timing.state_delay op)
+      in
+      Event_queue.push events ~time:(now +. pause) (Resume op)
+    | Resume op ->
+      migrating.(op) <- false;
+      mig_pending.(op) <- -1;
+      Obs.emit ~cat:"spe"
+        ~args:
+          [ ("op", string_of_int op); ("to", string_of_int assignment.(op)) ]
+        ~ts:migration_start.(op)
+        ~dur:(now -. migration_start.(op))
+        "spe.migrate";
+      let flush = Queue.create () in
+      Queue.transfer mig_buffers.(op) flush;
+      Queue.iter (fun item -> deliver now item) flush
     | Crash_fault (node_idx, recovery) ->
       dead.(node_idx) <- true;
       let node = nodes.(node_idx) in
@@ -220,6 +300,10 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
       if at <= until then
         Event_queue.push events ~time:at (Crash_fault (node, recovery)))
     (Dsim.Fault.crashes config.faults);
+  List.iter
+    (fun (at, moves) ->
+      if at <= until then Event_queue.push events ~time:at (Migrate moves))
+    migrations;
   let rec loop () =
     match Event_queue.peek_time events with
     | Some t when t <= until -> (
@@ -233,6 +317,7 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
   loop ();
   let backlog =
     Array.fold_left (fun acc node -> acc + Queue.length node.queue) 0 nodes
+    + Array.fold_left (fun acc buf -> acc + Queue.length buf) 0 mig_buffers
   in
   let span = until -. config.warmup in
   let outputs_count = List.length !outputs in
@@ -267,5 +352,6 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
     arrivals = !arrivals;
     backlog;
     lost = !lost;
+    migrations = !migrations_count;
     op_stats = stats;
   }

@@ -27,6 +27,24 @@ type config = {
 
 val default_config : config
 
+type migration_timing = {
+  drain_delay : float;
+      (** Drain window between the pause and the handoff: the old node
+          keeps ownership while in-flight tuples settle into the
+          operator's buffer. *)
+  handoff_delay : float;
+      (** Base state-transfer pause after the handoff (the paper's "few
+          hundred milliseconds"). *)
+  state_delay : int -> float;
+      (** Extra per-operator transfer seconds added to [handoff_delay]
+          (negative values are clamped to [0]) — e.g. the [rod.dynamic]
+          state-size model, so a windowed join pauses longer than a
+          stateless filter. *)
+}
+
+val default_timing : migration_timing
+(** 50 ms drain, 300 ms handoff, zero per-operator state transfer. *)
+
 type result = {
   outputs : (int * Tuple.t) list;  (** Sink outputs, in emission order. *)
   utilization : float array;  (** Per node, within the measured window. *)
@@ -38,6 +56,7 @@ type result = {
   lost : int;
       (** Work items destroyed by injected faults (crashed with their
           node or routed to a dead one). *)
+  migrations : int;  (** Migrations started (including aborted ones). *)
   op_stats : Executor.op_run_stat array;
       (** Per-operator consumed/emitted/pair counts over the whole run —
           the raw material for the chaos oracles' tuple-conservation
@@ -56,10 +75,23 @@ val run :
   cost:(int -> int -> float) ->
   inputs:Tuple.t list array ->
   ?config:config ->
+  ?migrations:(float * (int * int) list) list ->
+  ?timing:migration_timing ->
   until:float ->
   unit ->
   result
 (** Tuples arrive at their own timestamps (ascending per stream).
     [cost op input_idx] is CPU seconds per tuple (per candidate pair
     for joins).  Open aggregate windows at [until] are counted as
-    backlog state, not flushed. *)
+    backlog state, not flushed.
+
+    [migrations] are scripted pause–drain–resume relocations: at each
+    [(time, moves)] the listed [(op, dest)] migrations start — the
+    operator's queued work moves to a buffer, new input buffers, the
+    drain window closes with a handoff flipping ownership (skipped if
+    the destination died — the migration aborts), the state transfer
+    charges [handoff_delay + state_delay op], and the resume flushes
+    the buffer to the operator's current node.  Tuples buffered across
+    a migration are processed exactly once; semantic operator state is
+    process-global, so a handoff never replays or drops window
+    contents. *)

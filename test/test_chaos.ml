@@ -129,6 +129,98 @@ let test_broken_recovery_is_caught () =
     true
     (faulted.Metrics.lost > proper.Metrics.lost)
 
+(* --- migration oracles -------------------------------------------- *)
+
+(* A two-operator chain split across two nodes, run once with a scripted
+   pause–drain–resume migration and once without: the raw material for
+   the differential oracle tests. *)
+let mig_runs () =
+  let network =
+    Spe.Network.create ~n_inputs:1
+      ~ops:
+        [
+          ( Spe.Sop.filter ~name:"keep" (fun t -> Spe.Tuple.number t "v" >= 0.),
+            [ Query.Graph.Sys_input 0 ] );
+          (Spe.Sop.map ~name:"id" (fun t -> t), [ Query.Graph.Op_output 0 ]);
+        ]
+      ()
+  in
+  let inputs =
+    [|
+      List.init 40 (fun i ->
+          Spe.Tuple.make
+            ~ts:(0.1 *. float_of_int (i + 1))
+            [ ("v", Spe.Value.Float (float_of_int i)) ]);
+    |]
+  in
+  let run migrations =
+    Spe.Dist_executor.run ~network ~assignment:[| 0; 1 |]
+      ~caps:(Vec.create 2 1.)
+      ~cost:(fun _ _ -> 1e-4)
+      ~inputs ~migrations ~until:10. ()
+  in
+  let migrated = run [ (2., [ (0, 1) ]) ] in
+  let baseline = run [] in
+  (network, Array.map List.length inputs, migrated, baseline)
+
+let test_migration_oracle_passes () =
+  let network, injected, migrated, baseline = mig_runs () in
+  Alcotest.(check int) "one migration started" 1
+    migrated.Spe.Dist_executor.migrations;
+  Alcotest.(check int) "baseline never migrates" 0
+    baseline.Spe.Dist_executor.migrations;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s" c.Oracle.name c.Oracle.detail)
+        true c.Oracle.passed)
+    (Oracle.migration_differential ~network ~injected ~cutoff:4. ~migrated
+       ~baseline ())
+
+let test_migration_oracle_catches_reprocessing () =
+  let network, injected, migrated, baseline = mig_runs () in
+  (* Fake a tuple processed twice across the handoff: bump one arc's
+     consumption count past what its source produced. *)
+  migrated.Spe.Dist_executor.op_stats.(1).Spe.Executor.consumed.(0) <-
+    migrated.Spe.Dist_executor.op_stats.(1).Spe.Executor.consumed.(0) + 1;
+  let verdict =
+    Oracle.migration_differential ~network ~injected ~cutoff:4. ~migrated
+      ~baseline ()
+  in
+  Alcotest.(check bool) "oracle flags reprocessing" false
+    (Oracle.passed verdict);
+  let failed name =
+    not (List.find (fun c -> c.Oracle.name = name) verdict).Oracle.passed
+  in
+  Alcotest.(check bool) "the flow law is the check that fails" true
+    (failed "migrate:op1.0");
+  Alcotest.(check bool) "consumption no longer matches the baseline" true
+    (failed "migrate:consumed-eq")
+
+let test_migration_oracle_catches_invented_output () =
+  let network, injected, migrated, baseline = mig_runs () in
+  (* A sink output the never-migrated run lacks trips the multiset
+     oracle in both the drained (equality) and faulted (subset) modes. *)
+  let forged =
+    {
+      migrated with
+      Spe.Dist_executor.outputs =
+        (1, Spe.Tuple.make ~ts:1. [ ("v", Spe.Value.Float (-1.)) ])
+        :: migrated.Spe.Dist_executor.outputs;
+    }
+  in
+  List.iter
+    (fun (drained, name) ->
+      let verdict =
+        Oracle.migration_differential ~drained ~network ~injected ~cutoff:4.
+          ~migrated:forged ~baseline ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s catches an invented output" name)
+        false
+        (List.find (fun c -> c.Oracle.name = name) verdict).Oracle.passed)
+    [ (true, "migrate:sink-equal"); (false, "migrate:sink-subset") ]
+
 (* --- schedule generation ------------------------------------------ *)
 
 let test_schedule_generation () =
@@ -246,6 +338,12 @@ let suite =
       test_engine_crash_loses_work;
     Alcotest.test_case "broken recovery is caught" `Quick
       test_broken_recovery_is_caught;
+    Alcotest.test_case "migration oracle passes a clean handoff" `Quick
+      test_migration_oracle_passes;
+    Alcotest.test_case "migration oracle catches reprocessing" `Quick
+      test_migration_oracle_catches_reprocessing;
+    Alcotest.test_case "migration oracle catches invented output" `Quick
+      test_migration_oracle_catches_invented_output;
     Alcotest.test_case "schedule generation" `Quick test_schedule_generation;
     Alcotest.test_case "single crash matches Failure module" `Quick
       test_single_crash_matches_failure_module;

@@ -158,8 +158,10 @@ let test_migration_pause_queues_work () =
       {
         Engine.interval = 2.;
         migration_delay = 0.5;
+        drain_delay = 0.05;
+        state_delay = (fun _ -> 0.);
         decide =
-          (fun ~time ~utilization:_ ~op_cpu:_ ~assignment ->
+          (fun ~time ~utilization:_ ~op_cpu:_ ~rates:_ ~assignment ->
             (* Force a ping-pong migration every tick. *)
             ignore time;
             [ (0, 1 - assignment.(0)) ]);
@@ -191,6 +193,7 @@ let test_balance_controller_pure () =
       ~time:0.
       ~utilization:[| 0.9; 0.1 |]
       ~op_cpu:[| 5.; 1.; 3. |]
+      ~rates:[| 0. |]
       ~assignment:[| 0; 1; 0 |]
   in
   Alcotest.(check (list (pair int int))) "hottest ops move to coolest node"
@@ -200,6 +203,7 @@ let test_balance_controller_pure () =
       ~time:0.
       ~utilization:[| 0.5; 0.45 |]
       ~op_cpu:[| 1. |]
+      ~rates:[| 0. |]
       ~assignment:[| 0 |]
   in
   Alcotest.(check (list (pair int int))) "no move under threshold" [] quiet

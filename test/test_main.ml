@@ -11,6 +11,7 @@ let () =
       ("sim", Test_sim.suite);
       ("integration", Test_integration.suite);
       ("dynamic", Test_dynamic.suite);
+      ("dynamic_props", Test_dynamic_props.suite);
       ("graph_io", Test_graph_io.suite);
       ("spe", Test_spe.suite);
       ("placement_props", Test_placement_props.suite);

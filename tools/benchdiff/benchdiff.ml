@@ -3,12 +3,13 @@
 
    The file is the rod-microbench/2 accumulator written by bench/main.ml,
    one record per run.  This reads the last two records, lines up their
-   "place/" entries and exits 1 when any is more than [threshold] slower
-   than before.  Entries whose OLS fit is poor on either side
-   (r^2 < [min_r_square]) are shown but not judged — a bad fit means
-   the ns/run estimate itself is noise.  Advisory by design: wall-clock
-   on a busy box regresses spuriously, so this is a separate target,
-   not part of tier-1 `check`.
+   "place/" and "controller/" entries and exits 1 when any is more than
+   [threshold] slower than before.  Entries whose OLS fit is poor on
+   either side (r^2 < [min_r_square]) are shown but not judged — a bad
+   fit means the ns/run estimate itself is noise, and that skip is what
+   makes the gate safe to enforce: `make check` runs the quick ladder
+   and then this diff, so a real slowdown in a placement or replanner
+   rung fails tier-1, while a noisy estimate merely prints.
 
    The parser is deliberately shape-bound to the writer (fixed
    indentation, one entry per line) rather than a general JSON reader —
@@ -142,14 +143,18 @@ let () =
     let compared = ref 0 in
     List.iter
       (fun (name, ns, r2) ->
-        let is_place =
-          let rec scan i =
-            i + 6 <= String.length name
-            && (String.sub name i 6 = "place/" || scan (i + 1))
+        let judged =
+          let mem sub =
+            let sl = String.length sub in
+            let rec scan i =
+              i + sl <= String.length name
+              && (String.sub name i sl = sub || scan (i + 1))
+            in
+            scan 0
           in
-          scan 0
+          mem "place/" || mem "controller/"
         in
-        if is_place then
+        if judged then
           let prior =
             List.find_opt (fun (n, _, _) -> n = name) previous.results
           in
@@ -171,7 +176,7 @@ let () =
           | Some _ -> ())
       newest.results;
     if !compared = 0 then
-      Printf.printf "benchdiff: no place/* entries in common\n";
+      Printf.printf "benchdiff: no place/* or controller/* entries in common\n";
     if !regressions > 0 then begin
       Printf.printf "benchdiff: %d entr%s regressed more than %.0f%%\n"
         !regressions
