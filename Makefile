@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean check bench-quick bench-ladder benchdiff chaos-quick lint rodscan promcheck
+.PHONY: all build test bench examples clean check bench-quick bench-ladder benchdiff chaos-quick lint rodscan rodproto promcheck
 
 all: build
 
@@ -17,22 +17,28 @@ check:
 	dune build @all
 	dune build @lint
 	dune build @rodscan
+	dune build @rodproto
 	dune runtest
 	dune build @chaos-quick
 	dune build @promcheck
 	$(MAKE) bench-ladder
 	$(MAKE) benchdiff
 
-# rodlint over lib/ and bin/ (parse-tree rules) plus rodscan over the
+# rodlint over lib/ and bin/ (parse-tree rules), rodscan over the
 # library typedtrees (interprocedural determinism taint, parallel race
-# lint, hot-path allocation check) — see DESIGN.md §10 for the rule
-# catalogue and the two escape hatches.
+# lint, hot-path allocation check) and rodproto (migration-protocol
+# typestate + gated-mutation analysis) — see DESIGN.md §10 and §13 for
+# the rule catalogues and escape hatches.
 lint:
-	dune build @lint @rodscan
+	dune build @lint @rodscan @rodproto
 
 # Typedtree analysis and its fixture self-test only.
 rodscan:
 	dune build @rodscan
+
+# Protocol typestate verification and its fixture self-test only.
+rodproto:
+	dune build @rodproto
 
 # Seeded fault-injection smoke suite: every chaos scenario in quick
 # mode, judged by the differential oracles (fails the build on any

@@ -371,6 +371,7 @@ let lint_file ?hot ?obs path =
 type entry = {
   path_suffix : string;
   rule_prefix : string;
+  line : int;
   mutable used : bool;
 }
 
@@ -378,8 +379,11 @@ type allowlist = entry list
 
 let empty_allowlist = []
 
+(* Malformed lines are collected and reported together: an allowlist
+   with three typos should cost one run to fix, not three. *)
 let allowlist_of_string ~source text =
   let entries = ref [] in
+  let malformed = ref [] in
   String.split_on_char '\n' text
   |> List.iteri (fun idx line ->
          let line =
@@ -394,13 +398,17 @@ let allowlist_of_string ~source text =
          with
          | [] -> ()
          | [ path_suffix; rule_prefix ] ->
-           entries := { path_suffix; rule_prefix; used = false } :: !entries
+           entries :=
+             { path_suffix; rule_prefix; line = idx + 1; used = false }
+             :: !entries
          | _ ->
-           failwith
-             (Printf.sprintf
-                "%s:%d: malformed allowlist entry (want: <path> <rule> # why)"
-                source (idx + 1)))
+           malformed :=
+             Printf.sprintf
+               "%s:%d: malformed allowlist entry (want: <path> <rule> # why)"
+               source (idx + 1)
+             :: !malformed)
   |> ignore;
+  if !malformed <> [] then failwith (String.concat "\n" (List.rev !malformed));
   List.rev !entries
 
 let load_allowlist path =
@@ -462,6 +470,17 @@ let unused_entries allowlist =
   List.filter_map
     (fun e -> if e.used then None else Some (e.path_suffix, e.rule_prefix))
     allowlist
+
+(* Drop the source lines of unused entries, preserving everything else
+   byte-for-byte (comments, blank lines, entry justifications).  Call
+   after [split_allowed] has marked live entries as used. *)
+let prune allowlist text =
+  let stale =
+    List.filter_map (fun e -> if e.used then None else Some e.line) allowlist
+  in
+  String.split_on_char '\n' text
+  |> List.filteri (fun i _ -> not (List.mem (i + 1) stale))
+  |> String.concat "\n"
 
 let render (d : diag) =
   Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message

@@ -74,8 +74,9 @@ type allowlist
 val allowlist_of_string : source:string -> string -> allowlist
 (** Parse allowlist text: one [<path> <rule> # justification] entry per
     line; blank lines and [#]-leading comment lines ignored.
-    @raise Failure on a malformed line (with [source] and the line
-    number). *)
+    @raise Failure listing {e every} malformed line (with [source] and
+    line numbers), one per output line, so a broken file costs one run
+    to fix. *)
 
 val load_allowlist : string -> allowlist
 
@@ -93,6 +94,12 @@ val split_allowed : allowlist -> diag list -> diag list * diag list
 val unused_entries : allowlist -> (string * string) list
 (** Entries that suppressed nothing since loading, as
     [(path, rule)] pairs — stale allowlist hygiene. *)
+
+val prune : allowlist -> string -> string
+(** [prune allowlist text] returns [text] (the allowlist file's raw
+    contents) with the source line of every {e unused} entry removed
+    and everything else untouched.  Backs the drivers' [--fix] flag;
+    call after {!split_allowed} so live entries are marked used. *)
 
 val render : diag -> string
 (** [file:line:col: [rule] message] — the compiler-style format. *)

@@ -16,6 +16,24 @@ type report = {
   axis_bound : float array;
 }
 
+let rules =
+  [
+    ("bad-capacity", "a node capacity is non-finite or non-positive, or the cluster is empty");
+    ("dimension-mismatch", "the load matrix width disagrees with the expected variable count");
+    ("empty-plan", "the plan has no operators");
+    ("nan-coefficient", "a load coefficient is NaN or infinite");
+    ("negative-coefficient", "a load coefficient is negative");
+    ("dead-operator", "an operator's load row is all zero");
+    ("unloaded-variable", "a rate variable carries no load anywhere");
+    ("starved-operator", "every input of an operator has statically-zero rate");
+    ("infeasible-operator", "an operator cannot sustain unit rate on any node");
+    ("resiliency-capped", "a per-axis Theorem-1 bound caps the feasible-set ratio below threshold");
+  ]
+
+let sarif_rules =
+  Sarif.rules_of_catalogue
+    ~help_uri:"DESIGN.md#8-static-analysis-rodanalysis" rules
+
 let errors r = List.filter (fun d -> d.severity = Error) r.diags
 
 let warnings r = List.filter (fun d -> d.severity = Warning) r.diags

@@ -48,6 +48,13 @@ type report = {
           empty when the matrix was too malformed to bound). *)
 }
 
+val rules : (string * string) list
+(** [(code, short description)] catalogue of every diagnostic this
+    module can emit, for SARIF and docs. *)
+
+val sarif_rules : Sarif.rule list
+(** [rules] lifted to SARIF rule metadata (DESIGN.md §8 help URI). *)
+
 val errors : report -> diag list
 
 val warnings : report -> diag list

@@ -11,6 +11,13 @@ type result = {
   col : int option;
 }
 
+type rule = { id : string; short_desc : string; help_uri : string }
+
+let rule ?(help_uri = "") id short_desc = { id; short_desc; help_uri }
+
+let rules_of_catalogue ~help_uri catalogue =
+  List.map (fun (id, short_desc) -> { id; short_desc; help_uri }) catalogue
+
 let escape s =
   let buffer = Buffer.create (String.length s + 8) in
   String.iter
@@ -39,12 +46,16 @@ let to_string ~tool ?(tool_version = "1.0.0") ?(rules = []) results =
   if rules <> [] then begin
     out ",\n          \"rules\": [\n";
     List.iteri
-      (fun idx (id, desc) ->
-        out "            { \"id\": \"%s\"" (escape id);
-        if desc <> "" then
-          out ", \"shortDescription\": { \"text\": \"%s\" }" (escape desc);
+      (fun idx r ->
+        out "            { \"id\": \"%s\"" (escape r.id);
+        if r.short_desc <> "" then
+          out ", \"shortDescription\": { \"text\": \"%s\" }"
+            (escape r.short_desc);
+        if r.help_uri <> "" then
+          out ", \"helpUri\": \"%s\"" (escape r.help_uri);
         out " }%s\n" (if idx = List.length rules - 1 then "" else ","))
-      rules
+      rules;
+    out "          ]\n"
   end
   else out "\n";
   out "        }\n      },\n";

@@ -12,22 +12,40 @@ type result = {
   col : int option;  (** 0-based compiler column; emitted +1. *)
 }
 
+type rule = {
+  id : string;  (** Stable rule id, e.g. ["det/taint"]. *)
+  short_desc : string;  (** One-line description; [""] omits it. *)
+  help_uri : string;
+      (** Documentation link (a [DESIGN.md] anchor); [""] omits it. *)
+}
+(** Entry of the driver's rule table ([tool.driver.rules]), shared by
+    all three analysis tools so code-scanning UIs can link findings
+    back to the rule catalogue. *)
+
+val rule : ?help_uri:string -> string -> string -> rule
+(** [rule ?help_uri id short_desc]. *)
+
+val rules_of_catalogue : help_uri:string -> (string * string) list -> rule list
+(** Lift an [(id, description)] rule catalogue (the shape [Scan.rules]
+    and [Proto.rules] export) into SARIF rule metadata sharing one
+    documentation anchor. *)
+
 val escape : string -> string
 (** JSON string-body escaping (quotes, backslashes, control chars). *)
 
 val to_string :
   tool:string ->
   ?tool_version:string ->
-  ?rules:(string * string) list ->
+  ?rules:rule list ->
   result list ->
   string
-(** Render one SARIF run.  [rules] lists [(id, short description)]
-    pairs for the driver's rule table (descriptions may be [""]). *)
+(** Render one SARIF run.  [rules] populates the driver's rule table
+    with ids, short descriptions and help URIs. *)
 
 val write :
   path:string ->
   tool:string ->
   ?tool_version:string ->
-  ?rules:(string * string) list ->
+  ?rules:rule list ->
   result list ->
   unit

@@ -50,7 +50,14 @@ let rules =
        iteration" );
     ( "alloc/unused-hatch",
       "an alloc-ok escape hatch suppresses nothing" );
+    ( "race/aliased-ref",
+      "a pool closure mutates captured state through a let-bound alias or \
+       record-field projection" );
   ]
+
+let sarif_rules =
+  Sarif.rules_of_catalogue
+    ~help_uri:"DESIGN.md#10-typedtree-analysis-rodscan" rules
 
 (* ---------- small text utilities ---------- *)
 
@@ -109,6 +116,7 @@ let canon_unit_name modname = String.concat "." (canon_components modname)
 type unit_info = {
   canon : string;
   source : string;
+  text : string;
   str : structure;
   hot : bool;
   deterministic : bool;
@@ -146,6 +154,7 @@ let unit_of_structure ~modname ~source ~text str =
   {
     canon = canon_unit_name modname;
     source = Lint.normalize_path source;
+    text;
     str;
     hot = contains_substring text Lint.hot_marker;
     deterministic = contains_substring text deterministic_marker;
@@ -562,8 +571,65 @@ let free_local_idents (e : expression) =
   it.expr it e;
   !acc
 
+(* Closure-local lets whose right-hand side is captured state — an
+   ident not bound inside the closure, or a record-field projection of
+   one — smuggle the same mutable object under a fresh, closure-bound
+   name.  [alias_map] chases those bindings (transitively) back to the
+   captured root so mutations through the alias are reported as
+   [race/aliased-ref] rather than slipping past the direct-capture
+   checks above. *)
+let alias_map bound (clo : expression) =
+  let aliases = Hashtbl.create 7 in
+  let rec root (e : expression) =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+      let uname = Ident.unique_name id in
+      if SSet.mem uname bound then Hashtbl.find_opt aliases uname
+      else Some (Ident.name id)
+    | Texp_ident (p, _, _) -> Some (String.concat "." (canon_of_path p))
+    | Texp_field (subject, _, label) ->
+      Option.map (fun r -> r ^ "." ^ label.lbl_name) (root subject)
+    | _ -> None
+  in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+    | Texp_let (_, vbs, _) ->
+      List.iter
+        (fun vb ->
+          match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+          | Tpat_var (id, _), (Texp_ident _ | Texp_field _) -> (
+            match root vb.vb_expr with
+            | Some r -> Hashtbl.replace aliases (Ident.unique_name id) r
+            | None -> ())
+          | _ -> ())
+        vbs
+    | _ -> ());
+    Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it clo;
+  aliases
+
+let aliased aliases (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> (
+    match Hashtbl.find_opt aliases (Ident.unique_name id) with
+    | Some r -> Some (Printf.sprintf "%s (alias of %s)" (Ident.name id) r)
+    | None -> None)
+  | _ -> None
+
 let check_pool_closure ctx u poolfn (clo : expression) =
   let bound = bound_idents clo in
+  let aliases = alias_map bound clo in
+  let alias_mutation e target what =
+    match aliased aliases target with
+    | Some v ->
+      add_diag ctx u e.exp_loc "race/aliased-ref"
+        "%s through %s inside a Pool.%s closure; the alias shares the \
+         captured object, so this races exactly like a direct capture"
+        what v poolfn
+    | None -> ()
+  in
   let pos_args args =
     List.filter_map
       (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
@@ -581,7 +647,7 @@ let check_pool_closure ctx u poolfn (clo : expression) =
             "assignment to captured ref %s inside a Pool.%s closure; use \
              per-chunk accumulators combined in chunk order, or an Atomic"
             v poolfn
-        | None -> ())
+        | None -> alias_mutation e target "assignment to captured ref")
       | [ (("incr" | "decr") as f) ], target :: _ -> (
         match captured bound target with
         | Some v ->
@@ -589,20 +655,25 @@ let check_pool_closure ctx u poolfn (clo : expression) =
             "%s of captured ref %s inside a Pool.%s closure; use per-chunk \
              accumulators combined in chunk order, or an Atomic"
             f v poolfn
-        | None -> ())
+        | None -> alias_mutation e target (f ^ " of captured ref"))
       | ( ([ "Array"; ("set" | "unsafe_set") ]
           | [ "Bytes"; ("set" | "unsafe_set") ]
           | [ "Float"; "Array"; ("set" | "unsafe_set") ]),
           arr :: idx :: _ ) -> (
+        let chunk_independent =
+          SSet.is_empty (SSet.inter (free_local_idents idx) bound)
+        in
         match captured bound arr with
-        | Some v when SSet.is_empty (SSet.inter (free_local_idents idx) bound)
-          ->
+        | Some v when chunk_independent ->
           add_diag ctx u e.exp_loc "race/captured-array"
             "write to captured array %s at a chunk-independent index inside \
              a Pool.%s closure; index through a closure-bound variable (the \
              chunk range) or keep the buffer closure-local"
             v poolfn
-        | _ -> ())
+        | Some _ -> ()
+        | None ->
+          if chunk_independent then
+            alias_mutation e arr "write to captured array")
       | comps, target :: _ when List.mem comps mutating_calls -> (
         match captured bound target with
         | Some v ->
@@ -610,7 +681,8 @@ let check_pool_closure ctx u poolfn (clo : expression) =
             "%s mutates captured %s inside a Pool.%s closure; collect \
              per-chunk results and merge them after the parallel region"
             (String.concat "." comps) v poolfn
-        | None -> ())
+        | None ->
+          alias_mutation e target (String.concat "." comps ^ " mutates captured container"))
       | _ -> ())
     | Texp_setfield (lhs, _, label, _) -> (
       match captured bound lhs with
@@ -619,7 +691,10 @@ let check_pool_closure ctx u poolfn (clo : expression) =
           "write to mutable field %s of captured %s inside a Pool.%s \
            closure; fold per-chunk results instead"
           label.lbl_name v poolfn
-      | None -> ())
+      | None ->
+        alias_mutation e lhs
+          (Printf.sprintf "write to mutable field %s of captured value"
+             label.lbl_name))
     | _ -> ());
     Tast_iterator.default_iterator.expr it e
   in
@@ -857,3 +932,31 @@ let scan_units units =
       defs_analyzed = List.length all_defs;
       hatches_used = ctx.hatches_used;
     } )
+
+(* ---------- exported call-graph surface ----------
+
+   Proto (rodproto) resolves `gated-by` hatches against the same
+   suffix-indexed definition table the taint pass uses; exposing the
+   enumeration + index here keeps the two analyzers' notion of "which
+   function does this dotted name denote" identical. *)
+
+let defs_of_units units = List.concat_map (fun u -> fst (defs_of_unit u)) units
+
+type dindex = {
+  by_suffix : string list SMap.t;
+  by_key : (string, def list) Hashtbl.t;
+}
+
+let index_defs defs =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      let prev = Option.value (Hashtbl.find_opt by_key d.key) ~default:[] in
+      Hashtbl.replace by_key d.key (prev @ [ d ]))
+    defs;
+  { by_suffix = build_index defs; by_key }
+
+let resolve_defs idx name =
+  resolve idx.by_suffix (canon_components name)
+  |> List.concat_map (fun key ->
+         Option.value (Hashtbl.find_opt idx.by_key key) ~default:[])

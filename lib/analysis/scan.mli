@@ -25,7 +25,10 @@
     [Atomic.t] (Atomic operations are never flagged) nor provably
     chunk-local — a write to a captured array is allowed exactly when
     its index involves a closure-bound variable, the disjoint-slice
-    idiom of the repo's kernels.
+    idiom of the repo's kernels.  Captured state smuggled through a
+    closure-local alias ([let slot = total in slot := ...], including
+    record-field projections, transitively) is chased back to its
+    captured root and reported as [race/aliased-ref].
 
     {b Hot-path allocation} ([alloc/closure], [alloc/literal],
     [alloc/ref], [alloc/partial-apply], [alloc/boxed-float]): inside
@@ -59,9 +62,13 @@ val passes : string list
 val rules : (string * string) list
 (** [(rule id, short description)] catalogue, for SARIF and docs. *)
 
+val sarif_rules : Sarif.rule list
+(** [rules] lifted to SARIF rule metadata (DESIGN.md §10 help URI). *)
+
 type unit_info = {
   canon : string;  (** Canonical unit name, e.g. ["Feasible.Volume"]. *)
   source : string;  (** Normalized source path; may not exist on disk. *)
+  text : string;  (** Raw source text ([""] when the file is gone). *)
   str : Typedtree.structure;
   hot : bool;
   deterministic : bool;
@@ -116,3 +123,41 @@ val scan_units : unit_info list -> Lint.diag list * scan_stats
     interprocedural across units).  Diagnostics are sorted by
     [(file, line, col, rule)] and deduplicated; allowlist filtering is
     the caller's job via {!Lint.split_allowed}. *)
+
+(** {2 Call-graph surface shared with {!Proto}}
+
+    [rodproto] resolves its [gated-by] hatches against the same
+    definition table the taint pass builds, so both analyzers agree on
+    what a dotted name denotes. *)
+
+type def = {
+  key : string;  (** Dotted definition key, e.g. ["Deploy.finish"]. *)
+  def_loc : Location.t;
+  body : Typedtree.expression;
+  owner : unit_info;
+}
+
+val defs_of_units : unit_info list -> def list
+(** Enumerate every top-level (and nested-module) binding as a
+    call-graph node, in source order per unit. *)
+
+type dindex
+
+val index_defs : def list -> dindex
+(** Index definitions by every module-path suffix of >= 2 components
+    (so ["Deploy.finish"], ["Dynamic.Controller.create"] and their
+    dune-mangled spellings all resolve). *)
+
+val resolve_defs : dindex -> string -> def list
+(** All definitions a dotted name may denote ([] when unknown). *)
+
+val canon_components : string -> string list
+(** Canonical components of a dotted name: split on [.] and dune's
+    [__], drop a leading [Stdlib]. *)
+
+val canon_of_path : Path.t -> string list
+(** [canon_components] of [Path.name]. *)
+
+val compare_diag : Lint.diag -> Lint.diag -> int
+(** The [(file, line, col, rule, message)] diagnostic order used by
+    {!scan_units}; exported so sibling analyzers sort identically. *)

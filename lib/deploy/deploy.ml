@@ -1,4 +1,6 @@
 (* rodlint: obs *)
+(* rodproto: protocol — every Plan.make materialization here must be
+   dominated by a Plan_check gate (rodproto's gated-mutation pass) *)
 
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat

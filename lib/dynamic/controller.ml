@@ -1,5 +1,7 @@
 (* rodlint: obs *)
 (* rodlint: deterministic *)
+(* rodproto: protocol — the controller owns a deployed assignment; all
+   writes to it are Plan_check-gated through [create] *)
 
 module Vec = Linalg.Vec
 
@@ -56,7 +58,7 @@ type t = {
   pool : Parallel.Pool.t option;
   mutable smoothed : Vec.t option;
   mutable last_attempt : float;
-  mutable assignment : int array;
+  mutable assignment : int array;  (* rodproto: role deployed-assignment *)
   mutable log : decision list;  (* newest first *)
 }
 
@@ -71,6 +73,13 @@ let create ?pool ?(config = default_config) ?(cost_of = fun _ -> 0.) problem
     invalid_arg "Controller.create: smoothing in (0, 1]";
   if config.cooldown < 0. then
     invalid_arg "Controller.create: negative cooldown";
+  (* Admission gate: the load model must be well-formed before this
+     assignment becomes the controller's deployed truth — the same
+     check Deploy runs, so every later write to [t.assignment] is
+     justified against this gate. *)
+  Analysis.Plan_check.assert_ok ~what:"controller admission"
+    (Analysis.Plan_check.check_matrix ~lo:problem.Rod.Problem.lo
+       ~caps:problem.Rod.Problem.caps ());
   (* Validates length and node range. *)
   ignore (Rod.Plan.make problem assignment);
   {
@@ -93,6 +102,7 @@ let observe t ~time ~rates ~assignment =
     invalid_arg "Controller.observe: assignment length";
   (* The engine's view wins: crash recoveries and aborted migrations
      remap the placement without telling the controller. *)
+  (* rodproto: gated-by Dynamic.Controller.create — resync to the engine's Plan_check-admitted truth *)
   Array.blit assignment 0 t.assignment 0 (Array.length assignment);
   let smoothed =
     match t.smoothed with
@@ -129,6 +139,7 @@ let observe t ~time ~rates ~assignment =
             t.problem ~assignment:t.assignment)
     in
     if outcome.Replanner.accepted then begin
+      (* rodproto: gated-by Dynamic.Controller.create — replans refine the admitted model *)
       Array.blit outcome.Replanner.assignment 0 t.assignment 0
         (Array.length t.assignment);
       Obs.Counter.incr obs_replans;

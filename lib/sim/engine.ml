@@ -1,5 +1,7 @@
 (* rodlint: obs *)
 (* rodlint: deterministic *)
+(* rodproto: protocol — pause/drain/resume live migration; the role
+   markers below bind the per-operator protocol state rodproto tracks *)
 
 module Vec = Linalg.Vec
 module Graph = Query.Graph
@@ -64,7 +66,7 @@ type work_item = {
 
 type node_state = {
   capacity : float;
-  queue : work_item Queue.t;
+  queue : work_item Queue.t;  (* rodproto: role input-queue *)
   mutable current : work_item option;
   mutable busy_time : float;  (* within the measurement window *)
   mutable busy_accum : float;  (* total, for controller utilization *)
@@ -80,8 +82,8 @@ type event =
   | Deliver of work_item  (* routed to the operator's current node *)
   | Complete of int * work_item * service_outcome
   | Tick  (* dynamic controller wake-up *)
-  | Handoff of int  (* operator whose drain window closed *)
-  | Migration_done of int  (* operator whose state transfer finished *)
+  | Handoff of int  (* drain window closed; rodproto: role drain-event *)
+  | Migration_done of int  (* transfer finished; rodproto: role resume-event *)
   | Crash_fault of int * int array  (* node dies; switch to recovery *)
 
 (* Sliding windows of a join operator: tuple timestamps per input side. *)
@@ -144,7 +146,7 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
     invalid_arg "Engine.run: bad dynamic config"
   | Some _ | None -> ());
   Fault.validate ~n_nodes:n ~n_ops:m config.faults;
-  let assignment = Array.copy assignment in
+  let assignment = Array.copy assignment in (* rodproto: role deployed-assignment *)
   let dead = Array.make n false in
   let lost_count = ref 0 in
   let rng = Random.State.make [| config.seed |] in
@@ -156,11 +158,11 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
   in
   (* Dynamic load-distribution state: operators mid-migration buffer
      their input until the state transfer completes. *)
-  let migrating = Array.make m false in
-  let buffers = Array.init m (fun _ -> Queue.create ()) in
+  let migrating = Array.make m false in (* rodproto: role paused *)
+  let buffers = Array.init m (fun _ -> Queue.create ()) in (* rodproto: role buffer *)
   (* Destination of an in-flight migration; [-1] when not migrating.
      The assignment only flips at the drain-window handoff. *)
-  let pending = Array.make m (-1) in
+  let pending = Array.make m (-1) in (* rodproto: role pending *)
   let op_cpu_window = Array.make m 0. in
   let last_busy = Array.make n 0. in
   (* Per-stream arrival cursors for the controller's rate gauges, built
@@ -432,6 +434,7 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
          the migration — the operator resumes wherever the (possibly
          recovery-remapped) assignment says it lives. *)
       let dest = pending.(op) in
+      (* rodproto: gated-by Deploy.finish — deployed/replanned plans are gated *)
       if dest >= 0 && not dead.(dest) then assignment.(op) <- dest;
       let delay, state =
         match dynamic with
@@ -473,6 +476,7 @@ let run ~graph ~assignment ~caps ~arrivals ?(config = default_config) ?dynamic
             ("ops_moved", string_of_int !moved);
           ]
         "fault.recovery";
+      (* rodproto: gated-by Deploy.finish — recovery plans ship gated with the deployment *)
       Array.blit recovery 0 assignment 0 m
   in
   (match dynamic with

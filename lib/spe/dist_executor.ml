@@ -1,4 +1,6 @@
 (* rodlint: obs *)
+(* rodproto: protocol — pause/drain/resume live migration, mirroring
+   Dsim.Engine; role markers below bind the protocol state *)
 
 module Vec = Linalg.Vec
 module Graph = Query.Graph
@@ -61,7 +63,7 @@ type work_item = {
 
 type node_state = {
   capacity : float;
-  queue : work_item Queue.t;
+  queue : work_item Queue.t;  (* rodproto: role input-queue *)
   mutable busy : bool;
   mutable busy_time : float;
 }
@@ -70,8 +72,8 @@ type event =
   | Deliver of work_item
   | Complete of int * work_item * Tuple.t list  (* node, item, outputs *)
   | Migrate of (int * int) list  (* scripted (op, dest) migrations *)
-  | Handoff of int  (* operator whose drain window closed *)
-  | Resume of int  (* operator whose state transfer finished *)
+  | Handoff of int  (* drain window closed; rodproto: role drain-event *)
+  | Resume of int  (* state transfer finished; rodproto: role resume-event *)
   | Crash_fault of int * int array  (* node dies; switch to recovery *)
 
 let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
@@ -100,7 +102,7 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
         moves)
     migrations;
   Dsim.Fault.validate ~n_nodes:n ~n_ops:m config.faults;
-  let assignment = Array.copy assignment in
+  let assignment = Array.copy assignment in (* rodproto: role deployed-assignment *)
   let dead = Array.make n false in
   let lost = ref 0 in
   let states = Array.init m (fun j -> Executor.replay_state (Network.op network j)) in
@@ -117,9 +119,9 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
   (* Pause–drain–resume migration state, mirroring [Dsim.Engine]:
      operators mid-migration buffer their input; ownership flips only at
      the handoff closing the drain window. *)
-  let migrating = Array.make m false in
-  let mig_pending = Array.make m (-1) in
-  let mig_buffers = Array.init m (fun _ -> Queue.create ()) in
+  let migrating = Array.make m false in (* rodproto: role paused *)
+  let mig_pending = Array.make m (-1) in (* rodproto: role pending *)
+  let mig_buffers = Array.init m (fun _ -> Queue.create ()) in (* rodproto: role buffer *)
   let migration_start = Array.make m 0. in
   let migrations_count = ref 0 in
   let measured t = t >= config.warmup && t <= until in
@@ -257,6 +259,7 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
          resumes wherever the (possibly recovery-remapped) assignment
          says it lives. *)
       let dest = mig_pending.(op) in
+      (* rodproto: gated-by Deploy.finish — deployed/replanned plans are gated *)
       if dest >= 0 && not dead.(dest) then assignment.(op) <- dest;
       let pause =
         timing.handoff_delay +. Float.max 0. (timing.state_delay op)
@@ -293,6 +296,7 @@ let run ~network ~assignment ~caps ~cost ~inputs ?(config = default_config)
             ("ops_moved", string_of_int !moved);
           ]
         "fault.recovery";
+      (* rodproto: gated-by Deploy.finish — recovery plans ship gated with the deployment *)
       Array.blit recovery 0 assignment 0 m
   in
   List.iter

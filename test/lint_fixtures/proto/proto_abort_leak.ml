@@ -1,0 +1,20 @@
+(* Fixture: the drain-event handler schedules the resume only on the
+   happy path; when the destination died the operator is left paused
+   forever — exactly the abort-path leak rodproto exists to catch. *)
+(* rodproto-expect: proto/missed-resume *)
+
+type event =
+  | Handoff of int  (* rodproto: role drain-event *)
+  | Migration_done of int  (* rodproto: role resume-event *)
+
+let migrating = Array.make 8 false (* rodproto: role paused *)
+let alive = Array.make 8 true
+
+let start_migration events op =
+  migrating.(op) <- true;
+  Queue.push (Handoff op) events
+
+let handle events = function
+  | Handoff op ->
+    if alive.(op) then Queue.push (Migration_done op) events
+  | Migration_done op -> migrating.(op) <- false

@@ -1,0 +1,30 @@
+(* Fixture for the aliasing extension of the pool-closure race lint
+   (Analysis.Scan, rule race/aliased-ref): the closure launders its
+   captured state through a let-bound alias before mutating it.  The
+   Pool stand-in keeps the fixture stdlib-only; the lint keys on the
+   [Pool.<fn>] name shape, not the library. *)
+(* rodproto-expect: race/aliased-ref *)
+
+module Pool = struct
+  let parallel_for _pool ~n:_ f = f 0 1
+end
+
+type acc = { mutable hits : int }
+
+let total = ref 0
+let stats = { hits = 0 }
+
+let sum_aliased () =
+  Pool.parallel_for () ~n:8 (fun lo hi ->
+      let slot = total in
+      for s = lo to hi - 1 do
+        slot := !slot + s
+      done)
+
+let count_aliased () =
+  Pool.parallel_for () ~n:8 (fun lo hi ->
+      let h = stats in
+      for s = lo to hi - 1 do
+        ignore s;
+        h.hits <- h.hits + 1
+      done)

@@ -1,0 +1,57 @@
+(* Fixture: a conforming pause–drain–resume machine with a gated
+   deployment path.  rodproto must accept it outright — no
+   expectations.  The Plan_check / Plan stand-ins are local so the
+   fixture stays stdlib-only yet exercises the same name-based gate
+   detection the real tree does. *)
+(* rodproto: protocol — fixture: the conforming migration machine *)
+
+module Plan_check = struct
+  type report = { failures : int }
+
+  let check_matrix ~lo ~caps () =
+    { failures = (if lo < 0 || caps <= 0 then 1 else 0) }
+
+  let assert_ok r = if r.failures > 0 then invalid_arg "rejected plan"
+end
+
+module Plan = struct
+  let make assignment = Array.copy assignment
+end
+
+type event =
+  | Tuple of int
+  | Handoff of int  (* rodproto: role drain-event *)
+  | Migration_done of int  (* rodproto: role resume-event *)
+
+let assignment = Array.make 8 0 (* rodproto: role deployed-assignment *)
+let migrating = Array.make 8 false (* rodproto: role paused *)
+let pending = Array.make 8 (-1) (* rodproto: role pending *)
+let buffers : int Queue.t array = Array.init 8 (fun _ -> Queue.create ()) (* rodproto: role buffer *)
+let inbox : int Queue.t array = Array.init 8 (fun _ -> Queue.create ()) (* rodproto: role input-queue *)
+
+let deploy plan =
+  Plan_check.assert_ok (Plan_check.check_matrix ~lo:0 ~caps:1 ());
+  Plan.make plan
+
+let deliver op x =
+  if migrating.(op) then Queue.push x buffers.(op)
+  else Queue.push x inbox.(op)
+
+let start_migration events op dest =
+  migrating.(op) <- true;
+  pending.(op) <- dest;
+  Queue.push (Handoff op) events
+
+let handle events = function
+  | Tuple op -> deliver op op
+  | Handoff op ->
+    let dest = pending.(op) in
+    (* rodproto: gated-by Proto_conforming.deploy — fixture: plans ship gated *)
+    if dest >= 0 then assignment.(op) <- dest;
+    Queue.push (Migration_done op) events
+  | Migration_done op ->
+    migrating.(op) <- false;
+    pending.(op) <- -1;
+    let flush = Queue.create () in
+    Queue.transfer buffers.(op) flush;
+    Queue.iter (fun x -> deliver op x) flush

@@ -1,0 +1,9 @@
+(* Fixture: the paused flag is cleared while the operator is already
+   Running — a resume outside any drain window (or a second resume
+   after the first). *)
+(* rodproto-expect: proto/double-resume *)
+
+let migrating = Array.make 8 false (* rodproto: role paused *)
+
+let resume op =
+  migrating.(op) <- false

@@ -1,0 +1,11 @@
+(* Fixture: the drain window opens while the operator is still
+   Running — the pause flag is never set before the Handoff event is
+   pushed. *)
+(* rodproto-expect: proto/drain-without-pause *)
+
+type event =
+  | Handoff of int  (* rodproto: role drain-event *)
+  | Migration_done of int  (* rodproto: role resume-event *)
+
+let start_migration events op =
+  Queue.push (Handoff op) events

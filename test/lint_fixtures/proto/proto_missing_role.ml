@@ -1,0 +1,7 @@
+(* Fixture: an unknown role spelling, plus a role marker on a line
+   that declares nothing. *)
+(* rodproto-expect: proto/missing-role *)
+(* rodproto: role frobnicator *)
+
+(* rodproto: role paused *)
+let x = 1

@@ -1,0 +1,12 @@
+(* Fixture: the gated-by hatch names a real function, but that
+   function performs no Plan_check call — the justification is
+   stale. *)
+(* rodproto-expect: proto/stale-gate *)
+
+let assignment = Array.make 8 0 (* rodproto: role deployed-assignment *)
+
+let no_gate xs = Array.length xs
+
+let migrate op dest =
+  (* rodproto: gated-by Proto_stale_gate.no_gate — stale: no gate inside *)
+  assignment.(op) <- dest

@@ -1,0 +1,8 @@
+(* Fixture: the deployed assignment is rewritten with no dominating
+   Plan_check call and no gated-by hatch. *)
+(* rodproto-expect: proto/ungated-mutation *)
+
+let assignment = Array.make 8 0 (* rodproto: role deployed-assignment *)
+
+let migrate op dest =
+  assignment.(op) <- dest

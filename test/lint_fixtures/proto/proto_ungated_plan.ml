@@ -1,0 +1,10 @@
+(* Fixture: a Plan.make materialization with no dominating Plan_check
+   call — the deployment admission gate is skipped entirely. *)
+(* rodproto: protocol — fixture: an ungated deployment *)
+(* rodproto-expect: proto/ungated-plan *)
+
+module Plan = struct
+  let make assignment = Array.copy assignment
+end
+
+let deploy assignment = Plan.make assignment

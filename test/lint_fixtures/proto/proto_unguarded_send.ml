@@ -1,0 +1,13 @@
+(* Fixture: one delivery path tests the paused flag before pushing
+   into the input queue (legal); the other pushes unconditionally — a
+   paused operator must buffer, not receive. *)
+(* rodproto-expect: proto/unguarded-send *)
+
+let migrating = Array.make 8 false (* rodproto: role paused *)
+let inbox : int Queue.t array = Array.init 8 (fun _ -> Queue.create ()) (* rodproto: role input-queue *)
+
+let deliver_guarded op x =
+  if migrating.(op) then () else Queue.push x inbox.(op)
+
+let deliver_unguarded op x =
+  Queue.push x inbox.(op)

@@ -1,0 +1,9 @@
+(* Fixture: a gated-by hatch over a read — it suppresses nothing, and
+   stale hatches hide future regressions. *)
+(* rodproto-expect: proto/unused-hatch *)
+
+let assignment = Array.make 8 0 (* rodproto: role deployed-assignment *)
+
+let placement_of op =
+  (* rodproto: gated-by Proto_unused_hatch.placement_of — suppresses nothing *)
+  assignment.(op)

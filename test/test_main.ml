@@ -22,5 +22,6 @@ let () =
       ("deploy", Test_deploy.suite);
       ("analysis", Test_analysis.suite);
       ("scan", Test_scan.suite);
+      ("proto", Test_proto.suite);
       ("obs", Test_obs.suite);
     ]

@@ -275,7 +275,7 @@ let test_alloc_cold_module () =
 let test_sarif () =
   let out =
     Sarif.to_string ~tool:"rodscan"
-      ~rules:[ ("det/taint", "taint description") ]
+      ~rules:[ Sarif.rule ~help_uri:"DESIGN.md#10" "det/taint" "taint description" ]
       [
         {
           Sarif.rule_id = "det/taint";
@@ -299,6 +299,7 @@ let test_sarif () =
     [
       "\"version\": \"2.1.0\"";
       "\"ruleId\": \"det/taint\"";
+      "\"helpUri\": \"DESIGN.md#10\"";
       "\"uri\": \"lib/a.ml\"";
       "\"startLine\": 3";
       "\"startColumn\": 8";

@@ -1,11 +1,19 @@
-(* rodlint [--allow FILE] PATH...
+(* rodlint [--allow FILE] [--fix] PATH...
 
    Lints every .ml file under the given paths (recursively; [_build]
    and dot-directories are skipped) and exits nonzero when any
    unsuppressed diagnostic remains, or when the allowlist has gone
-   stale (an entry that suppresses nothing). *)
+   stale (an entry that suppresses nothing).  With --fix the pruned
+   allowlist (stale entries dropped) is printed to stdout instead,
+   diagnostics moving to stderr. *)
 
-let usage = "usage: rodlint [--allow FILE] PATH..."
+let usage = "usage: rodlint [--allow FILE] [--fix] PATH..."
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let is_ml path = Filename.check_suffix path ".ml"
 
@@ -22,11 +30,15 @@ let rec collect acc path =
 
 let () =
   let allow_file = ref None in
+  let fix = ref false in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
     | "--allow" :: file :: rest ->
       allow_file := Some file;
+      parse rest
+    | "--fix" :: rest ->
+      fix := true;
       parse rest
     | "--allow" :: [] ->
       prerr_endline usage;
@@ -56,6 +68,20 @@ let () =
   let files = List.sort_uniq String.compare files in
   let diags = List.concat_map Analysis.Lint.lint_file files in
   let kept, suppressed = Analysis.Lint.split_allowed allowlist diags in
+  if !fix then begin
+    (match !allow_file with
+    | None ->
+      prerr_endline "rodlint: --fix requires --allow FILE";
+      exit 2
+    | Some file ->
+      print_string (Analysis.Lint.prune allowlist (read_file file));
+      List.iter (fun d -> prerr_endline (Analysis.Lint.render d)) kept;
+      List.iter
+        (fun (path, rule) ->
+          Printf.eprintf "pruned stale allowlist entry: %s %s\n" path rule)
+        (Analysis.Lint.unused_entries allowlist));
+    exit (if kept <> [] then 1 else 0)
+  end;
   List.iter (fun d -> print_endline (Analysis.Lint.render d)) kept;
   let stale = Analysis.Lint.unused_entries allowlist in
   List.iter

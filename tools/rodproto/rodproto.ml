@@ -1,21 +1,22 @@
-(* rodscan [--allow FILE] [--json] [--sarif PATH] [--stats] PATH...
-   rodscan --fixtures DIR
+(* rodproto [--allow FILE] [--fix] [--json] [--sarif PATH] [--stats] PATH...
+   rodproto --fixtures DIR
 
-   Typedtree-level analysis over the .cmt files dune produces (see
-   Analysis.Scan for the pass and rule catalogue).  PATHs are scanned
-   recursively for .cmt files — under dune that means pointing it at
-   [lib] inside [_build/default], where both the cmts (.objs/byte) and
-   the source copies (for markers and escape hatches) live.
+   Typestate verification of the pause–drain–resume migration protocol
+   and gated-mutation analysis over the .cmt files dune produces (see
+   Analysis.Proto for the passes and rule catalogue).  PATHs are
+   scanned recursively for .cmt files — under dune that means pointing
+   it at [lib] inside [_build/default], where both the cmts
+   (.objs/byte) and the source copies (for the marker comments) live.
 
    Exits nonzero when any unsuppressed finding remains, when the
    allowlist has a stale entry, or — in --fixtures mode — when any
-   fixture's findings differ from its (* rodscan-expect: ... *)
+   fixture's findings differ from its (* rodproto-expect: ... *)
    declaration. *)
 
 let usage =
-  "usage: rodscan [--allow FILE] [--fix] [--json] [--sarif PATH] [--stats] \
+  "usage: rodproto [--allow FILE] [--fix] [--json] [--sarif PATH] [--stats] \
    PATH...\n\
-  \       rodscan --fixtures DIR"
+  \       rodproto --fixtures DIR"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -53,9 +54,11 @@ let sarif_results diags =
 let print_json diags stats suppressed stale =
   let open Printf in
   let esc = Analysis.Sarif.escape in
-  printf "{\n  \"schema\": \"rod-rodscan/1\",\n";
-  printf "  \"units\": %d,\n" stats.Analysis.Scan.units_scanned;
-  printf "  \"definitions\": %d,\n" stats.Analysis.Scan.defs_analyzed;
+  printf "{\n  \"schema\": \"rod-rodproto/1\",\n";
+  printf "  \"units\": %d,\n" stats.Analysis.Proto.units_checked;
+  printf "  \"definitions\": %d,\n" stats.Analysis.Proto.defs_walked;
+  printf "  \"roles\": %d,\n" stats.Analysis.Proto.roles_bound;
+  printf "  \"hatches_used\": %d,\n" stats.Analysis.Proto.hatches_used;
   printf "  \"suppressed\": %d,\n" suppressed;
   printf "  \"findings\": [\n";
   List.iteri
@@ -75,17 +78,20 @@ let print_json diags stats suppressed stale =
 (* --- fixture self-test mode -------------------------------------------
 
    Every fixture declares its expected rule ids in a
-   (* rodscan-expect: rule [rule...] *) comment; a conforming fixture
-   declares none.  The whole directory is scanned as one unit set so
-   interprocedural fixtures (a Random leak crossing files) work. *)
+   (* rodproto-expect: rule [rule...] *) comment; a conforming fixture
+   declares none.  The directory is checked as one unit set so
+   cross-unit hatch resolution works, and the scan passes run too: the
+   aliasing fixtures expect race/* findings that Analysis.Scan owns. *)
 
 let run_fixtures dir =
   let units = load_units [ dir ] in
   if units = [] then begin
-    Printf.eprintf "rodscan --fixtures: no .cmt files under %s\n" dir;
+    Printf.eprintf "rodproto --fixtures: no .cmt files under %s\n" dir;
     exit 2
   end;
-  let diags, _stats = Analysis.Scan.scan_units units in
+  let proto_diags, _stats = Analysis.Proto.check_units units in
+  let scan_diags, _ = Analysis.Scan.scan_units units in
+  let diags = proto_diags @ scan_diags in
   let module SSet = Set.Make (String) in
   let found = Hashtbl.create 16 in
   List.iter
@@ -101,7 +107,7 @@ let run_fixtures dir =
       (* Skip dune's generated wrapper module (no source on disk). *)
       if Sys.file_exists u.source then begin
         incr checked;
-        let expected = SSet.of_list u.expect in
+        let expected = SSet.of_list (Analysis.Proto.expect_of_unit u) in
         let got =
           Option.value (Hashtbl.find_opt found u.source) ~default:SSet.empty
         in
@@ -126,7 +132,7 @@ let run_fixtures dir =
     (List.sort
        (fun (a : Analysis.Scan.unit_info) b -> String.compare a.source b.source)
        units);
-  Printf.printf "rodscan fixtures: %d checked, %d failed\n" !checked !failures;
+  Printf.printf "rodproto fixtures: %d checked, %d failed\n" !checked !failures;
   if !failures > 0 || !checked = 0 then exit 1
 
 let () =
@@ -185,7 +191,7 @@ let () =
           exit 2)
     in
     let units = load_units (List.rev !paths) in
-    let diags, stats = Analysis.Scan.scan_units units in
+    let diags, stats = Analysis.Proto.check_units units in
     let kept, suppressed = Analysis.Lint.split_allowed allowlist diags in
     let stale = Analysis.Lint.unused_entries allowlist in
     if !fix then begin
@@ -193,7 +199,7 @@ let () =
          stderr) so the caller can redirect it over the stale file. *)
       match !allow_file with
       | None ->
-        prerr_endline "rodscan: --fix requires --allow FILE";
+        prerr_endline "rodproto: --fix requires --allow FILE";
         exit 2
       | Some file ->
         print_string (Analysis.Lint.prune allowlist (read_file file));
@@ -215,23 +221,24 @@ let () =
     end;
     Option.iter
       (fun path ->
-        Analysis.Sarif.write ~path ~tool:"rodscan"
-          ~rules:Analysis.Scan.sarif_rules (sarif_results kept))
+        Analysis.Sarif.write ~path ~tool:"rodproto"
+          ~rules:Analysis.Proto.sarif_rules (sarif_results kept))
       !sarif;
     if !stats_flag && not !json then
       Printf.printf
-        "rodscan --stats: %d passes (%s), %d rules, %d units, %d \
-         definitions, %d findings (%d allow-suppressed, %d hatch-suppressed, \
-         %d stale allow entries)\n"
-        (List.length Analysis.Scan.passes)
-        (String.concat ", " Analysis.Scan.passes)
-        (List.length Analysis.Scan.rules)
-        stats.Analysis.Scan.units_scanned stats.Analysis.Scan.defs_analyzed
-        (List.length kept) (List.length suppressed)
-        stats.Analysis.Scan.hatches_used (List.length stale);
+        "rodproto --stats: %d passes (%s), %d rules, %d units, %d \
+         definitions, %d roles, %d findings (%d allow-suppressed, %d \
+         hatches used, %d stale allow entries)\n"
+        (List.length Analysis.Proto.passes)
+        (String.concat ", " Analysis.Proto.passes)
+        (List.length Analysis.Proto.rules)
+        stats.Analysis.Proto.units_checked stats.Analysis.Proto.defs_walked
+        stats.Analysis.Proto.roles_bound (List.length kept)
+        (List.length suppressed) stats.Analysis.Proto.hatches_used
+        (List.length stale);
     if not !json then
-      Printf.printf "rodscan: %d units, %d findings (%d suppressed)%s\n"
-        stats.Analysis.Scan.units_scanned (List.length kept)
+      Printf.printf "rodproto: %d units, %d findings (%d suppressed)%s\n"
+        stats.Analysis.Proto.units_checked (List.length kept)
         (List.length suppressed)
         (if kept = [] && stale = [] then "" else " — FAILED");
     if kept <> [] || stale <> [] then exit 1
