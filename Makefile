@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean check bench-quick bench-ladder benchdiff chaos-quick lint rodscan rodproto promcheck
+.PHONY: all build test bench examples clean check bench-quick bench-ladder benchdiff chaos-quick keyed lint rodscan rodproto promcheck
 
 all: build
 
@@ -20,6 +20,7 @@ check:
 	dune build @rodproto
 	dune runtest
 	dune build @chaos-quick
+	dune build @keyed
 	dune build @promcheck
 	$(MAKE) bench-ladder
 	$(MAKE) benchdiff
@@ -50,6 +51,12 @@ chaos-quick:
 # exposition format (tools/promcheck).
 promcheck:
 	dune build @promcheck
+
+# The keyed-parallelism gate alone: partitioner/sketch/split property
+# suite (goldens, pool identity, tamper-negative oracle) plus the two
+# keyed chaos scenarios.
+keyed:
+	dune build @keyed
 
 bench:
 	dune exec bench/main.exe

@@ -28,13 +28,6 @@ let flag_value flag =
     Sys.argv;
   !result
 
-let contains_substring haystack needle =
-  let hl = String.length haystack and nl = String.length needle in
-  let rec scan i =
-    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
-  in
-  scan 0
-
 (* --- part 1: paper artifacts --- *)
 
 let run_experiments ~quick ~only fmt =
@@ -91,10 +84,12 @@ let micro_tests ?only () =
     | Some needles ->
       (* Comma-separated needles select the union of their matches,
          so one invocation can cover several rung families
-         (e.g. --only place/,controller/). *)
+         (e.g. --only place/,controller/).  Matching is anchored on
+         whole '/'-segments — "place/ROD-m200" selects exactly that
+         rung, never "place/ROD-m2000". *)
       List.exists
         (fun needle ->
-          needle <> "" && contains_substring ("rod/" ^ Test.name test) needle)
+          Benchdiff_core.rung_matches ~needle ("rod/" ^ Test.name test))
         (String.split_on_char ',' needles)
   in
   Test.make_grouped ~name:"rod"
@@ -104,6 +99,38 @@ let micro_tests ?only () =
         (Staged.stage (fun () -> Rod.Rod_algorithm.place problem100));
       Test.make ~name:"place/ROD-m200"
         (Staged.stage (fun () -> Rod.Rod_algorithm.place problem200));
+      Test.make ~name:"place/ROD+SPLIT-m200"
+        (Staged.stage
+           (* Placement over a split graph: the 200-operator fixture's
+              hottest splittable operator expanded into 4 replicas with
+              hybrid shares.  The sketch profile and partitioner warm-up
+              run once out here — the rung times ROD over the enlarged
+              graph, not the sketches. *)
+           (let graph, _ = fixture ~m:200 ~d:5 ~n_nodes:10 in
+            let keys =
+              Workload.Generators.zipf_keys
+                ~rng:(Random.State.make [| 99 |])
+                ~alpha:1.2 ~n_keys:100_000 ~n:100_000
+            in
+            let profile = Keyed.Estimator.profile keys in
+            let part =
+              Keyed.Estimator.hybrid_of_profile ~replicas:4 ~seed:99 profile
+            in
+            Keyed.Partitioner.warm part keys;
+            let op =
+              match Keyed.Split.hottest_splittable graph with
+              | Some j -> j
+              | None -> failwith "bench fixture has no splittable operator"
+            in
+            let split =
+              Keyed.Split.split graph ~op
+                ~shares:(Keyed.Partitioner.shares part)
+            in
+            let problem =
+              Problem.of_graph split.Keyed.Split.graph
+                ~caps:(Problem.homogeneous_caps ~n:10 ~cap:1.)
+            in
+            fun () -> Rod.Rod_algorithm.place problem));
       Test.make ~name:"place/ROD-m1000"
         (Staged.stage
            (let _, problem1000 = fixture ~m:1000 ~d:5 ~n_nodes:20 in

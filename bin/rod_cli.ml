@@ -1077,6 +1077,50 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one paper-reproduction experiment.")
     term
 
+(* --- skew --- *)
+
+let skew_cmd =
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Smaller key stream and sample counts.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the machine-readable summary (rod-skew-summary/1).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the JSON summary to $(docv).")
+  in
+  let run quick json out metrics obs_trace prom =
+    let summary =
+      lazy (Experiments.Exp_skew.summary_json
+              (Experiments.Exp_skew.analyze ~quick ()))
+    in
+    if json then print_string (Lazy.force summary)
+    else Experiments.Exp_skew.run ~quick Format.std_formatter;
+    Option.iter (fun path -> write_file path (Lazy.force summary)) out;
+    export_obs metrics obs_trace prom
+  in
+  let term =
+    Term.(
+      const run $ quick_arg $ json_arg $ out_arg $ metrics_arg $ obs_trace_arg
+      $ prom_arg)
+  in
+  Cmd.v
+    (Cmd.info "skew"
+       ~doc:
+         "Profile a Zipf key stream with the rod.keyed sketches, split the \
+          hot operator under each partitioner, and compare the feasible-set \
+          ratios of the resulting ROD plans.")
+    term
+
 (* --- chaos --- *)
 
 let chaos_cmd =
@@ -1160,7 +1204,7 @@ let main_cmd =
     [
       place_cmd; volume_cmd; trace_cmd; simulate_cmd; sim_cmd; cluster_cmd;
       optimal_cmd; compile_cmd; analyze_cmd; failure_cmd; deploy_cmd;
-      replan_cmd; experiment_cmd; chaos_cmd;
+      replan_cmd; experiment_cmd; skew_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -317,3 +317,124 @@ let replay_identical ~name ~run =
     (if String.equal a b then
        Printf.sprintf "two runs byte-identical (%d chars)" (String.length a)
      else "runs diverged")
+
+(* --- keyed split differential ----------------------------------------
+
+   Pin a split-operator run against the unsplit baseline.  Sink
+   comparison maps every appended operator (route filters, replicas,
+   merger) back to the split operator's original index, so the two
+   networks' sink multisets are directly comparable.  The per-key laws
+   need tuple-level logs, so they run on the logical engine's recorded
+   run: every tuple a replica consumed must belong to a key the
+   partitioner routes to it (a corrupted per-replica route table trips
+   this), and per key, the replicas together must consume exactly what
+   the splitter emitted — no key lost, none duplicated. *)
+
+let split_differential ?(drained = true) ~(split : Keyed.Semantic.t) ~injected
+    ~cutoff ~(split_dist : Spe.Dist_executor.result)
+    ~(baseline_dist : Spe.Dist_executor.result)
+    ~(logical : Spe.Executor.result) () =
+  let network = split.Keyed.Semantic.network in
+  let part = split.Keyed.Semantic.partitioner in
+  let key_of = split.Keyed.Semantic.key_of in
+  let replica_ops = split.Keyed.Semantic.replica_ops in
+  let k = Array.length replica_ops in
+  let m = Spe.Network.n_ops split.Keyed.Semantic.original in
+  (* flow conservation per arc of the split network *)
+  let produced = function
+    | Graph.Sys_input i -> injected.(i)
+    | Graph.Op_output u ->
+      split_dist.Spe.Dist_executor.op_stats.(u).Spe.Executor.emitted
+  in
+  let consumed v i =
+    split_dist.Spe.Dist_executor.op_stats.(v).Spe.Executor.consumed.(i)
+  in
+  let flow =
+    conservation_checks ~drained ~tag:"split" ~n_ops:(Spe.Network.n_ops network)
+      ~sources:(Spe.Network.sources network) ~produced ~consumed
+  in
+  (* sink multisets, appended operators mapped back to the split op *)
+  let map_out (o, t) =
+    ((if o >= m then split.Keyed.Semantic.op else o), t)
+  in
+  let n_want, n_got, missing, extra =
+    multiset_diff ~cutoff ~want:baseline_dist.Spe.Dist_executor.outputs
+      ~got:(List.map map_out split_dist.Spe.Dist_executor.outputs)
+  in
+  let sink =
+    if drained then
+      check "split:sink-equal" (missing = 0 && extra = 0)
+        (Printf.sprintf
+           "unsplit %d split %d (missing %d, extra %d) at ts <= %g" n_want
+           n_got missing extra cutoff)
+    else
+      check "split:sink-subset" (extra = 0)
+        (Printf.sprintf
+           "unsplit %d split %d (extra %d) at ts <= %g" n_want n_got extra
+           cutoff)
+  in
+  (* per-key routing and coverage on the recorded logical run *)
+  let keyed =
+    match logical.Spe.Executor.recorded with
+    | None ->
+      [
+        check "split:recorded" false
+          "logical run carries no recorded logs (run with ~record:true)";
+      ]
+    | Some logs ->
+      let misrouted = ref 0 and replica_tuples = ref 0 in
+      let counts_out = Hashtbl.create 64 in
+      Array.iteri
+        (fun r op ->
+          List.iter
+            (fun (_, tu) ->
+              incr replica_tuples;
+              let key = key_of tu in
+              if Keyed.Partitioner.route part key <> r then incr misrouted;
+              Hashtbl.replace counts_out key
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts_out key)))
+            logs.(op))
+        replica_ops;
+      let counts_in = Hashtbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun (_, tu) ->
+          let key = key_of tu in
+          if not (Hashtbl.mem counts_in key) then order := key :: !order;
+          Hashtbl.replace counts_in key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts_in key)))
+        logs.(split.Keyed.Semantic.route_filters.(0));
+      let mismatched = ref 0 and splitter_tuples = ref 0 in
+      List.iter
+        (fun key ->
+          let inc = Option.value ~default:0 (Hashtbl.find_opt counts_in key) in
+          let out = Option.value ~default:0 (Hashtbl.find_opt counts_out key) in
+          splitter_tuples := !splitter_tuples + inc;
+          if inc <> out then incr mismatched)
+        (List.rev !order);
+      [
+        check "split:routing" (!misrouted = 0)
+          (Printf.sprintf "%d of %d replica-consumed tuples off-route"
+             !misrouted !replica_tuples);
+        check "split:coverage" (!mismatched = 0)
+          (Printf.sprintf
+             "%d keys with replica consumption <> splitter emission (%d \
+              splitter tuples, %d replica tuples)"
+             !mismatched !splitter_tuples !replica_tuples);
+      ]
+  in
+  let used =
+    Array.fold_left
+      (fun acc op ->
+        let stat = split_dist.Spe.Dist_executor.op_stats.(op) in
+        if Array.fold_left ( + ) 0 stat.Spe.Executor.consumed > 0 then acc + 1
+        else acc)
+      0 replica_ops
+  in
+  (flow
+  @ [
+      sink;
+      check "split:replicas-used" (used >= 2)
+        (Printf.sprintf "%d of %d replicas consumed tuples" used k);
+    ]
+  @ keyed)

@@ -145,3 +145,35 @@ val crash_volume_bounds :
 val replay_identical : name:string -> run:(unit -> string) -> check
 (** Determinism oracle: render the same seeded run twice and require
     byte-identical output. *)
+
+val split_differential :
+  ?drained:bool ->
+  split:Keyed.Semantic.t ->
+  injected:int array ->
+  cutoff:float ->
+  split_dist:Spe.Dist_executor.result ->
+  baseline_dist:Spe.Dist_executor.result ->
+  logical:Spe.Executor.result ->
+  unit ->
+  check list
+(** Differential oracles pinning a keyed split run against the unsplit
+    baseline of the same inputs:
+
+    - [split:opV.I] — per-arc flow conservation on the split network
+      (equalities when [drained], the default);
+    - [split:sink-equal] / [split:sink-subset] — sink multisets of the
+      split and unsplit runs agree up to [cutoff], with route filters,
+      replicas and the merger mapped back to the split operator's
+      index ([`Subset]: a faulted split run must not {e invent}
+      outputs);
+    - [split:routing] — on the recorded logical run, every tuple a
+      replica consumed belongs to a key the partitioner routes to it
+      (a corrupted per-replica route table trips this);
+    - [split:coverage] — per key, replica consumption equals splitter
+      emission: no key lost, none duplicated;
+    - [split:replicas-used] — at least two replicas consumed tuples
+      (guards the scenario against degenerating into no-op splits).
+
+    [logical] must be an [Spe.Executor.run ~record:true] of the
+    {e split} network; [baseline_dist] an unsplit run of the same
+    inputs. *)

@@ -307,13 +307,15 @@ let dedupe_moves ~assignment moves =
 
 (* A scripted engine controller firing one batch of moves at the first
    tick at or after [at]. *)
-let scripted_dynamic ~graph ~interval ~migration_delay ~drain_delay ~at moves =
+let scripted_dynamic ?state_delay ~graph ~interval ~migration_delay
+    ~drain_delay ~at moves =
   let fired = ref false in
   {
     Dsim.Engine.interval;
     migration_delay;
     drain_delay;
-    state_delay = Dynamic.Statesize.graph_cost graph;
+    state_delay =
+      Option.value state_delay ~default:(Dynamic.Statesize.graph_cost graph);
     decide =
       (fun ~time ~utilization:_ ~op_cpu:_ ~rates:_ ~assignment:_ ->
         if (not !fired) && time >= at then begin
@@ -477,6 +479,291 @@ let migrate_crash_core ~quick ~seed =
   { schedule; healthy; faulted; dist = Some migrated; verdict }
 
 (* ------------------------------------------------------------------ *)
+(* Keyed split scenarios.  Branch A feeds a grouped aggregate — the
+   split target — whose replicas are exact per group (integer-valued
+   sums, so accumulation order cannot perturb them); branch B stays
+   loss-monotone.  The post-aggregate filter passes every group row,
+   so the split and unsplit sink multisets must agree tuple for
+   tuple. *)
+
+let keyed_replicas = 3
+
+let keyed_unsplit () =
+  Spe.Network.create ~n_inputs:2
+    ~ops:
+      [
+        ( Sop.filter ~name:"cleanA" (fun t ->
+              Value.to_string (Tuple.find t "proto") <> "icmp"),
+          [ Graph.Sys_input 0 ] );
+        ( Sop.aggregate ~name:"bySrc" ~window:2. ~group_by:"src"
+            [ ("total", Sop.Sum "bytes"); ("n", Sop.Count) ],
+          [ Graph.Op_output 0 ] );
+        ( Sop.filter ~name:"busy" (fun t -> Tuple.number t "n" >= 1.),
+          [ Graph.Op_output 1 ] );
+        ( Sop.filter ~name:"cleanB" (fun t ->
+              Value.to_string (Tuple.find t "proto") <> "icmp"),
+          [ Graph.Sys_input 1 ] );
+        (Sop.project ~name:"slimB" [ "src"; "bytes" ], [ Graph.Op_output 3 ]);
+      ]
+    ()
+
+type keyed_fixture = {
+  unsplit : Spe.Network.t;
+  split : Keyed.Semantic.t;
+  gsplit : Keyed.Split.t;  (** cost-model twin over the unsplit skeleton *)
+  g0 : Graph.t;  (** unsplit skeleton graph *)
+  sgraph : Graph.t;  (** split cost-model graph, [gsplit.graph] *)
+  ngraph : Graph.t;  (** skeleton of the split semantic network *)
+  gproblem : Rod.Problem.t;
+  nproblem : Rod.Problem.t;
+  assignment_g : int array;
+  assignment_n : int array;
+  assignment_b : int array;
+  caps_g : Vec.t;
+  caps_n : Vec.t;
+  caps_b : Vec.t;
+  distinct : float;  (** HyperLogLog distinct-key estimate *)
+  inputs : Tuple.t list array;
+  arrivals : float list array;
+  injected : int array;
+  last_ts : float;
+  horizon : float;
+  until : float;
+}
+
+let scale_caps ~what ~graph ~problem ~assignment ~rate =
+  let model = Query.Load_model.derive graph in
+  let vars =
+    Query.Load_model.eval_vars model
+      ~sys_rates:(Vec.create (Graph.n_inputs graph) rate)
+  in
+  let ln = Rod.Plan.node_loads (Rod.Plan.make problem assignment) in
+  let predicted =
+    Vec.max_elt (Vec.init n_nodes (fun i -> Vec.dot (Mat.row ln i) vars))
+  in
+  let caps = Vec.create n_nodes (Float.max 1e-9 (predicted /. 0.6)) in
+  Analysis.Plan_check.assert_ok ~what
+    (Analysis.Plan_check.check_model model ~caps);
+  caps
+
+(* [hand] pins assignments so that node 3 hosts only post-aggregate and
+   branch-B operators: crashing it loses whole group rows or
+   loss-monotone branch-B tuples, never aggregate {e inputs} — losses
+   upstream of an aggregate would change surviving rows' values and no
+   subset oracle could hold. *)
+let keyed_fixture ?claims ?(hand = false) ?(slack = 6.) ~quick ~seed () =
+  let rng = Random.State.make [| seed; 0x5EED |] in
+  let horizon = if quick then 8. else 30. in
+  let rate = if quick then 80. else 150. in
+  let trace =
+    Workload.Trace.create ~dt:1. (Array.make (int_of_float horizon) rate)
+  in
+  let inputs =
+    [|
+      Spe.Datagen.packets ~rng ~trace ~hosts:10 ();
+      Spe.Datagen.packets ~rng ~trace ~hosts:10 ();
+    |]
+  in
+  let unsplit = keyed_unsplit () in
+  let key_of = Keyed.Semantic.key_of_field ~seed:7 "src" in
+  let keys = Array.of_list (List.map key_of inputs.(0)) in
+  let profile = Keyed.Estimator.profile ~capacity:16 ~min_share:0.02 keys in
+  let partitioner =
+    Keyed.Estimator.hybrid_of_profile ~replicas:keyed_replicas
+      ~seed:(seed land 0xffff) profile
+  in
+  Keyed.Partitioner.warm partitioner keys;
+  let split =
+    Keyed.Semantic.split ?claims ~network:unsplit ~op:1 ~key_of ~partitioner ()
+  in
+  let g0 = Spe.Network.skeleton ~costs:(fun _ -> 2e-4) unsplit in
+  let gsplit =
+    Keyed.Split.split ~route_cost:2e-5 ~merge_cost:2e-5 g0 ~op:1
+      ~shares:(Keyed.Partitioner.shares partitioner)
+  in
+  let sgraph = gsplit.Keyed.Split.graph in
+  let ngraph =
+    Spe.Network.skeleton ~costs:(fun _ -> 2e-4) split.Keyed.Semantic.network
+  in
+  let unit_caps = Rod.Problem.homogeneous_caps ~n:n_nodes ~cap:1. in
+  let gproblem = Rod.Problem.of_graph sgraph ~caps:unit_caps in
+  let nproblem = Rod.Problem.of_graph ngraph ~caps:unit_caps in
+  let bproblem = Rod.Problem.of_graph g0 ~caps:unit_caps in
+  let assignment_g =
+    if hand then [| 0; 0; 3; 3; 3; 1; 1; 2; 3 |]
+    else Rod.Rod_algorithm.place gproblem
+  in
+  let assignment_n =
+    if hand then [| 0; 0; 3; 3; 3; 0; 1; 0; 1; 0; 2; 3 |]
+    else Rod.Rod_algorithm.place nproblem
+  in
+  let assignment_b = Rod.Rod_algorithm.place bproblem in
+  let caps_g =
+    scale_caps ~what:"keyed split cost graph" ~graph:sgraph ~problem:gproblem
+      ~assignment:assignment_g ~rate
+  in
+  let caps_n =
+    scale_caps ~what:"keyed split network" ~graph:ngraph ~problem:nproblem
+      ~assignment:assignment_n ~rate
+  in
+  let caps_b =
+    scale_caps ~what:"keyed unsplit baseline" ~graph:g0 ~problem:bproblem
+      ~assignment:assignment_b ~rate
+  in
+  {
+    unsplit;
+    split;
+    gsplit;
+    g0;
+    sgraph;
+    ngraph;
+    gproblem;
+    nproblem;
+    assignment_g;
+    assignment_n;
+    assignment_b;
+    caps_g;
+    caps_n;
+    caps_b;
+    distinct = profile.Keyed.Estimator.distinct;
+    inputs;
+    arrivals = Array.map (List.map Tuple.ts) inputs;
+    injected = Array.map List.length inputs;
+    last_ts =
+      Array.fold_left
+        (List.fold_left (fun acc t -> Float.max acc (Tuple.ts t)))
+        0. inputs;
+    horizon;
+    until = horizon +. slack;
+  }
+
+let keyed_baseline_dist fx =
+  Spe.Dist_executor.run ~network:fx.unsplit ~assignment:fx.assignment_b
+    ~caps:fx.caps_b
+    ~cost:(Spe.Dist_executor.cost_model_of_graph fx.g0)
+    ~inputs:fx.inputs ~until:fx.until ()
+
+(* Live migration of a split replica: the key-range handoff is priced
+   by [Statesize.split_cost] (share of the HyperLogLog-estimated
+   distinct keys) on the cost engine and [network_cost] on the
+   semantic engine, and the split differential pins the migrated split
+   run against the unsplit baseline. *)
+let split_migrate_core ~quick ~seed =
+  let fx = keyed_fixture ~quick ~seed () in
+  let t_move = Float.of_int (int_of_float (fx.horizon /. 3.)) in
+  let rep_g = fx.gsplit.Keyed.Split.replica_ops.(0) in
+  let moves_g = [ (rep_g, (fx.assignment_g.(rep_g) + 1) mod n_nodes) ] in
+  let rep_n = fx.split.Keyed.Semantic.replica_ops.(0) in
+  let moves_n = [ (rep_n, (fx.assignment_n.(rep_n) + 1) mod n_nodes) ] in
+  let healthy =
+    Dsim.Engine.run ~graph:fx.sgraph ~assignment:fx.assignment_g
+      ~caps:fx.caps_g ~arrivals:fx.arrivals ~until:fx.until ()
+  in
+  let faulted =
+    Dsim.Engine.run ~graph:fx.sgraph ~assignment:fx.assignment_g
+      ~caps:fx.caps_g ~arrivals:fx.arrivals
+      ~dynamic:
+        (scripted_dynamic
+           ~state_delay:
+             (Dynamic.Statesize.split_cost ~distinct_keys:fx.distinct
+                fx.gsplit)
+           ~graph:fx.sgraph ~interval:1. ~migration_delay:0.3
+           ~drain_delay:0.05 ~at:t_move moves_g)
+      ~until:fx.until ()
+  in
+  let timing =
+    {
+      Spe.Dist_executor.default_timing with
+      state_delay = Dynamic.Statesize.network_cost fx.split.Keyed.Semantic.network;
+    }
+  in
+  let split_dist =
+    Spe.Dist_executor.run ~network:fx.split.Keyed.Semantic.network
+      ~assignment:fx.assignment_n ~caps:fx.caps_n
+      ~cost:(Spe.Dist_executor.cost_model_of_graph fx.ngraph)
+      ~inputs:fx.inputs
+      ~migrations:[ (t_move, moves_n) ]
+      ~timing ~until:fx.until ()
+  in
+  let baseline_dist = keyed_baseline_dist fx in
+  let logical =
+    Spe.Executor.run ~record:true fx.split.Keyed.Semantic.network
+      ~inputs:fx.inputs
+  in
+  let verdict =
+    Oracle.conservation ~drained:true ~graph:fx.sgraph ~injected:fx.injected
+      faulted
+    @ Oracle.split_differential ~split:fx.split ~injected:fx.injected
+        ~cutoff:fx.last_ts ~split_dist ~baseline_dist ~logical ()
+    @ [
+        Oracle.custom ~name:"split:migrated"
+          ~passed:
+            (faulted.Metrics.migrations = 1
+            && split_dist.Spe.Dist_executor.migrations = 1)
+          ~detail:
+            (Printf.sprintf
+               "engine started %d, dist engine %d replica migrations"
+               faulted.Metrics.migrations
+               split_dist.Spe.Dist_executor.migrations);
+      ]
+  in
+  { schedule = Fault.none; healthy; faulted; dist = Some split_dist; verdict }
+
+(* A crash on the node hosting only post-aggregate operators (merger,
+   group-row filter, branch B): losses remove whole rows, so the split
+   run must stay a sub-multiset of the unsplit baseline while the
+   recovery and per-key routing laws keep holding. *)
+let split_crash_core ~quick ~seed =
+  let fx = keyed_fixture ~hand:true ~slack:8. ~quick ~seed () in
+  let t_fault = Float.of_int (int_of_float (fx.horizon /. 3.)) +. 0.25 in
+  let dead = Array.init n_nodes (fun i -> i = 3) in
+  let recovery_g =
+    Inject.recovery_assignment fx.gproblem ~assignment:fx.assignment_g ~dead
+  in
+  let recovery_n =
+    Inject.recovery_assignment fx.nproblem ~assignment:fx.assignment_n ~dead
+  in
+  let schedule_g = [ Fault.Crash { node = 3; at = t_fault; recovery = recovery_g } ] in
+  let schedule_n = [ Fault.Crash { node = 3; at = t_fault; recovery = recovery_n } ] in
+  let healthy =
+    Dsim.Engine.run ~graph:fx.sgraph ~assignment:fx.assignment_g
+      ~caps:fx.caps_g ~arrivals:fx.arrivals ~until:fx.until ()
+  in
+  let faulted =
+    Dsim.Engine.run ~graph:fx.sgraph ~assignment:fx.assignment_g
+      ~caps:fx.caps_g ~arrivals:fx.arrivals
+      ~config:{ Dsim.Engine.default_config with faults = schedule_g }
+      ~until:fx.until ()
+  in
+  let split_dist =
+    Spe.Dist_executor.run ~network:fx.split.Keyed.Semantic.network
+      ~assignment:fx.assignment_n ~caps:fx.caps_n
+      ~cost:(Spe.Dist_executor.cost_model_of_graph fx.ngraph)
+      ~inputs:fx.inputs
+      ~config:{ Spe.Dist_executor.default_config with faults = schedule_n }
+      ~until:fx.until ()
+  in
+  let baseline_dist = keyed_baseline_dist fx in
+  let logical =
+    Spe.Executor.run ~record:true fx.split.Keyed.Semantic.network
+      ~inputs:fx.inputs
+  in
+  let verdict =
+    Oracle.conservation ~graph:fx.sgraph ~injected:fx.injected faulted
+    @ Oracle.split_differential ~drained:false ~split:fx.split
+        ~injected:fx.injected ~cutoff:fx.last_ts ~split_dist ~baseline_dist
+        ~logical ()
+    @ recovery_checks ~assignment:fx.assignment_n ~schedule:schedule_n
+  in
+  {
+    schedule = schedule_n;
+    healthy;
+    faulted;
+    dist = Some split_dist;
+    verdict;
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let with_replay core ~quick ~seed =
   let first = ref None in
@@ -510,6 +797,11 @@ let all =
     make "migrate-crash"
       "crashes mid-drain and before handoff during live migrations"
       migrate_crash_core;
+    make "split-migrate"
+      "keyed split replica migrated live, pinned against the unsplit baseline"
+      split_migrate_core;
+    make "split-crash"
+      "crash of the post-aggregate node under a keyed split" split_crash_core;
   ]
 
 let find id = List.find_opt (fun s -> String.equal s.id id) all

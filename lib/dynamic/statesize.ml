@@ -23,3 +23,18 @@ let network_cost ?(model = default) network j =
     seconds model (2. *. window *. model.rate_hint)
   | Spe.Sop.Aggregate { window; _ } | Spe.Sop.Distinct { window; _ } ->
     seconds model (window *. model.rate_hint)
+
+(* A split replica's state is its key range: one state entry per
+   distinct key routed to it.  Moving the replica means handing that
+   key range off to another node, so the transfer population is the
+   replica's share of the operator's distinct keys — the quantity the
+   keyed HyperLogLog estimates. *)
+let split_cost ?(model = default) ~distinct_keys (split : Keyed.Split.t) j =
+  let replica = ref (-1) in
+  Array.iteri
+    (fun r idx -> if idx = j then replica := r)
+    split.Keyed.Split.replica_ops;
+  if !replica >= 0 then
+    seconds model (split.Keyed.Split.shares.(!replica) *. Float.max 0. distinct_keys)
+  else if j = split.Keyed.Split.splitter || j = split.Keyed.Split.merger then 0.
+  else graph_cost ~model split.Keyed.Split.graph j

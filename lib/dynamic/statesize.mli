@@ -30,3 +30,12 @@ val network_cost : ?model:model -> Spe.Network.t -> int -> float
 (** Transfer seconds for operator [j] of a semantic network: equi-joins
     hold a window per side, aggregates and distinct one window;
     filters, maps, projections and unions are stateless. *)
+
+val split_cost :
+  ?model:model -> distinct_keys:float -> Keyed.Split.t -> int -> float
+(** Transfer seconds for operator [j] of a {e split} graph: a replica's
+    state is its key range, [share * distinct_keys] entries (use the
+    keyed HyperLogLog estimate), so rebalancing a split operator under
+    the replanner's move budget prices the key-range handoff; the
+    splitter and merger are stateless, every other operator defers to
+    {!graph_cost}. *)

@@ -1,0 +1,41 @@
+(** EXPSKEW: skew-aware keyed parallelism.  A Zipf(1.2) key stream at
+    [10^6] keys is profiled with the [rod.keyed] sketches; the fixture's
+    hot operator is split under uniform, sticky-PKG, and hybrid hot-key
+    partitioners; and each split graph's ROD plan is scored by its
+    QMC feasible-set ratio against the unsplit plan.  The hybrid split
+    must strictly beat both the unsplit plan and uniform hashing. *)
+
+val name : string
+
+type scheme_result = {
+  label : string;
+  max_share : float;
+  estimate : Feasible.Volume.estimate;
+}
+
+type analysis = {
+  quick : bool;
+  n_keys : int;
+  draws : int;
+  replicas : int;
+  distinct_exact : int;
+  distinct_hll : float;
+  hot_count : int;
+  schemes : scheme_result list;
+}
+
+val analyze : ?quick:bool -> ?pool:Parallel.Pool.t -> unit -> analysis
+(** Deterministic (fixed seeds); the QMC estimates are bit-identical
+    for every [pool] size. *)
+
+val ratio_of : analysis -> string -> float
+(** Feasible ratio of a scheme by label ("unsplit", "uniform", "pkg",
+    "hybrid").  @raise Not_found on unknown labels. *)
+
+val hybrid_beats : analysis -> bool * bool
+(** Whether the hybrid ratio strictly exceeds (unsplit, uniform). *)
+
+val summary_json : analysis -> string
+(** Stable JSON rendering (golden-tested byte-for-byte). *)
+
+val run : ?quick:bool -> Format.formatter -> unit

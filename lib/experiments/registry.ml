@@ -26,6 +26,7 @@ let all =
     { id = "expfail"; name = Exp_failure.name; run = Exp_failure.run };
     { id = "expchaos"; name = Exp_chaos.name; run = Exp_chaos.run };
     { id = "expreplan"; name = Exp_replan.name; run = Exp_replan.run };
+    { id = "expskew"; name = Exp_skew.name; run = Exp_skew.run };
   ]
 
 let find id =

@@ -1,0 +1,83 @@
+(* rodlint: deterministic *)
+
+(* Sketch-driven replica load estimation: one pass over a key stream
+   feeds the HyperLogLog (how many distinct groups, i.e. how much
+   per-key state a replica will hold) and the Space-Saving sketch
+   (which keys are too heavy to share a replica).  [hybrid_of_profile]
+   turns the profile into a hybrid partitioner by choosing how many
+   hitters to isolate: for each candidate count [h] it predicts the
+   max replica share — the heaviest dedicated replica versus the cold
+   mass spread over the remaining replicas — and keeps the [h] that
+   minimizes it.  Isolating too many hitters starves the cold side
+   (the left-over replicas must absorb all the tail), so the greedy
+   scan regularly settles on one or two. *)
+
+type profile = {
+  distinct : float;  (** HyperLogLog estimate of distinct keys seen. *)
+  hitters : (int * float) list;
+      (** Heavy keys with stream shares, descending. *)
+  total : int;  (** Keys streamed. *)
+  hll : Hll.t;
+}
+
+let profile ?(log2m = 12) ?(capacity = 64) ?(seed = 0x9e37) ?(min_share = 0.01)
+    keys =
+  let hll = Hll.create ~log2m ~seed () in
+  let ss = Spacesaving.create ~capacity in
+  Array.iter
+    (fun k ->
+      Hll.add_int hll k;
+      Spacesaving.add ss k)
+    keys;
+  {
+    distinct = Hll.estimate hll;
+    hitters = Spacesaving.heavy_hitters ss ~min_share;
+    total = Array.length keys;
+    hll;
+  }
+
+(* Predicted max replica share when the [h] heaviest hitters are
+   pinned round-robin onto [h] dedicated replicas and the rest of the
+   mass spreads over the other [replicas - h].  The cold side is not
+   uniform: the heaviest non-isolated hitter still lands whole on one
+   cold replica, on top of that replica's even slice of the remaining
+   mass — without this term, [h = 0] looks perfectly balanced and no
+   hitter ever gets isolated. *)
+let predicted_max_share ~replicas ~shares h =
+  let hot = Array.make (max h 1) 0.0 in
+  let hot_mass = ref 0.0 and next = ref 0.0 in
+  List.iteri
+    (fun rank s ->
+      if rank < h then begin
+        hot.(rank mod h) <- hot.(rank mod h) +. s;
+        hot_mass := !hot_mass +. s
+      end
+      else if rank = h then next := s)
+    shares;
+  let cold_mass = 1.0 -. !hot_mass in
+  let cold =
+    !next +. ((cold_mass -. !next) /. Float.of_int (replicas - h))
+  in
+  if h = 0 then cold else max (Array.fold_left max 0.0 hot) cold
+
+let choose_hot_count ~replicas profile =
+  let shares = List.map snd profile.hitters in
+  let limit = min (List.length shares) (replicas - 1) in
+  let best = ref 0 and best_share = ref (predicted_max_share ~replicas ~shares 0) in
+  for h = 1 to limit do
+    let s = predicted_max_share ~replicas ~shares h in
+    if s < !best_share then begin
+      best := h;
+      best_share := s
+    end
+  done;
+  !best
+
+let hybrid_of_profile ~replicas ~seed profile =
+  let hot_n = choose_hot_count ~replicas profile in
+  let hot_keys =
+    Array.of_list
+      (List.filteri (fun rank _ -> rank < hot_n)
+         (List.map fst profile.hitters))
+  in
+  Partitioner.hybrid ~hot_replicas:hot_n ~replicas ~seed ~hot_keys ()

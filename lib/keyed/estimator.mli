@@ -1,0 +1,29 @@
+(** One-pass stream profiling that feeds the split planner: a
+    HyperLogLog estimates how many distinct keys (state entries) a
+    split operator carries, a Space-Saving sketch surfaces the heavy
+    hitters, and {!hybrid_of_profile} turns both into a hybrid
+    partitioner with a balance-optimal number of dedicated hot
+    replicas. *)
+
+type profile = {
+  distinct : float;  (** HyperLogLog estimate of distinct keys seen. *)
+  hitters : (int * float) list;
+      (** Heavy keys with stream shares, descending. *)
+  total : int;  (** Keys streamed. *)
+  hll : Hll.t;
+}
+
+val profile :
+  ?log2m:int -> ?capacity:int -> ?seed:int -> ?min_share:float ->
+  int array -> profile
+(** Stream a key array through both sketches.  [min_share] (default
+    0.01) is the reporting threshold for hitters; [capacity] (default
+    64) the Space-Saving slot count; [log2m] (default 12) the
+    HyperLogLog register exponent. *)
+
+val choose_hot_count : replicas:int -> profile -> int
+(** The number of hitters to isolate that minimizes the predicted max
+    replica share (heaviest dedicated replica vs. cold mass spread
+    over the remaining replicas). *)
+
+val hybrid_of_profile : replicas:int -> seed:int -> profile -> Partitioner.t

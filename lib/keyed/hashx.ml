@@ -1,0 +1,33 @@
+(* rodlint: deterministic *)
+(* rodlint: hot *)
+
+(* Seeded avalanche mixing over OCaml's native tagged int.  Int64
+   arithmetic allocates a box per operation, so everything here works
+   in plain [int]: 63 bits of state on 64-bit platforms, which is
+   plenty for replica routing and sketch bucketing.  The constants are
+   the splitmix64 finalizer's, truncated to fit OCaml's int literals;
+   multiplication wraps, which is exactly what a mixer wants. *)
+
+let golden = 0x9e3779b97f4a7c1
+let mix_a = 0xbf58476d1ce4e5b
+let mix_b = 0x94d049bb133111e
+
+let mix ~seed x =
+  let h0 = x lxor ((seed + 1) * golden) in
+  let h1 = (h0 lxor (h0 lsr 30)) * mix_a in
+  let h2 = (h1 lxor (h1 lsr 27)) * mix_b in
+  (h2 lxor (h2 lsr 31)) land max_int
+
+let combine a b = mix ~seed:(a land 0xffffff) b
+
+(* FNV-1a over the bytes, finished through [mix] so short keys still
+   avalanche.  The loop body is straight int arithmetic: no
+   allocation per character. *)
+let fnv_prime = 0x100000001b3
+
+let string_hash ~seed s =
+  let h = ref (0x3f29ce484222325 lxor ((seed + 1) * golden)) in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+  done;
+  mix ~seed !h

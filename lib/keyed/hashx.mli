@@ -1,0 +1,15 @@
+(** Seeded, allocation-free integer mixing for keyed routing and
+    sketches.  Works in native [int] (63 bits) rather than [Int64],
+    whose arithmetic boxes on every operation — these hashes sit on
+    the per-tuple routing hot path. *)
+
+val mix : seed:int -> int -> int
+(** Avalanche-mix a key under a seed; result is nonnegative.
+    Deterministic: same [seed] and key give the same value on every
+    run and platform word size 64. *)
+
+val combine : int -> int -> int
+(** Fold a second value into an existing hash. *)
+
+val string_hash : seed:int -> string -> int
+(** FNV-1a over the bytes, finished through {!mix}; nonnegative. *)

@@ -1,0 +1,70 @@
+(* rodlint: deterministic *)
+(* rodlint: hot *)
+
+(* HyperLogLog (Flajolet et al. 2007) over the 63-bit hashes of
+   [Hashx]: the low [log2m] bits select a register, the rank of the
+   lowest set bit of the remaining bits updates it.  Registers live in
+   a [Bytes.t] so the whole sketch for log2m = 12 is 4 KiB and the
+   update path touches one byte.  No large-range correction is needed:
+   with 63-bit hashes the collision regime of the 32-bit original is
+   out of reach. *)
+
+type t = { log2m : int; m : int; seed : int; registers : Bytes.t }
+
+let create ?(log2m = 12) ?(seed = 0x9e37) () =
+  if log2m < 4 || log2m > 20 then invalid_arg "Hll.create: log2m must be in [4, 20]";
+  { log2m; m = 1 lsl log2m; seed; registers = Bytes.make (1 lsl log2m) '\000' }
+
+let std_error ~log2m = 1.04 /. sqrt (Float.of_int (1 lsl log2m))
+
+let add_hash t h =
+  let h = h land max_int in
+  let j = h land (t.m - 1) in
+  let w = h lsr t.log2m in
+  let bits = 63 - t.log2m in
+  let rho =
+    if w = 0 then bits + 1
+    else begin
+      let r = ref 1 and v = ref w in
+      while !v land 1 = 0 do
+        incr r;
+        v := !v lsr 1
+      done;
+      !r
+    end
+  in
+  if rho > Char.code (Bytes.unsafe_get t.registers j) then
+    Bytes.unsafe_set t.registers j (Char.unsafe_chr rho)
+
+let add_int t k = add_hash t (Hashx.mix ~seed:t.seed k)
+let add_string t s = add_hash t (Hashx.string_hash ~seed:t.seed s)
+
+let alpha m =
+  if m <= 16 then 0.673
+  else if m <= 32 then 0.697
+  else if m <= 64 then 0.709
+  else 0.7213 /. (1. +. (1.079 /. Float.of_int m))
+
+let estimate t =
+  let sum = ref 0.0 and zeros = ref 0 in
+  for j = 0 to t.m - 1 do
+    let r = Char.code (Bytes.unsafe_get t.registers j) in
+    if r = 0 then incr zeros;
+    sum := !sum +. Float.ldexp 1.0 (-r)
+  done;
+  let m = Float.of_int t.m in
+  let raw = alpha t.m *. m *. m /. !sum in
+  if raw <= 2.5 *. m && !zeros > 0 then
+    (* small-range correction: linear counting on empty registers *)
+    m *. log (m /. Float.of_int !zeros)
+  else raw
+
+let merge_into ~into src =
+  if into.log2m <> src.log2m || into.seed <> src.seed then
+    invalid_arg "Hll.merge_into: sketches differ in log2m or seed";
+  for j = 0 to into.m - 1 do
+    if Bytes.unsafe_get src.registers j > Bytes.unsafe_get into.registers j
+    then Bytes.unsafe_set into.registers j (Bytes.unsafe_get src.registers j)
+  done
+
+let copy t = { t with registers = Bytes.copy t.registers }

@@ -1,0 +1,30 @@
+(** Pure-OCaml HyperLogLog cardinality sketch (Flajolet et al. 2007),
+    after the [slb2.Operator] pattern: a [2^log2m]-register byte array
+    updated from 63-bit {!Hashx} hashes, with the small-range linear
+    counting correction.  The update path is allocation-free; the
+    sketch for the default [log2m = 12] is 4 KiB and its standard
+    error [1.04 / sqrt m] is about 1.6%. *)
+
+type t
+
+val create : ?log2m:int -> ?seed:int -> unit -> t
+(** [log2m] defaults to 12 (4096 registers); must be in [[4, 20]]. *)
+
+val add_hash : t -> int -> unit
+(** Feed an already-mixed hash (must be uniform over 63 bits). *)
+
+val add_int : t -> int -> unit
+(** Mix an integer key under the sketch's seed, then {!add_hash}. *)
+
+val add_string : t -> string -> unit
+
+val estimate : t -> float
+(** Current distinct-count estimate. *)
+
+val merge_into : into:t -> t -> unit
+(** Register-wise max; both sketches must share [log2m] and seed. *)
+
+val copy : t -> t
+
+val std_error : log2m:int -> float
+(** The theoretical relative standard error [1.04 / sqrt (2^log2m)]. *)

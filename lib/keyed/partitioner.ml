@@ -1,0 +1,151 @@
+(* rodlint: deterministic *)
+(* rodlint: hot *)
+
+(* Keyed partitioners (arXiv 1610.05121 §3): the routing decision for
+   a key, replicated [replicas] ways.
+
+   - [Uniform]: seeded hash modulo replica count; stateless and pure.
+   - [Pkg]: partial key grouping by power of two choices, made
+     {e sticky}: the first time a key is seen (during [warm]) the
+     lesser-loaded of its two hash candidates is chosen and recorded,
+     and every later tuple of that key follows the recorded choice.
+     Stickiness keeps per-key state on a single replica — an
+     aggregate's groups never straddle replicas — at the price of the
+     classic PKG's per-tuple rebalancing.
+   - [Hybrid]: the sketch-identified heavy hitters are pinned
+     round-robin onto [hot_replicas] dedicated replicas; every other
+     key hashes uniformly over the remaining ones.
+
+   Steady-state routing (key already assigned) is a pure lookup with
+   no allocation; only first encounters during [warm] extend the
+   sticky table. *)
+
+type scheme = Uniform | Pkg | Hybrid
+
+type t = {
+  replicas : int;
+  seed : int;
+  scheme : scheme;
+  hot_replicas : int;  (** [Hybrid]: replicas reserved for hot keys. *)
+  loads : int array;  (** tuples routed per replica during [warm] *)
+  sticky : (int, int) Hashtbl.t;  (** [Pkg]: key -> chosen replica *)
+  hot : (int, int) Hashtbl.t;  (** [Hybrid]: hot key -> dedicated replica *)
+}
+
+let check_replicas replicas =
+  if replicas < 2 then invalid_arg "Partitioner: need at least 2 replicas"
+
+let uniform ~replicas ~seed () =
+  check_replicas replicas;
+  {
+    replicas;
+    seed;
+    scheme = Uniform;
+    hot_replicas = 0;
+    loads = Array.make replicas 0;
+    sticky = Hashtbl.create 1;
+    hot = Hashtbl.create 1;
+  }
+
+let pkg ~replicas ~seed () =
+  check_replicas replicas;
+  { (uniform ~replicas ~seed ()) with scheme = Pkg; sticky = Hashtbl.create 1024 }
+
+let hybrid ?hot_replicas ~replicas ~seed ~hot_keys () =
+  check_replicas replicas;
+  let n_hot = Array.length hot_keys in
+  let hot_replicas =
+    match hot_replicas with
+    | Some h ->
+      if h < 0 || h >= replicas then
+        invalid_arg "Partitioner.hybrid: hot_replicas must be in [0, replicas)";
+      min h n_hot
+    | None -> min n_hot (replicas - 1)
+  in
+  let hot = Hashtbl.create (2 * max 1 n_hot) in
+  if hot_replicas > 0 then
+    Array.iteri
+      (fun rank key ->
+        if not (Hashtbl.mem hot key) then
+          Hashtbl.replace hot key (rank mod hot_replicas))
+      hot_keys;
+  {
+    replicas;
+    seed;
+    scheme = Hybrid;
+    hot_replicas;
+    loads = Array.make replicas 0;
+    sticky = Hashtbl.create 1;
+    hot;
+  }
+
+let replicas t = t.replicas
+let scheme t = t.scheme
+
+let scheme_name t =
+  match t.scheme with Uniform -> "uniform" | Pkg -> "pkg" | Hybrid -> "hybrid"
+
+(* Pure routing: where a key's tuples go.  For [Pkg] a key never seen
+   during [warm] falls back to its first hash choice, so [route] is
+   total and deterministic either way. *)
+let route t key =
+  match t.scheme with
+  | Uniform -> Hashx.mix ~seed:t.seed key mod t.replicas
+  | Pkg -> (
+    match Hashtbl.find t.sticky key with
+    | r -> r
+    | exception Not_found -> Hashx.mix ~seed:t.seed key mod t.replicas)
+  | Hybrid -> (
+    match Hashtbl.find t.hot key with
+    | r -> r
+    | exception Not_found ->
+      let cold = t.replicas - t.hot_replicas in
+      t.hot_replicas + (Hashx.mix ~seed:t.seed key mod cold))
+
+(* Route one key, learning sticky assignments and load counts.  The
+   two-choice decision compares the running load counters at first
+   encounter, then sticks. *)
+let observe t key =
+  let r =
+    match t.scheme with
+    | Uniform | Hybrid -> route t key
+    | Pkg -> (
+      match Hashtbl.find t.sticky key with
+      | r -> r
+      | exception Not_found ->
+        let c1 = Hashx.mix ~seed:t.seed key mod t.replicas in
+        let c2 = Hashx.mix ~seed:(t.seed + 1) key mod t.replicas in
+        let r = if t.loads.(c2) < t.loads.(c1) then c2 else c1 in
+        Hashtbl.replace t.sticky key r;
+        r)
+  in
+  t.loads.(r) <- t.loads.(r) + 1;
+  r
+
+let warm t keys =
+  for i = 0 to Array.length keys - 1 do
+    ignore (observe t (Array.unsafe_get keys i))
+  done
+
+let loads t = Array.copy t.loads
+
+let shares t =
+  let total = Array.fold_left ( + ) 0 t.loads in
+  if total = 0 then Array.make t.replicas (1.0 /. Float.of_int t.replicas)
+  else
+    Array.map (fun l -> Float.of_int l /. Float.of_int total) t.loads
+
+let max_share t = Array.fold_left max 0.0 (shares t)
+
+let export_obs t =
+  let name = scheme_name t in
+  Array.iteri
+    (fun r l ->
+      let g =
+        Obs.gauge
+          ~labels:[ ("scheme", name); ("replica", string_of_int r) ]
+          ~help:"Tuples routed to a keyed replica during partitioner warm-up"
+          "rod_keyed_replica_routed"
+      in
+      Obs.Gauge.set g (Float.of_int l))
+    t.loads

@@ -1,0 +1,59 @@
+(** Keyed partitioners: the per-key routing decision that spreads a
+    hot stateful operator over [replicas] replicas
+    (arXiv 1610.05121).
+
+    All three schemes route a given key to exactly one replica — group
+    state never straddles replicas — and all are deterministic under a
+    fixed seed, configuration and warm-up stream.  Steady-state
+    {!route} is a pure, allocation-free lookup. *)
+
+type scheme =
+  | Uniform  (** seeded hash modulo replica count *)
+  | Pkg
+      (** sticky partial key grouping: two hash choices, the
+          lesser-loaded chosen at first encounter, then fixed *)
+  | Hybrid
+      (** heavy hitters pinned to dedicated replicas, the remaining
+          keys hashed over the rest *)
+
+type t
+
+val uniform : replicas:int -> seed:int -> unit -> t
+val pkg : replicas:int -> seed:int -> unit -> t
+
+val hybrid :
+  ?hot_replicas:int -> replicas:int -> seed:int -> hot_keys:int array ->
+  unit -> t
+(** [hot_keys] (by descending mass, as a sketch reports them) are
+    pinned round-robin onto the first [hot_replicas] replicas
+    (default [min (Array.length hot_keys) (replicas - 1)]); all other
+    keys hash over the remaining replicas. *)
+
+val route : t -> int -> int
+(** The replica a key's tuples go to.  Pure; for [Pkg] keys unseen
+    during {!warm} it falls back to the first hash choice. *)
+
+val observe : t -> int -> int
+(** Route one tuple's key, updating the per-replica load counters and
+    (for [Pkg]) making the sticky two-choice assignment on first
+    encounter. *)
+
+val warm : t -> int array -> unit
+(** {!observe} every key of a stream, in order. *)
+
+val replicas : t -> int
+val scheme : t -> scheme
+val scheme_name : t -> string
+
+val loads : t -> int array
+(** Tuples routed per replica so far (a copy). *)
+
+val shares : t -> float array
+(** [loads] normalized to sum 1 (uniform when nothing routed yet). *)
+
+val max_share : t -> float
+
+val export_obs : t -> unit
+(** Publish per-replica routed counts as
+    [rod_keyed_replica_routed{scheme,replica}] gauges on the
+    process-wide [rod.obs] registry. *)

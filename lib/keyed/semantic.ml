@@ -1,0 +1,127 @@
+(* rodlint: deterministic *)
+
+(* Semantic twin of {!Split}: expand one keyed operator of an
+   {!Spe.Network.t} into [splitter -> (route filter; replica) x k ->
+   merger].  The splitter is an identity map; each replica sits behind
+   a filter that accepts exactly the keys the partitioner routes to
+   it, so a replica's groups are a disjoint subset of the original
+   operator's and the union of all replica outputs equals the unsplit
+   output once both runs drain.  Route filters bump a per-replica
+   [rod.obs] counter, giving live per-replica routed totals.
+
+   In a real deployment each replica holds its own copy of the route
+   table; [claims] models exactly that copy going bad — the listed
+   replicas additionally accept keys the partitioner routes elsewhere,
+   which duplicates those keys' tuples downstream.  The chaos
+   tamper-negative test relies on [Oracle.split_differential]
+   catching this. *)
+
+type t = {
+  original : Spe.Network.t;
+  network : Spe.Network.t;
+  op : int;
+  splitter : int;
+  route_filters : int array;
+  replica_ops : int array;
+  merger : int;
+  partitioner : Partitioner.t;
+  key_of : Spe.Tuple.t -> int;
+}
+
+let replicas t = Array.length t.replica_ops
+let map_op t j = if j = t.op then t.merger else j
+
+let key_of_field ?(seed = 0) field tu =
+  match Spe.Tuple.find tu field with
+  | Spe.Value.Int k -> k
+  | Spe.Value.Str s -> Hashx.string_hash ~seed s
+  | Spe.Value.Float f -> Hashx.mix ~seed (Hashtbl.hash f)
+
+let rename suffix op =
+  let base = Spe.Sop.name op in
+  let name = base ^ suffix in
+  match op with
+  | Spe.Sop.Filter f -> Spe.Sop.Filter { f with name }
+  | Spe.Sop.Map m -> Spe.Sop.Map { m with name }
+  | Spe.Sop.Project p -> Spe.Sop.Project { p with name }
+  | Spe.Sop.Union u -> Spe.Sop.Union { u with name }
+  | Spe.Sop.Aggregate a -> Spe.Sop.Aggregate { a with name }
+  | Spe.Sop.Equi_join j -> Spe.Sop.Equi_join { j with name }
+  | Spe.Sop.Distinct d -> Spe.Sop.Distinct { d with name }
+
+let split ?(claims = []) ~network ~op:j ~key_of ~partitioner () =
+  let m = Spe.Network.n_ops network in
+  if j < 0 || j >= m then invalid_arg "Semantic.split: operator index out of range";
+  let target = Spe.Network.op network j in
+  if Spe.Sop.arity target <> 1 then
+    invalid_arg "Semantic.split: only single-input operators can be split";
+  let k = Partitioner.replicas partitioner in
+  let base = Spe.Sop.name target in
+  let src = List.hd (Spe.Network.sources network j) in
+  List.iter
+    (fun (r, _) ->
+      if r < 0 || r >= k then
+        invalid_arg "Semantic.split: claim replica out of range")
+    claims;
+  let routed =
+    Array.init k (fun r ->
+        Obs.counter
+          ~labels:
+            [
+              ("op", base);
+              ("scheme", Partitioner.scheme_name partitioner);
+              ("replica", string_of_int r);
+            ]
+          ~help:"Tuples routed to a keyed replica" "rod_keyed_routed_total")
+  in
+  let route_filter r =
+    let claimed = List.filter_map (fun (r', key) -> if r' = r then Some key else None) claims in
+    Spe.Sop.filter
+      ~name:(Printf.sprintf "%s.route%d" base r)
+      (fun tu ->
+        let key = key_of tu in
+        if Partitioner.route partitioner key = r || List.mem key claimed
+        then begin
+          Obs.Counter.incr routed.(r);
+          true
+        end
+        else false)
+  in
+  (* indices: originals keep 0..m-1 (j becomes the splitter), replica
+     [r]'s route filter is m+2r and its operator copy m+2r+1, the
+     merger is m+2k *)
+  let merger = m + (2 * k) in
+  let repoint = function
+    | Query.Graph.Op_output j' when j' = j -> Query.Graph.Op_output merger
+    | s -> s
+  in
+  let ops =
+    List.init m (fun i ->
+        if i = j then (Spe.Sop.map ~name:(base ^ ".split") (fun tu -> tu), [ src ])
+        else
+          ( Spe.Network.op network i,
+            List.map repoint (Spe.Network.sources network i) ))
+    @ List.concat
+        (List.init k (fun r ->
+             [
+               (route_filter r, [ Query.Graph.Op_output j ]);
+               ( rename (Printf.sprintf ".r%d" r) target,
+                 [ Query.Graph.Op_output (m + (2 * r)) ] );
+             ]))
+    @ [
+        ( Spe.Sop.union ~name:(base ^ ".merge") ~arity:k (),
+          List.init k (fun r -> Query.Graph.Op_output (m + (2 * r) + 1)) );
+      ]
+  in
+  let network' = Spe.Network.create ~n_inputs:(Spe.Network.n_inputs network) ~ops () in
+  {
+    original = network;
+    network = network';
+    op = j;
+    splitter = j;
+    route_filters = Array.init k (fun r -> m + (2 * r));
+    replica_ops = Array.init k (fun r -> m + (2 * r) + 1);
+    merger;
+    partitioner;
+    key_of;
+  }

@@ -1,0 +1,45 @@
+(** Semantic twin of {!Split}: expand one keyed operator of an SPE
+    network into [splitter -> (route filter; replica) x k -> merger],
+    with each replica's filter accepting exactly the keys its
+    {!Partitioner} routes to it.  Splitting is semantics-preserving
+    for per-key operators (grouped aggregates, keyed distinct,
+    filters, maps): each group's tuples all land on one replica.
+
+    Route filters bump [rod_keyed_routed_total{op,scheme,replica}]
+    counters on the process-wide [rod.obs] registry. *)
+
+type t = private {
+  original : Spe.Network.t;
+  network : Spe.Network.t;  (** The expanded network. *)
+  op : int;  (** Split operator's index in [original]. *)
+  splitter : int;  (** = [op]: identity map in [network]. *)
+  route_filters : int array;  (** Per-replica route filter indices. *)
+  replica_ops : int array;  (** Per-replica operator copy indices. *)
+  merger : int;
+  partitioner : Partitioner.t;
+  key_of : Spe.Tuple.t -> int;
+}
+
+val split :
+  ?claims:(int * int) list ->
+  network:Spe.Network.t ->
+  op:int ->
+  key_of:(Spe.Tuple.t -> int) ->
+  partitioner:Partitioner.t ->
+  unit ->
+  t
+(** [claims] corrupts replicas' route tables for tamper tests: each
+    [(replica, key)] makes that replica {e also} accept [key] even
+    though the partitioner routes it elsewhere, duplicating the key's
+    tuples downstream — [Oracle.split_differential] must catch it.
+    @raise Invalid_argument unless the operator is single-input. *)
+
+val key_of_field : ?seed:int -> string -> Spe.Tuple.t -> int
+(** Integer routing key from a tuple field: [Int] values directly,
+    strings and floats hashed. *)
+
+val replicas : t -> int
+
+val map_op : t -> int -> int
+(** Split-network index of an original operator; the split operator
+    itself maps to the merger. *)

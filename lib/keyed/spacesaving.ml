@@ -1,0 +1,83 @@
+(* rodlint: deterministic *)
+(* rodlint: hot *)
+
+(* Space-Saving heavy-hitter sketch (Metwally et al. 2005) with a
+   fixed capacity: monitored keys live in flat arrays, an index
+   hashtable maps key -> slot.  Steady state (key already monitored)
+   is a lookup and a counter bump; only the eviction path — replacing
+   the minimum-count slot — scans the arrays, and capacities are small
+   (tens of slots), so that scan stays cheap and allocation-free.
+   Ties on the minimum break toward the lowest slot index, keeping the
+   sketch deterministic for a fixed insertion order. *)
+
+type t = {
+  capacity : int;
+  keys : int array;
+  counts : int array;
+  errs : int array;  (** overestimation bound of each slot's count *)
+  index : (int, int) Hashtbl.t;
+  mutable size : int;
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spacesaving.create: capacity must be positive";
+  {
+    capacity;
+    keys = Array.make capacity 0;
+    counts = Array.make capacity 0;
+    errs = Array.make capacity 0;
+    index = Hashtbl.create (2 * capacity);
+    size = 0;
+    total = 0;
+  }
+
+let add t key =
+  t.total <- t.total + 1;
+  match Hashtbl.find t.index key with
+  | slot -> t.counts.(slot) <- t.counts.(slot) + 1
+  | exception Not_found ->
+    if t.size < t.capacity then begin
+      let slot = t.size in
+      t.size <- t.size + 1;
+      t.keys.(slot) <- key;
+      t.counts.(slot) <- 1;
+      t.errs.(slot) <- 0;
+      Hashtbl.replace t.index key slot
+    end
+    else begin
+      (* evict the minimum-count slot; the newcomer inherits its count
+         as the overestimation error *)
+      let min_slot = ref 0 in
+      for slot = 1 to t.capacity - 1 do
+        if t.counts.(slot) < t.counts.(!min_slot) then min_slot := slot
+      done;
+      let slot = !min_slot in
+      Hashtbl.remove t.index t.keys.(slot);
+      Hashtbl.replace t.index key slot;
+      t.errs.(slot) <- t.counts.(slot);
+      t.counts.(slot) <- t.counts.(slot) + 1;
+      t.keys.(slot) <- key
+    end
+
+let total t = t.total
+
+let to_list t =
+  let entries = ref [] in
+  for slot = t.size - 1 downto 0 do
+    entries := (t.keys.(slot), t.counts.(slot), t.errs.(slot)) :: !entries
+  done;
+  List.sort
+    (fun (k1, c1, _) (k2, c2, _) ->
+      if c1 <> c2 then compare c2 c1 else compare k1 k2)
+    !entries
+
+let heavy_hitters t ~min_share =
+  if t.total = 0 then []
+  else
+    let tot = Float.of_int t.total in
+    List.filter_map
+      (fun (key, count, _) ->
+        let share = Float.of_int count /. tot in
+        if share >= min_share then Some (key, share) else None)
+      (to_list t)

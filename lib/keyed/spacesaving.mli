@@ -1,0 +1,25 @@
+(** Space-Saving heavy-hitter sketch (Metwally et al. 2005): tracks at
+    most [capacity] keys with guaranteed error at most [total /
+    capacity] on any reported count.  The steady-state update — a key
+    already monitored — is a hashtable lookup and a counter increment;
+    eviction scans the fixed-size slot arrays.  Deterministic for a
+    fixed insertion order. *)
+
+type t
+
+val create : capacity:int -> t
+
+val add : t -> int -> unit
+(** Count one occurrence of an integer key. *)
+
+val total : t -> int
+(** Number of [add]s so far. *)
+
+val to_list : t -> (int * int * int) list
+(** [(key, count, error)] for every monitored key, by descending count
+    (ties by ascending key).  True count is in
+    [[count - error, count]]. *)
+
+val heavy_hitters : t -> min_share:float -> (int * float) list
+(** Monitored keys whose estimated share of the stream is at least
+    [min_share], with those shares, by descending count. *)

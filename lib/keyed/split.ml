@@ -1,0 +1,147 @@
+(* rodlint: deterministic *)
+
+(* Graph-to-graph split transform: expand one single-input linear
+   operator into [splitter -> k replicas -> merger].  Because a linear
+   operator's load is [cost * r] and its output [sel * r], giving
+   replica [i] a share [s_i] of the key mass yields load [s_i * cost *
+   r] and output [s_i * sel * r] — both exactly representable as a
+   linear operator with scaled coefficients.  The split graph is
+   therefore just another {!Query.Graph.t}: [Problem] / [Volume] /
+   [Rod_algorithm] / [Local_search] run on it unchanged, which is the
+   whole point.  The original operator keeps its index (it {e becomes}
+   the splitter), replicas and merger are appended at the end, and
+   every consumer of the original output is re-pointed at the merger.
+
+   Join and variable-selectivity operators are refused: their load is
+   not linear in the input rate, so share-scaling the coefficients
+   would misstate it. *)
+
+type t = {
+  original : Query.Graph.t;
+  graph : Query.Graph.t;
+  op : int;
+  shares : float array;
+  splitter : int;
+  replica_ops : int array;
+  merger : int;
+}
+
+let replicas t = Array.length t.shares
+
+(* original-graph operator index -> split-graph index (the split
+   operator maps to the merger, whose output replaces its own). *)
+let map_op t j = if j = t.op then t.merger else j
+
+let normalize shares =
+  let k = Array.length shares in
+  if k < 2 then invalid_arg "Split.split: need at least 2 shares";
+  Array.iter
+    (fun s ->
+      if (not (Float.is_finite s)) || s < 0.0 then
+        invalid_arg "Split.split: shares must be finite and nonnegative")
+    shares;
+  let total = Array.fold_left ( +. ) 0.0 shares in
+  if total <= 0.0 then invalid_arg "Split.split: shares must not all be zero";
+  Array.map (fun s -> s /. total) shares
+
+let split ?(route_cost = 0.0) ?(merge_cost = 0.0) g ~op:j ~shares =
+  let m = Query.Graph.n_ops g in
+  if j < 0 || j >= m then invalid_arg "Split.split: operator index out of range";
+  let target = Query.Graph.op g j in
+  let linear = Query.Op.linear_exn target in
+  if Query.Op.arity target <> 1 then
+    invalid_arg "Split.split: only single-input operators can be split";
+  let shares = normalize shares in
+  let k = Array.length shares in
+  let cost = linear.Query.Op.costs.(0)
+  and sel = linear.Query.Op.selectivities.(0) in
+  let src = List.hd (Query.Graph.sources g j) in
+  let splitter_op =
+    Query.Op.map
+      ~name:(target.Query.Op.name ^ ".split")
+      ~xfer:(Query.Graph.arc_xfer_cost g src)
+      ~cost:route_cost ()
+  in
+  let replica_op i =
+    Query.Op.delay
+      ~name:(Printf.sprintf "%s.r%d" target.Query.Op.name i)
+      ~xfer:target.Query.Op.out_xfer_cost
+      ~cost:(shares.(i) *. cost)
+      ~sel:(shares.(i) *. sel)
+      ()
+  in
+  let merger_op =
+    Query.Op.union
+      ~name:(target.Query.Op.name ^ ".merge")
+      ~xfer:target.Query.Op.out_xfer_cost ~cost:merge_cost ~n_inputs:k ()
+  in
+  (* indices: originals keep 0..m-1 (j becomes the splitter), replicas
+     are m..m+k-1, the merger is m+k *)
+  let merger = m + k in
+  let repoint = function
+    | Query.Graph.Op_output j' when j' = j -> Query.Graph.Op_output merger
+    | s -> s
+  in
+  let ops =
+    List.init m (fun i ->
+        if i = j then (splitter_op, [ src ])
+        else
+          (Query.Graph.op g i, List.map repoint (Query.Graph.sources g i)))
+    @ List.init k (fun i -> (replica_op i, [ Query.Graph.Op_output j ]))
+    @ [
+        (merger_op, List.init k (fun i -> Query.Graph.Op_output (m + i)));
+      ]
+  in
+  let input_xfer_cost = g.Query.Graph.input_xfer_cost in
+  let graph =
+    Query.Graph.create ~input_xfer_cost ~n_inputs:(Query.Graph.n_inputs g)
+      ~ops ()
+  in
+  {
+    original = g;
+    graph;
+    op = j;
+    shares;
+    splitter = j;
+    replica_ops = Array.init k (fun i -> m + i);
+    merger;
+  }
+
+let check t ~caps =
+  Analysis.Plan_check.check_model (Query.Load_model.derive t.graph) ~caps
+
+let split_checked ?route_cost ?merge_cost g ~op ~shares ~caps =
+  let t = split ?route_cost ?merge_cost g ~op ~shares in
+  Analysis.Plan_check.assert_ok ~what:"keyed split graph" (check t ~caps);
+  t
+
+(* The natural split target: the single-input linear operator with the
+   largest load at a rate point (or largest coefficient norm when no
+   rates are given). *)
+let hottest_splittable ?rates g =
+  let model = lazy (Query.Load_model.derive g) in
+  let weight j =
+    match rates with
+    | Some sys_rates ->
+      Query.Load_model.op_load_at (Lazy.force model) ~sys_rates j
+    | None -> (
+      let op = Query.Graph.op g j in
+      match op.Query.Op.kind with
+      | Query.Op.Linear l -> l.Query.Op.costs.(0)
+      | _ -> 0.0)
+  in
+  let best = ref None in
+  for j = 0 to Query.Graph.n_ops g - 1 do
+    let op = Query.Graph.op g j in
+    let splittable =
+      Query.Op.arity op = 1
+      && match op.Query.Op.kind with Query.Op.Linear _ -> true | _ -> false
+    in
+    if splittable then begin
+      let w = weight j in
+      match !best with
+      | Some (_, w') when w' >= w -> ()
+      | _ -> best := Some (j, w)
+    end
+  done;
+  Option.map fst !best

@@ -1,0 +1,49 @@
+(** The split transform: expand one single-input linear operator of a
+    query graph into [splitter -> k replicas -> merger] arcs, with
+    replica [i] carrying a share [shares.(i)] of the key mass.  A
+    linear operator's load and output scale linearly with its input
+    rate, so share-scaling its cost and selectivity represents the
+    replica {e exactly} in the load model — the split graph is an
+    ordinary {!Query.Graph.t} over which [Problem], [Feasible.Volume],
+    [Rod_algorithm] and [Local_search] run unchanged.
+
+    Nonlinear operators (joins, drifting selectivity) are refused. *)
+
+type t = private {
+  original : Query.Graph.t;
+  graph : Query.Graph.t;  (** The expanded graph. *)
+  op : int;  (** Split operator's index in [original]. *)
+  shares : float array;  (** Normalized replica key-mass shares. *)
+  splitter : int;  (** = [op]: the splitter takes the old index. *)
+  replica_ops : int array;  (** Replica indices in [graph]. *)
+  merger : int;  (** Merger index in [graph]. *)
+}
+
+val split :
+  ?route_cost:float -> ?merge_cost:float ->
+  Query.Graph.t -> op:int -> shares:float array -> t
+(** [route_cost] / [merge_cost] (default 0) are the per-tuple CPU
+    costs of the splitter and merger.  Shares are normalized to sum 1;
+    at least 2 are required.
+    @raise Invalid_argument if the operator is not single-input linear
+    or the shares are degenerate. *)
+
+val check : t -> caps:Linalg.Vec.t -> Analysis.Plan_check.report
+(** Re-derive the split graph's load model and run [Plan_check] on it. *)
+
+val split_checked :
+  ?route_cost:float -> ?merge_cost:float ->
+  Query.Graph.t -> op:int -> shares:float array -> caps:Linalg.Vec.t -> t
+(** {!split}, then {!check}, raising on any diagnostic. *)
+
+val replicas : t -> int
+
+val map_op : t -> int -> int
+(** Original-graph operator index to split-graph index; the split
+    operator itself maps to the merger (whose output stands in for
+    its own). *)
+
+val hottest_splittable : ?rates:Linalg.Vec.t -> Query.Graph.t -> int option
+(** The single-input linear operator with the largest load at [rates]
+    (largest per-tuple cost when no rates are given) — the natural
+    split target.  [None] when the graph has no splittable operator. *)

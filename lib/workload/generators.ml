@@ -97,3 +97,50 @@ let deterministic_arrivals ~trace =
       end)
     trace.Trace.rates;
   List.rev !acc
+
+(* --- skewed keyed workloads ------------------------------------------
+
+   Zipf(alpha) over [n_keys] ranks: weight of rank i (1-based) is
+   i^-alpha.  The sampler inverts the cumulative distribution with a
+   binary search over a precomputed table, so drawing stays O(log
+   n_keys) and building the table is one pass — practical at 10^6+
+   keys (one float per key). *)
+
+type zipf = { cdf : float array }
+
+let zipf_table ~alpha ~n_keys =
+  if n_keys < 1 then invalid_arg "Generators.zipf_table: n_keys must be positive";
+  if alpha < 0. then invalid_arg "Generators.zipf_table: alpha must be nonnegative";
+  let cdf = Array.make n_keys 0. in
+  let acc = ref 0. in
+  for i = 0 to n_keys - 1 do
+    acc := !acc +. (float_of_int (i + 1) ** -.alpha);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n_keys - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { cdf }
+
+let zipf_draw ~rng z =
+  let u = Random.State.float rng 1. in
+  (* smallest index with cdf.(i) >= u *)
+  let lo = ref 0 and hi = ref (Array.length z.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let zipf_keys ~rng ~alpha ~n_keys ~n =
+  let z = zipf_table ~alpha ~n_keys in
+  Array.init n (fun _ -> zipf_draw ~rng z)
+
+let zipf_masses ~alpha ~n_keys ~top =
+  let top = min top n_keys in
+  let h = ref 0. in
+  for i = 1 to n_keys do
+    h := !h +. (float_of_int i ** -.alpha)
+  done;
+  Array.init top (fun i -> float_of_int (i + 1) ** -.alpha /. !h)

@@ -37,3 +37,23 @@ val poisson_arrivals :
 val deterministic_arrivals : trace:Trace.t -> float list
 (** Evenly spaced arrivals within each interval at the interval's rate —
     useful for reproducible simulator tests. *)
+
+(** {2 Skewed keyed workloads} *)
+
+type zipf
+(** Precomputed Zipf(alpha) sampling table over ranked keys. *)
+
+val zipf_table : alpha:float -> n_keys:int -> zipf
+(** One float per key; practical at [10^6+] keys. *)
+
+val zipf_draw : rng:Random.State.t -> zipf -> int
+(** Draw one 0-based key rank (rank 0 is the hottest key) by binary
+    search over the table, O(log n_keys). *)
+
+val zipf_keys :
+  rng:Random.State.t -> alpha:float -> n_keys:int -> n:int -> int array
+(** [n] key ranks drawn i.i.d. from Zipf(alpha) over [n_keys] keys. *)
+
+val zipf_masses : alpha:float -> n_keys:int -> top:int -> float array
+(** Exact normalized masses of the [top] hottest keys,
+    [masses.(i) = (i+1)^-alpha / H_{n_keys,alpha}]. *)

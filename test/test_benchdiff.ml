@@ -1,0 +1,102 @@
+(* The benchdiff core: segment-anchored rung matching (the --only
+   filter and the regression gate's family selection) and the
+   rod-microbench/2 record parser. *)
+
+open Benchdiff_core
+
+let check = Alcotest.(check bool)
+
+let test_exact_rung () =
+  check "selects its own rung" true
+    (rung_matches ~needle:"place/ROD-m200" "rod/place/ROD-m200");
+  check "must not select the longer rung" false
+    (rung_matches ~needle:"place/ROD-m200" "rod/place/ROD-m2000");
+  check "must not select the split rung" false
+    (rung_matches ~needle:"place/ROD-m200" "rod/place/ROD+SPLIT-m200");
+  check "prefix of a segment is not a match" false
+    (rung_matches ~needle:"place/ROD" "rod/place/ROD-m200");
+  check "single segment matches the tail" true
+    (rung_matches ~needle:"ROD-m200" "rod/place/ROD-m200");
+  check "non-final match needs the trailing slash" false
+    (rung_matches ~needle:"place" "rod/place/ROD-m200")
+
+let test_family_rung () =
+  check "family filter selects every member" true
+    (rung_matches ~needle:"place/" "rod/place/ROD-m2000");
+  check "family filter crosses segment boundaries only whole" false
+    (rung_matches ~needle:"pla/" "rod/place/ROD-m200");
+  check "mid-path family match" true
+    (rung_matches ~needle:"rod/place/" "rod/place/LLF-m100");
+  check "family filter misses other families" false
+    (rung_matches ~needle:"place/" "rod/volume/qmc-4096");
+  check "empty needle selects nothing" false
+    (rung_matches ~needle:"" "rod/place/ROD-m200")
+
+let test_judged () =
+  check "place rungs are judged" true (judged "rod/place/ROD-m100");
+  check "controller rungs are judged" true
+    (judged "rod/controller/replan-m200");
+  check "volume rungs are not judged" false (judged "rod/volume/qmc-4096");
+  check "a 'placebo' rung is not judged" false
+    (judged "rod/placebo/anything")
+
+let sample =
+  String.concat "\n"
+    [
+      "{";
+      "  \"schema\": \"rod-microbench/2\",";
+      "  \"records\": [";
+      "    {";
+      "      \"rev\": \"abc123\",";
+      "      \"quick\": true,";
+      "      \"domains\": 4,";
+      "      \"results\": {";
+      "        \"rod/place/ROD-m100\": { \"ns_per_run\": 1.5e+06, \
+       \"r_square\": 0.99 },";
+      "        \"rod/volume/qmc-4096\": { \"ns_per_run\": 2e+05, \
+       \"r_square\": null }";
+      "      }";
+      "    },";
+      "    {";
+      "      \"rev\": \"def456\",";
+      "      \"quick\": true,";
+      "      \"domains\": 4,";
+      "      \"results\": {";
+      "        \"rod/place/ROD-m100\": { \"ns_per_run\": 1.8e+06, \
+       \"r_square\": 0.98 }";
+      "      }";
+      "    }";
+      "  ]";
+      "}";
+      "";
+    ]
+
+let test_parse () =
+  match parse sample with
+  | [ first; second ] ->
+    Alcotest.(check string) "first rev" "\"abc123\"" first.rev;
+    Alcotest.(check string) "second rev" "\"def456\"" second.rev;
+    (match first.results with
+    | [ (n1, ns1, r1); (n2, _, r2) ] ->
+      Alcotest.(check string) "entry name" "rod/place/ROD-m100" n1;
+      Alcotest.(check (float 1.)) "ns" 1.5e6 ns1;
+      Alcotest.(check (float 1e-6)) "r^2" 0.99 r1;
+      Alcotest.(check string) "null-r2 entry kept" "rod/volume/qmc-4096" n2;
+      check "null r^2 is a failed fit" true (Float.is_nan r2)
+    | results ->
+      Alcotest.failf "expected 2 entries, got %d" (List.length results));
+    (match second.results with
+    | [ (_, ns, _) ] -> Alcotest.(check (float 1.)) "ns" 1.8e6 ns
+    | results ->
+      Alcotest.failf "expected 1 entry, got %d" (List.length results))
+  | records -> Alcotest.failf "expected 2 records, got %d" (List.length records)
+
+let suite =
+  [
+    Alcotest.test_case "exact rung matching is segment-anchored" `Quick
+      test_exact_rung;
+    Alcotest.test_case "trailing slash selects a family" `Quick
+      test_family_rung;
+    Alcotest.test_case "regression gate families" `Quick test_judged;
+    Alcotest.test_case "rod-microbench/2 parser" `Quick test_parse;
+  ]

@@ -1,0 +1,348 @@
+(* Properties and pinned artifacts of the keyed-parallelism layer:
+   QCheck laws of the partitioners (determinism, PKG load bound,
+   permutation invariance) and the HyperLogLog error bound; golden
+   rodgraph fixtures of the split transform; the EXPSKEW summary golden
+   with pool bit-identity; and the tamper-negative split oracle test
+   (a corrupted replica route table must fail the differential). *)
+
+module Partitioner = Keyed.Partitioner
+module Hll = Keyed.Hll
+module Vec = Linalg.Vec
+
+(* Pinned QCheck seed: property failures must reproduce. *)
+let qcheck_rand () = Random.State.make [| 0xC0FFEE; 17 |]
+
+let replicas = 4
+
+(* Skewed key streams: a small hot range under a larger cold range, so
+   the generator actually produces heavy hitters. *)
+let keys_gen =
+  QCheck.Gen.(
+    list_size (int_range 50 400)
+      (oneof [ int_range 0 3; int_range 0 2000 ]))
+
+let keys_arb =
+  QCheck.make ~print:QCheck.Print.(list int) keys_gen
+
+let seed_keys_arb =
+  QCheck.make
+    ~print:QCheck.Print.(pair int (list int))
+    QCheck.Gen.(pair (int_range 0 10_000) keys_gen)
+
+let hot_of keys n =
+  let seen = Hashtbl.create 16 in
+  let hot = ref [] in
+  List.iter
+    (fun k ->
+      if (not (Hashtbl.mem seen k)) && List.length !hot < n then begin
+        Hashtbl.add seen k ();
+        hot := k :: !hot
+      end)
+    keys;
+  Array.of_list (List.rev !hot)
+
+let partitioners ~seed ~keys =
+  [
+    (fun () -> Partitioner.uniform ~replicas ~seed ());
+    (fun () -> Partitioner.pkg ~replicas ~seed ());
+    (fun () ->
+      Partitioner.hybrid ~replicas ~seed ~hot_keys:(hot_of keys 2) ());
+  ]
+
+(* Two identically-configured partitioners warmed on the same stream
+   route every key identically. *)
+let prop_deterministic =
+  QCheck.Test.make ~name:"warmed partitioners route deterministically"
+    ~count:60 seed_keys_arb (fun (seed, keys) ->
+      let arr = Array.of_list keys in
+      List.for_all
+        (fun mk ->
+          let a = mk () and b = mk () in
+          Partitioner.warm a arr;
+          Partitioner.warm b arr;
+          List.for_all (fun k -> Partitioner.route a k = Partitioner.route b k)
+            keys)
+        (partitioners ~seed ~keys))
+
+(* The PKG balance law: the loaded replica carries at most twice the
+   ideal share plus the mass of keys too heavy to share a replica
+   (count >= ideal).  Heavy keys are single-replica by construction
+   (sticky routing), so their whole mass may legitimately sit on one
+   replica; the two-choice rule bounds everything else. *)
+let prop_pkg_bound =
+  QCheck.Test.make ~name:"sticky PKG load bound" ~count:100 seed_keys_arb
+    (fun (seed, keys) ->
+      let arr = Array.of_list keys in
+      let part = Partitioner.pkg ~replicas ~seed () in
+      Partitioner.warm part arr;
+      let loads = Partitioner.loads part in
+      let total = Array.length arr in
+      let ideal = float_of_int total /. float_of_int replicas in
+      let counts = Hashtbl.create 64 in
+      Array.iter
+        (fun k ->
+          let c = try Hashtbl.find counts k with Not_found -> 0 in
+          Hashtbl.replace counts k (c + 1))
+        arr;
+      let heavy_mass =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if float_of_int c >= ideal then acc + c else acc)
+          counts 0
+      in
+      let max_load = Array.fold_left max 0 loads in
+      float_of_int max_load
+      <= (2. *. ideal) +. float_of_int heavy_mass +. 1e-9)
+
+(* Uniform and hybrid routing is a pure function of the key — the order
+   (or multiplicity) of the warm-up stream cannot change it.  PKG is
+   excluded by design: its sticky assignment depends on encounter
+   order. *)
+let prop_permutation_invariant =
+  QCheck.Test.make ~name:"uniform/hybrid routing ignores stream order"
+    ~count:60 seed_keys_arb (fun (seed, keys) ->
+      let arr = Array.of_list keys in
+      let rev = Array.of_list (List.rev keys) in
+      List.for_all
+        (fun mk ->
+          let a = mk () and b = mk () in
+          Partitioner.warm a arr;
+          Partitioner.warm b rev;
+          List.for_all (fun k -> Partitioner.route a k = Partitioner.route b k)
+            keys)
+        [
+          (fun () -> Partitioner.uniform ~replicas ~seed ());
+          (fun () ->
+            Partitioner.hybrid ~replicas ~seed ~hot_keys:(hot_of keys 2) ());
+        ])
+
+(* --- HyperLogLog error bound --------------------------------------- *)
+
+(* Relative error within 3 sigma of the 1.04/sqrt(m) standard error,
+   over pinned seeds and cardinalities spanning the linear-counting
+   and raw-estimate regimes. *)
+let test_hll_error () =
+  List.iter
+    (fun (seed, log2m, n) ->
+      let h = Hll.create ~log2m ~seed () in
+      for i = 0 to n - 1 do
+        Hll.add_int h ((i * 2654435761) lxor seed)
+      done;
+      let est = Hll.estimate h in
+      let rel = abs_float (est -. float_of_int n) /. float_of_int n in
+      let bound = 3. *. Hll.std_error ~log2m in
+      if rel > bound then
+        Alcotest.failf
+          "HLL(log2m=%d, seed=%#x) at n=%d: estimate %.1f, relative error \
+           %.4f > %.4f"
+          log2m seed n est rel bound)
+    [
+      (0x9e37, 12, 1_000);
+      (0x9e37, 12, 20_000);
+      (0x9e37, 12, 100_000);
+      (0x1234, 10, 5_000);
+      (0x1234, 14, 50_000);
+      (0x7f3a, 12, 64_000);
+    ]
+
+(* --- golden split fixtures ----------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let check_golden ~dir ~fixture actual =
+  let path = Filename.concat dir fixture in
+  let promote =
+    Printf.sprintf "cp _build/default/test/%s.actual test/%s" fixture path
+  in
+  if Sys.file_exists path then begin
+    let expected = read_file path in
+    if not (String.equal expected actual) then begin
+      write_file (fixture ^ ".actual") actual;
+      Alcotest.failf "golden mismatch for %s — inspect, then promote with: %s"
+        fixture promote
+    end
+  end
+  else begin
+    write_file (fixture ^ ".actual") actual;
+    Alcotest.failf "missing fixture %s — promote with: %s" fixture promote
+  end
+
+(* The EXPSKEW fixture shape with pinned shares: the pre/post pair
+   freezes the split transform's exact output (indices, costs,
+   selectivities, arcs) byte-for-byte. *)
+let golden_graph () =
+  let open Query in
+  Graph.create ~n_inputs:2
+    ~ops:
+      [
+        (Op.filter ~name:"preA" ~cost:2e-5 ~sel:0.9 (), [ Graph.Sys_input 0 ]);
+        (Op.delay ~name:"hotAgg" ~cost:4e-4 ~sel:0.2 (), [ Graph.Op_output 0 ]);
+        (Op.filter ~name:"post" ~cost:3e-5 ~sel:0.8 (), [ Graph.Op_output 1 ]);
+        (Op.map ~name:"preB" ~cost:5e-5 (), [ Graph.Sys_input 1 ]);
+        (Op.filter ~name:"slim" ~cost:2e-5 ~sel:0.5 (), [ Graph.Op_output 3 ]);
+      ]
+    ()
+
+let test_golden_pre () =
+  check_golden ~dir:"fixtures" ~fixture:"keyed_pre.rodgraph"
+    (Query.Graph_io.to_string (golden_graph ()))
+
+let test_golden_split () =
+  let split =
+    Keyed.Split.split ~route_cost:1e-6 ~merge_cost:1e-6 (golden_graph ())
+      ~op:1
+      ~shares:[| 0.4; 0.3; 0.2; 0.1 |]
+  in
+  check_golden ~dir:"fixtures" ~fixture:"keyed_split.rodgraph"
+    (Query.Graph_io.to_string split.Keyed.Split.graph)
+
+(* --- EXPSKEW: summary golden, pool identity, acceptance pin -------- *)
+
+let quick_summary = lazy (Experiments.Exp_skew.analyze ~quick:true ())
+
+let test_expskew_golden () =
+  check_golden ~dir:"fixtures/keyed" ~fixture:"expskew_summary.json"
+    (Experiments.Exp_skew.summary_json (Lazy.force quick_summary))
+
+let test_expskew_pool_identity () =
+  let reference =
+    Experiments.Exp_skew.summary_json (Lazy.force quick_summary)
+  in
+  List.iter
+    (fun ways ->
+      let pool = Parallel.Pool.create ways in
+      let summary =
+        Experiments.Exp_skew.summary_json
+          (Experiments.Exp_skew.analyze ~quick:true ~pool ())
+      in
+      Parallel.Pool.shutdown pool;
+      Alcotest.(check string)
+        (Printf.sprintf "%d-domain pool summary is byte-identical" ways)
+        reference summary)
+    [ 1; 2; 4 ]
+
+(* The PR's acceptance pin, at both scales: the hybrid split's feasible
+   ratio strictly beats the unsplit plan AND uniform hashing at the
+   same replica count. *)
+let check_hybrid_beats a =
+  let beats_unsplit, beats_uniform = Experiments.Exp_skew.hybrid_beats a in
+  Alcotest.(check bool) "hybrid beats unsplit" true beats_unsplit;
+  Alcotest.(check bool) "hybrid beats uniform" true beats_uniform
+
+let test_acceptance_quick () = check_hybrid_beats (Lazy.force quick_summary)
+
+let test_acceptance_full () =
+  check_hybrid_beats (Experiments.Exp_skew.analyze ~quick:false ())
+
+(* --- tamper-negative split differential ---------------------------- *)
+
+module Sop = Spe.Sop
+module Tuple = Spe.Tuple
+
+let tamper_unsplit () =
+  Spe.Network.create ~n_inputs:1
+    ~ops:
+      [
+        ( Sop.aggregate ~name:"bySrc" ~window:1. ~group_by:"src"
+            [ ("total", Sop.Sum "bytes"); ("n", Sop.Count) ],
+          [ Query.Graph.Sys_input 0 ] );
+      ]
+    ()
+
+let tamper_fixture ?claims () =
+  let rng = Random.State.make [| 0xBAD; 7 |] in
+  let trace = Workload.Trace.create ~dt:1. (Array.make 6 40.) in
+  let inputs = [| Spe.Datagen.packets ~rng ~trace ~hosts:8 () |] in
+  let key_of = Keyed.Semantic.key_of_field ~seed:7 "src" in
+  let keys = Array.of_list (List.map key_of inputs.(0)) in
+  let partitioner = Partitioner.uniform ~replicas:3 ~seed:5 () in
+  Partitioner.warm partitioner keys;
+  let unsplit = tamper_unsplit () in
+  let split =
+    Keyed.Semantic.split ?claims ~network:unsplit ~op:0 ~key_of ~partitioner ()
+  in
+  let last_ts =
+    List.fold_left (fun acc t -> Float.max acc (Tuple.ts t)) 0. inputs.(0)
+  in
+  let until = last_ts +. 4. in
+  let dist network =
+    let skeleton = Spe.Network.skeleton ~costs:(fun _ -> 1e-5) network in
+    Spe.Dist_executor.run ~network
+      ~assignment:(Array.make (Spe.Network.n_ops network) 0)
+      ~caps:(Vec.of_list [ 1. ])
+      ~cost:(Spe.Dist_executor.cost_model_of_graph skeleton)
+      ~inputs ~until ()
+  in
+  let verdict =
+    Chaos.Oracle.split_differential ~split
+      ~injected:(Array.map List.length inputs)
+      ~cutoff:last_ts
+      ~split_dist:(dist split.Keyed.Semantic.network)
+      ~baseline_dist:(dist unsplit)
+      ~logical:(Spe.Executor.run ~record:true split.Keyed.Semantic.network ~inputs)
+      ()
+  in
+  (split, inputs, verdict)
+
+let test_split_differential_healthy () =
+  let _, _, verdict = tamper_fixture () in
+  if not (Chaos.Oracle.passed verdict) then
+    Alcotest.failf "healthy split run failed its differential:@.%s"
+      (Format.asprintf "%a" Chaos.Oracle.pp verdict)
+
+let test_split_differential_tampered () =
+  (* Route one key's tuples to a second replica as well: the duplicate
+     group rows must trip the routing, coverage, and sink oracles. *)
+  let _, inputs, healthy_verdict = tamper_fixture () in
+  ignore healthy_verdict;
+  let key_of = Keyed.Semantic.key_of_field ~seed:7 "src" in
+  let k0 = key_of (List.hd inputs.(0)) in
+  let partitioner = Partitioner.uniform ~replicas:3 ~seed:5 () in
+  let r = Partitioner.route partitioner k0 in
+  let claims = [ ((r + 1) mod 3, k0) ] in
+  let _, _, verdict = tamper_fixture ~claims () in
+  if Chaos.Oracle.passed verdict then
+    Alcotest.fail
+      "tampered route table passed the split differential — the oracle is \
+       blind to duplicated keys";
+  let failed name =
+    List.exists
+      (fun (c : Chaos.Oracle.check) ->
+        c.Chaos.Oracle.name = name && not c.Chaos.Oracle.passed)
+      verdict
+  in
+  Alcotest.(check bool)
+    "split:routing caught the foreign key" true (failed "split:routing")
+
+let suite =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()))
+    [ prop_deterministic; prop_pkg_bound; prop_permutation_invariant ]
+  @ [
+      Alcotest.test_case "HyperLogLog 3-sigma relative error" `Quick
+        test_hll_error;
+      Alcotest.test_case "golden pre-split rodgraph" `Quick test_golden_pre;
+      Alcotest.test_case "golden post-split rodgraph" `Quick test_golden_split;
+      Alcotest.test_case "golden EXPSKEW summary json" `Quick
+        test_expskew_golden;
+      Alcotest.test_case "EXPSKEW summary pool bit-identity" `Quick
+        test_expskew_pool_identity;
+      Alcotest.test_case "acceptance: hybrid beats unsplit+uniform (quick)"
+        `Quick test_acceptance_quick;
+      Alcotest.test_case "acceptance: hybrid beats unsplit+uniform (full)"
+        `Slow test_acceptance_full;
+      Alcotest.test_case "split differential passes healthy" `Quick
+        test_split_differential_healthy;
+      Alcotest.test_case "split differential catches tampered routes" `Quick
+        test_split_differential_tampered;
+    ]

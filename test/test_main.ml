@@ -24,4 +24,6 @@ let () =
       ("scan", Test_scan.suite);
       ("proto", Test_proto.suite);
       ("obs", Test_obs.suite);
+      ("keyed_props", Test_keyed_props.suite);
+      ("benchdiff", Test_benchdiff.suite);
     ]

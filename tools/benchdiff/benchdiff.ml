@@ -4,113 +4,15 @@
    The file is the rod-microbench/2 accumulator written by bench/main.ml,
    one record per run.  This reads the last two records, lines up their
    "place/" and "controller/" entries and exits 1 when any is more than
-   [threshold] slower than before.  Entries whose OLS fit is poor on
-   either side (r^2 < [min_r_square]) are shown but not judged — a bad
-   fit means the ns/run estimate itself is noise, and that skip is what
-   makes the gate safe to enforce: `make check` runs the quick ladder
-   and then this diff, so a real slowdown in a placement or replanner
-   rung fails tier-1, while a noisy estimate merely prints.
+   [Benchdiff_core.threshold] slower than before.  Entries whose OLS fit
+   is poor on either side (r^2 < [min_r_square]) are shown but not
+   judged — a bad fit means the ns/run estimate itself is noise, and
+   that skip is what makes the gate safe to enforce: `make check` runs
+   the quick ladder and then this diff, so a real slowdown in a
+   placement or replanner rung fails tier-1, while a noisy estimate
+   merely prints. *)
 
-   The parser is deliberately shape-bound to the writer (fixed
-   indentation, one entry per line) rather than a general JSON reader —
-   the two live in the same repo and move together. *)
-
-let threshold = 1.25
-let min_r_square = 0.9
-
-type record = {
-  mutable rev : string;
-  mutable quick : string;
-  mutable domains : string;
-  (* (name, ns_per_run, r_square), reversed while parsing *)
-  mutable results : (string * float * float) list;
-}
-
-let starts_with prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
-
-(* Record bodies use 6-space indentation for their own fields; the
-   nested obs snapshot is re-indented to 8+ spaces, so matching exact
-   prefixes below cannot confuse the two. *)
-let parse content =
-  let records = ref [] in
-  let current = ref None in
-  let in_results = ref false in
-  let header field line =
-    (* |      "field": value,| -> |value| *)
-    let prefix = Printf.sprintf "      %S: " field in
-    if starts_with prefix line then begin
-      let v = String.sub line (String.length prefix)
-          (String.length line - String.length prefix) in
-      let v = String.trim v in
-      let v =
-        if String.length v > 0 && v.[String.length v - 1] = ',' then
-          String.sub v 0 (String.length v - 1)
-        else v
-      in
-      Some v
-    end
-    else None
-  in
-  let entry record line =
-    (* |        "name": { "ns_per_run": 1.23e+06, "r_square": 0.99 }…| *)
-    match
-      Scanf.sscanf (String.trim line)
-        "%S: { \"ns_per_run\": %s@, \"r_square\": %s@ "
-        (fun name ns r2 -> (name, ns, r2))
-    with
-    | name, ns, r2 ->
-      (match float_of_string_opt ns with
-      | Some ns ->
-        (* "null" r^2 parses to none -> treat as a failed fit (nan). *)
-        let r2 =
-          match float_of_string_opt r2 with Some r -> r | None -> nan
-        in
-        record.results <- (name, ns, r2) :: record.results
-      | None -> () (* "null": the run produced no estimate *))
-    | exception Scanf.Scan_failure _ | exception End_of_file -> ()
-  in
-  List.iter
-    (fun line ->
-      if line = "    {" then begin
-        (match !current with Some r -> records := r :: !records | None -> ());
-        current :=
-          Some { rev = "?"; quick = "?"; domains = "?"; results = [] };
-        in_results := false
-      end
-      else
-        match !current with
-        | None -> ()
-        | Some r ->
-          if !in_results then
-            if starts_with "        \"" line then entry r line
-            else in_results := false
-          else if line = "      \"results\": {" then in_results := true
-          else begin
-            (match header "rev" line with Some v -> r.rev <- v | None -> ());
-            (match header "quick" line with
-            | Some v -> r.quick <- v
-            | None -> ());
-            match header "domains" line with
-            | Some v -> r.domains <- v
-            | None -> ()
-          end)
-    (String.split_on_char '\n' content);
-  (match !current with Some r -> records := r :: !records | None -> ());
-  (* !records is newest-first (built by prepending); one rev_map both
-     restores file order (oldest first) and un-reverses the entries. *)
-  List.rev_map
-    (fun r ->
-      r.results <- List.rev r.results;
-      r)
-    !records
-
-let pretty ns =
-  if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
-  else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
-  else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
-  else Printf.sprintf "%.1f ns" ns
+open Benchdiff_core
 
 let () =
   let path =
@@ -143,18 +45,7 @@ let () =
     let compared = ref 0 in
     List.iter
       (fun (name, ns, r2) ->
-        let judged =
-          let mem sub =
-            let sl = String.length sub in
-            let rec scan i =
-              i + sl <= String.length name
-              && (String.sub name i sl = sub || scan (i + 1))
-            in
-            scan 0
-          in
-          mem "place/" || mem "controller/"
-        in
-        if judged then
+        if judged name then
           let prior =
             List.find_opt (fun (n, _, _) -> n = name) previous.results
           in

@@ -1,0 +1,137 @@
+(* The parsing and matching core of benchdiff, shared with the bench
+   harness (bench/main.ml uses [rung_matches] for its --only filter) and
+   unit-tested in test/test_benchdiff.ml.
+
+   The parser is deliberately shape-bound to the writer (fixed
+   indentation, one entry per line) rather than a general JSON reader —
+   the two live in the same repo and move together. *)
+
+let threshold = 1.25
+let min_r_square = 0.9
+
+type record = {
+  mutable rev : string;
+  mutable quick : string;
+  mutable domains : string;
+  (* (name, ns_per_run, r_square), reversed while parsing *)
+  mutable results : (string * float * float) list;
+}
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Rung names are '/'-separated paths ("rod/place/ROD-m200").  A needle
+   matches when its segments line up with consecutive whole segments of
+   the name — so "place/ROD-m200" can never select "place/ROD-m2000",
+   which plain substring matching did.  A needle ending in '/' is a
+   family filter ("place/" selects every placement rung); without the
+   trailing slash the needle's last segment must be the name's last
+   segment (it names one rung, not a prefix of one). *)
+let rung_matches ~needle name =
+  let segments s =
+    List.filter (fun seg -> seg <> "") (String.split_on_char '/' s)
+  in
+  let family =
+    String.length needle > 0 && needle.[String.length needle - 1] = '/'
+  in
+  let ns = segments needle in
+  let rec eat ns hs =
+    match (ns, hs) with
+    | [], rest -> family || rest = []
+    | _ :: _, [] -> false
+    | n :: ntl, h :: htl -> n = h && eat ntl htl
+  in
+  let rec at hs =
+    match hs with
+    | [] -> false
+    | _ :: tl -> eat ns hs || at tl
+  in
+  ns <> [] && at (segments name)
+
+(* The placement-suite gate: which entries a regression fails on. *)
+let judged name =
+  rung_matches ~needle:"place/" name
+  || rung_matches ~needle:"controller/" name
+
+(* Record bodies use 6-space indentation for their own fields; the
+   nested obs snapshot is re-indented to 8+ spaces, so matching exact
+   prefixes below cannot confuse the two. *)
+let parse content =
+  let records = ref [] in
+  let current = ref None in
+  let in_results = ref false in
+  let header field line =
+    (* |      "field": value,| -> |value| *)
+    let prefix = Printf.sprintf "      %S: " field in
+    if starts_with prefix line then begin
+      let v = String.sub line (String.length prefix)
+          (String.length line - String.length prefix) in
+      let v = String.trim v in
+      let v =
+        if String.length v > 0 && v.[String.length v - 1] = ',' then
+          String.sub v 0 (String.length v - 1)
+        else v
+      in
+      Some v
+    end
+    else None
+  in
+  let entry record line =
+    (* |        "name": { "ns_per_run": 1.23e+06, "r_square": 0.99 }…| *)
+    match
+      Scanf.sscanf (String.trim line)
+        "%S: { \"ns_per_run\": %s@, \"r_square\": %s@ "
+        (fun name ns r2 -> (name, ns, r2))
+    with
+    | name, ns, r2 ->
+      (match float_of_string_opt ns with
+      | Some ns ->
+        (* "null" r^2 parses to none -> treat as a failed fit (nan). *)
+        let r2 =
+          match float_of_string_opt r2 with Some r -> r | None -> nan
+        in
+        record.results <- (name, ns, r2) :: record.results
+      | None -> () (* "null": the run produced no estimate *))
+    | exception Scanf.Scan_failure _ | exception End_of_file -> ()
+  in
+  List.iter
+    (fun line ->
+      if line = "    {" then begin
+        (match !current with Some r -> records := r :: !records | None -> ());
+        current :=
+          Some { rev = "?"; quick = "?"; domains = "?"; results = [] };
+        in_results := false
+      end
+      else
+        match !current with
+        | None -> ()
+        | Some r ->
+          if !in_results then
+            if starts_with "        \"" line then entry r line
+            else in_results := false
+          else if line = "      \"results\": {" then in_results := true
+          else begin
+            (match header "rev" line with Some v -> r.rev <- v | None -> ());
+            (match header "quick" line with
+            | Some v -> r.quick <- v
+            | None -> ());
+            match header "domains" line with
+            | Some v -> r.domains <- v
+            | None -> ()
+          end)
+    (String.split_on_char '\n' content);
+  (match !current with Some r -> records := r :: !records | None -> ());
+  (* !records is newest-first (built by prepending); one rev_map both
+     restores file order (oldest first) and un-reverses the entries. *)
+  List.rev_map
+    (fun r ->
+      r.results <- List.rev r.results;
+      r)
+    !records
+
+let pretty ns =
+  if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+  else Printf.sprintf "%.1f ns" ns

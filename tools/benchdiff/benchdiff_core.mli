@@ -1,0 +1,34 @@
+(** Parsing and rung matching shared by the benchdiff gate and the
+    bench harness's [--only] filter. *)
+
+val threshold : float
+(** Slowdown ratio above which a judged entry is a regression. *)
+
+val min_r_square : float
+(** OLS fits below this on either side are shown but not judged. *)
+
+type record = {
+  mutable rev : string;
+  mutable quick : string;
+  mutable domains : string;
+  mutable results : (string * float * float) list;
+      (** (name, ns_per_run, r_square), in file order. *)
+}
+
+val parse : string -> record list
+(** Records of a rod-microbench/2 accumulator, oldest first. *)
+
+val rung_matches : needle:string -> string -> bool
+(** Whether a '/'-separated needle selects a rung name: the needle's
+    segments must match consecutive whole segments of the name, ending
+    at the name's end — so ["place/ROD-m200"] never selects
+    ["rod/place/ROD-m2000"].  A needle with a trailing slash is a
+    family filter: ["place/"] selects every name containing a
+    ["place"] segment.  The empty needle selects nothing. *)
+
+val judged : string -> bool
+(** Whether the regression gate applies to an entry ([place/] and
+    [controller/] families). *)
+
+val pretty : float -> string
+(** Human-readable ns/run. *)
