@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean check bench-quick bench-ladder benchdiff chaos-quick keyed lint rodscan rodproto promcheck
+.PHONY: all build test bench examples clean check bench-quick bench-ladder benchdiff chaos-quick keyed lint rodscan rodproto rodunits promcheck sarif
 
 all: build
 
@@ -18,6 +18,7 @@ check:
 	dune build @lint
 	dune build @rodscan
 	dune build @rodproto
+	dune build @rodunits
 	dune runtest
 	dune build @chaos-quick
 	dune build @keyed
@@ -27,11 +28,12 @@ check:
 
 # rodlint over lib/ and bin/ (parse-tree rules), rodscan over the
 # library typedtrees (interprocedural determinism taint, parallel race
-# lint, hot-path allocation check) and rodproto (migration-protocol
-# typestate + gated-mutation analysis) — see DESIGN.md §10 and §13 for
-# the rule catalogues and escape hatches.
+# lint, hot-path allocation check), rodproto (migration-protocol
+# typestate + gated-mutation analysis) and rodunits (dimensional
+# analysis of the load-model arithmetic) — see DESIGN.md §10, §13 and
+# §15 for the rule catalogues and escape hatches.
 lint:
-	dune build @lint @rodscan @rodproto
+	dune build @lint @rodscan @rodproto @rodunits
 
 # Typedtree analysis and its fixture self-test only.
 rodscan:
@@ -40,6 +42,17 @@ rodscan:
 # Protocol typestate verification and its fixture self-test only.
 rodproto:
 	dune build @rodproto
+
+# Dimensional analysis and its fixture self-test only.
+rodunits:
+	dune build @rodunits
+
+# One SARIF report for the whole static-analysis suite: run all four
+# analyzers with --sarif and merge the per-tool logs into
+# rod-analysis.sarif (one run per tool), the artifact the CI workflow
+# uploads.  Exit status reflects the analyzers: any finding fails.
+sarif:
+	dune build @sarif
 
 # Seeded fault-injection smoke suite: every chaos scenario in quick
 # mode, judged by the differential oracles (fails the build on any

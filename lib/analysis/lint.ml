@@ -366,121 +366,27 @@ let lint_file ?hot ?obs path =
   in
   lint_string ?hot ?obs ~filename:path source
 
-(* --- allowlist --- *)
+(* --- allowlist ---
 
-type entry = {
-  path_suffix : string;
-  rule_prefix : string;
-  line : int;
-  mutable used : bool;
-}
+   The machinery itself lives in {!Allowlist} (it is shared by all four
+   analyzer drivers); these are compatibility delegations so existing
+   callers and tests of the original Lint API keep working. *)
 
-type allowlist = entry list
+type allowlist = Allowlist.t
 
-let empty_allowlist = []
-
-(* Malformed lines are collected and reported together: an allowlist
-   with three typos should cost one run to fix, not three. *)
-let allowlist_of_string ~source text =
-  let entries = ref [] in
-  let malformed = ref [] in
-  String.split_on_char '\n' text
-  |> List.iteri (fun idx line ->
-         let line =
-           match String.index_opt line '#' with
-           | Some i -> String.sub line 0 i
-           | None -> line
-         in
-         match
-           String.split_on_char ' ' line
-           |> List.concat_map (String.split_on_char '\t')
-           |> List.filter (fun t -> t <> "")
-         with
-         | [] -> ()
-         | [ path_suffix; rule_prefix ] ->
-           entries :=
-             { path_suffix; rule_prefix; line = idx + 1; used = false }
-             :: !entries
-         | _ ->
-           malformed :=
-             Printf.sprintf
-               "%s:%d: malformed allowlist entry (want: <path> <rule> # why)"
-               source (idx + 1)
-             :: !malformed)
-  |> ignore;
-  if !malformed <> [] then failwith (String.concat "\n" (List.rev !malformed));
-  List.rev !entries
-
-let load_allowlist path =
-  let ic = open_in_bin path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  allowlist_of_string ~source:path text
-
-let suffix_matches ~suffix s =
-  let ls = String.length s and lx = String.length suffix in
-  lx <= ls && String.sub s (ls - lx) lx = suffix
-
-let prefix_matches ~prefix s =
-  let ls = String.length s and lx = String.length prefix in
-  lx <= ls && String.sub s 0 lx = prefix
-
-(* Paths reach the allowlist from two spellings of the same file:
-   [dune build @lint] hands the linter build-relative paths
-   ([lib/x.ml], or [_build/default/lib/x.ml] when someone points it at
-   the build tree), while a direct [tools/rodlint ./lib] invocation
-   produces [./lib/x.ml].  Strip both decorations before matching so an
-   entry written one way cannot silently stop matching the other. *)
-let normalize_path p =
-  let strip prefix s =
-    if prefix_matches ~prefix s then
-      Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
-    else None
-  in
-  let rec go s =
-    match strip "./" s with
-    | Some s -> go s
-    | None -> (
-      match strip "_build/default/" s with Some s -> go s | None -> s)
-  in
-  go p
-
-let matches entry (d : diag) =
-  suffix_matches ~suffix:(normalize_path entry.path_suffix) (normalize_path d.file)
-  && prefix_matches ~prefix:entry.rule_prefix d.rule
+let empty_allowlist = Allowlist.empty
+let allowlist_of_string = Allowlist.of_string
+let load_allowlist = Allowlist.load
+let normalize_path = Allowlist.normalize_path
 
 let split_allowed allowlist diags =
-  List.partition
-    (fun d ->
-      not
-        (List.exists
-           (fun entry ->
-             if matches entry d then begin
-               entry.used <- true;
-               true
-             end
-             else false)
-           allowlist))
-    diags
+  Allowlist.split
+    ~file:(fun (d : diag) -> d.file)
+    ~rule:(fun (d : diag) -> d.rule)
+    allowlist diags
 
-let unused_entries allowlist =
-  List.filter_map
-    (fun e -> if e.used then None else Some (e.path_suffix, e.rule_prefix))
-    allowlist
-
-(* Drop the source lines of unused entries, preserving everything else
-   byte-for-byte (comments, blank lines, entry justifications).  Call
-   after [split_allowed] has marked live entries as used. *)
-let prune allowlist text =
-  let stale =
-    List.filter_map (fun e -> if e.used then None else Some e.line) allowlist
-  in
-  String.split_on_char '\n' text
-  |> List.filteri (fun i _ -> not (List.mem (i + 1) stale))
-  |> String.concat "\n"
+let unused_entries = Allowlist.unused
+let prune = Allowlist.prune
 
 let render (d : diag) =
   Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message

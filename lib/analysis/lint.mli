@@ -66,10 +66,12 @@ val lint_string : ?hot:bool -> ?obs:bool -> filename:string -> string -> diag li
 
 val lint_file : ?hot:bool -> ?obs:bool -> string -> diag list
 
-type allowlist
+type allowlist = Allowlist.t
 (** Entries of [(path suffix, rule prefix)]; a diagnostic is suppressed
     when some entry's path is a suffix of the diagnostic's path and its
-    rule a prefix of the diagnostic's rule. *)
+    rule a prefix of the diagnostic's rule.  The machinery lives in the
+    shared {!Allowlist} module (all four analyzer drivers use it); the
+    values below are kept as delegations for existing callers. *)
 
 val allowlist_of_string : source:string -> string -> allowlist
 (** Parse allowlist text: one [<path> <rule> # justification] entry per

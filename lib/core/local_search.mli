@@ -30,7 +30,8 @@
 
 type outcome = {
   assignment : int array;
-  ratio : float;  (** Feasible fraction of the shared QMC sample. *)
+  ratio : float; (* rodunits: 1 *)
+      (** Feasible fraction of the shared QMC sample. *)
   moves : int;  (** Accepted moves. *)
   passes : int;  (** Full sweeps performed (including the final, quiet one). *)
 }

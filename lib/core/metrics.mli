@@ -3,23 +3,24 @@
     analytic bounds the two heuristics optimize. *)
 
 type summary = {
-  plane_distance : float;
+  plane_distance : float; (* rodunits: 1 *)
       (** [r = min_i 1 / ||W_i||] — the MMPD objective; the normalized
           ideal value is [1 / sqrt d]. *)
-  plane_distance_ratio : float;
+  plane_distance_ratio : float; (* rodunits: 1 *)
       (** [r / r*], the x-axis of Figure 9 (in [0, 1] for any plan). *)
   min_axis_distances : Linalg.Vec.t;
       (** Per axis [k], [min_i 1 / w_ik] — the MMAD objectives
           (ideal 1). *)
-  mmad_volume_bound : float;
+  mmad_volume_bound : float; (* rodunits: 1 *)
       (** [prod_k min_i (1 / w_ik)]: the MMAD lower bound on
           [vol(F) / vol(ideal)] (§4.1). *)
-  mmpd_volume_bound : float;
+  mmpd_volume_bound : float; (* rodunits: 1 *)
       (** The hypersphere lower bound of §4.2: the positive-orthant part
           of the ball of radius [r] fits inside the normalized feasible
           set, so [vol(F)/vol(ideal) >= d! * V_ball(d, r) / 2^d]
           (clipped to 1; without a lower bound point only). *)
-  max_node_weight_norm : float;  (** [max_i ||W_i||]. *)
+  max_node_weight_norm : float; (* rodunits: 1 *)
+      (** [max_i ||W_i||]. *)
 }
 
 val normalized_lower : Problem.t -> Linalg.Vec.t -> Linalg.Vec.t
@@ -27,16 +28,20 @@ val normalized_lower : Problem.t -> Linalg.Vec.t -> Linalg.Vec.t
     [b'_k = l_k b_k / C_T] — the hypersphere center of §6.1. *)
 
 val plane_distance : ?lower:Linalg.Vec.t -> Plan.t -> float
+(* rodunits: 1 *)
 (** [min_i (1 - W_i . B') / ||W_i||] with [B'] the normalized lower
     bound (origin by default).  [infinity] for a plan with an idle node
     and no other node... never: every node row of an all-assigned plan
     can still be zero; zero rows are skipped as infinitely distant. *)
 
 val min_axis_distance : Plan.t -> int -> float
+(* rodunits: 1 *)
 
 val mmad_volume_bound : Plan.t -> float
+(* rodunits: 1 *)
 
 val mmpd_volume_bound : Plan.t -> float
+(* rodunits: 1 *)
 
 val summary : ?lower:Linalg.Vec.t -> Plan.t -> summary
 

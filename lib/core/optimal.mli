@@ -10,11 +10,13 @@
 
 type result = {
   assignment : int array;
-  ratio : float;  (** Feasible fraction of the shared QMC sample. *)
+  ratio : float; (* rodunits: 1 *)
+      (** Feasible fraction of the shared QMC sample. *)
   explored : int;  (** Number of assignments evaluated. *)
 }
 
 val search_space : n_nodes:int -> n_ops:int -> float
+(* rodunits: 1 *)
 (** [n^m] as a float (to gauge tractability before calling). *)
 
 val search :
@@ -37,5 +39,6 @@ val search :
     decomposition and return identical results. *)
 
 val ratio_of_assignment : ?samples:int -> Problem.t -> int array -> float
+(* rodunits: 1 *)
 (** Score an arbitrary assignment against the same shared sample, e.g.
     to compare ROD's output with the optimum. *)

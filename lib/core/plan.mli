@@ -31,6 +31,7 @@ val weight_matrix : t -> Linalg.Mat.t
 (** [w_ik = (l^n_ik / l_k) / (C_i / C_T)] ([n x d]). *)
 
 val node_load_at : t -> rates:Linalg.Vec.t -> int -> float
+(* rodunits: cpu-sec/sim-sec *)
 (** CPU demand of node [i] at rate point [rates]. *)
 
 val utilizations : t -> rates:Linalg.Vec.t -> Linalg.Vec.t

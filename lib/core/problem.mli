@@ -22,6 +22,7 @@ val of_graph : Query.Graph.t -> caps:Linalg.Vec.t -> t
 (** Convenience: derive the load model, then build the instance. *)
 
 val homogeneous_caps : n:int -> cap:float -> Linalg.Vec.t
+(* rodunits: cap:node-cap -> _ *)
 
 val n_ops : t -> int
 
@@ -37,6 +38,7 @@ val total_coefficients : t -> Linalg.Vec.t
 (** [l_k]: column sums of [L^o]. *)
 
 val total_capacity : t -> float
+(* rodunits: node-cap *)
 (** [C_T = sum_i C_i]. *)
 
 val normalized_point : t -> Linalg.Vec.t -> Linalg.Vec.t

@@ -18,14 +18,14 @@
     sizes and reruns. *)
 
 type config = {
-  threshold : float;
+  threshold : float; (* rodunits: 1 *)
       (** Replan when [margin < threshold] (default 0.1 — i.e. some
           node above 90% modeled utilization). *)
   budget : int;  (** Migration budget per replan (default 3). *)
   samples : int;  (** Replanner QMC sample size (default 1024). *)
-  smoothing : float;
+  smoothing : float; (* rodunits: 1 *)
       (** EWMA [alpha] applied to observed rates (default 0.5). *)
-  cooldown : float;
+  cooldown : float; (* rodunits: sim-sec *)
       (** Minimum seconds between replan attempts (default 2). *)
 }
 
@@ -38,7 +38,7 @@ type action =
       (** The replanner found nothing passing its acceptance gate. *)
 
 type decision = {
-  time : float;
+  time : float; (* rodunits: sim-sec *)
   rates : Linalg.Vec.t;  (** Smoothed rates the decision used. *)
   margin : Margin.t;  (** Margin of the current placement at [rates]. *)
   action : action;
@@ -59,6 +59,7 @@ val create :
     or {!Statesize.network_cost} here. *)
 
 val observe : t -> time:float -> rates:Linalg.Vec.t -> assignment:int array -> (int * int) list
+(* rodunits: time:sim-sec -> _ *)
 (** One control decision at [time] given raw observed [rates] and the
     engine's current [assignment] (adopted as ground truth).  Returns
     the migrations to start — non-empty only on an accepted replan,
@@ -69,6 +70,7 @@ val assignment : t -> int array
 (** The controller's current view of the placement (a copy). *)
 
 val cost_of : t -> int -> float
+(* rodunits: sim-sec *)
 (** The state-transfer cost model the controller was built with (also
     the natural [state_delay] for the engines). *)
 

@@ -23,14 +23,16 @@
       of the largest rate ball guaranteed feasible around the point. *)
 
 type t = {
-  headroom : float;
+  headroom : float; (* rodunits: 1 *)
       (** Boundary scale along the observed ray; [infinity] when the
           rate point is zero (an idle system constrains nothing). *)
-  margin : float;  (** [1 - 1/headroom], in [(-inf, 1]]. *)
-  distance : float;
+  margin : float; (* rodunits: 1 *)
+      (** [1 - 1/headroom], in [(-inf, 1]]. *)
+  distance : float; (* rodunits: 1 *)
       (** Minimum normalized plane distance from the rate point to a
           node hyperplane; negative when some node is over capacity. *)
-  utilization : float;  (** Maximum node utilization at [rates]. *)
+  utilization : float; (* rodunits: 1 *)
+      (** Maximum node utilization at [rates]. *)
 }
 
 val measure : Rod.Plan.t -> rates:Linalg.Vec.t -> t
@@ -43,6 +45,7 @@ val of_assignment :
 (** {!measure} of [Rod.Plan.make problem assignment]. *)
 
 val smooth : alpha:float -> prev:Linalg.Vec.t -> Linalg.Vec.t -> Linalg.Vec.t
+(* rodunits: alpha:1 -> _ *)
 (** Exponential rate smoothing, [alpha * now + (1 - alpha) * prev] with
     [alpha] in [(0, 1]] — the controller's defense against reacting to a
     single bursty control interval. *)

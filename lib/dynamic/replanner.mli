@@ -33,7 +33,8 @@ type move = {
   from_node : int;
   to_node : int;
   gain : int;  (** Feasible-sample delta of this move when applied. *)
-  cost : float;  (** State-transfer seconds, [cost_of op]. *)
+  cost : float; (* rodunits: sim-sec *)
+      (** State-transfer seconds, [cost_of op]. *)
 }
 
 type outcome = {
@@ -41,12 +42,15 @@ type outcome = {
   moves : move list;  (** In application order; [[]] when rejected. *)
   assignment : int array;
       (** Resulting assignment (the original when rejected). *)
-  ratio_before : float;  (** Feasible QMC ratio of the input placement. *)
-  ratio_after : float;  (** Ratio of [assignment] on the same sample. *)
+  ratio_before : float; (* rodunits: 1 *)
+      (** Feasible QMC ratio of the input placement. *)
+  ratio_after : float; (* rodunits: 1 *)
+      (** Ratio of [assignment] on the same sample. *)
   margin_before : Margin.t option;  (** Present iff [rates] was given. *)
   margin_after : Margin.t option;
   samples : int;  (** Shared QMC sample size the ratios are measured on. *)
-  cost : float;  (** Total state-transfer seconds of [moves]. *)
+  cost : float; (* rodunits: sim-sec *)
+      (** Total state-transfer seconds of [moves]. *)
 }
 
 val replan :

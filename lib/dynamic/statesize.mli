@@ -11,8 +11,9 @@
     pause longer than moving a filter. *)
 
 type model = {
-  per_tuple : float;  (** Transfer seconds per buffered state tuple. *)
-  rate_hint : float;
+  per_tuple : float; (* rodunits: sim-sec/tuple *)
+      (** Transfer seconds per buffered state tuple. *)
+  rate_hint : float; (* rodunits: rate *)
       (** Assumed tuples/s per input of a windowed operator (state
           population is window-bound, not measured). *)
 }
@@ -22,17 +23,20 @@ val default : model
     [rate_hint = 100.]. *)
 
 val graph_cost : ?model:model -> Query.Graph.t -> int -> float
+(* rodunits: sim-sec *)
 (** Transfer seconds for operator [j] of a cost-model graph: joins hold
     [window * rate_hint] tuples per side, everything else is
     stateless. *)
 
 val network_cost : ?model:model -> Spe.Network.t -> int -> float
+(* rodunits: sim-sec *)
 (** Transfer seconds for operator [j] of a semantic network: equi-joins
     hold a window per side, aggregates and distinct one window;
     filters, maps, projections and unions are stateless. *)
 
 val split_cost :
   ?model:model -> distinct_keys:float -> Keyed.Split.t -> int -> float
+(* rodunits: distinct_keys:tuple -> sim-sec *)
 (** Transfer seconds for operator [j] of a {e split} graph: a replica's
     state is its key range, [share * distinct_keys] entries (use the
     keyed HyperLogLog estimate), so rebalancing a split operator under

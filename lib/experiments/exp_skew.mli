@@ -9,7 +9,7 @@ val name : string
 
 type scheme_result = {
   label : string;
-  max_share : float;
+  max_share : float; (* rodunits: 1 *)
   estimate : Feasible.Volume.estimate;
 }
 
@@ -19,7 +19,7 @@ type analysis = {
   draws : int;
   replicas : int;
   distinct_exact : int;
-  distinct_hll : float;
+  distinct_hll : float; (* rodunits: tuple *)
   hot_count : int;
   schemes : scheme_result list;
 }
@@ -29,6 +29,7 @@ val analyze : ?quick:bool -> ?pool:Parallel.Pool.t -> unit -> analysis
     for every [pool] size. *)
 
 val ratio_of : analysis -> string -> float
+(* rodunits: 1 *)
 (** Feasible ratio of a scheme by label ("unsplit", "uniform", "pkg",
     "hybrid").  @raise Not_found on unknown labels. *)
 

@@ -7,25 +7,31 @@
     ([1 / ||w||_2], MMPD). *)
 
 val axis_distance : Linalg.Vec.t -> int -> float
+(* rodunits: 1 *)
 (** [axis_distance w k] is [1 / w_k], or [infinity] when [w_k = 0]. *)
 
 val min_axis_distance : Linalg.Vec.t list -> int -> float
+(* rodunits: 1 *)
 (** Minimum over hyperplanes of the axis-[k] distance. *)
 
 val plane_distance : Linalg.Vec.t -> float
+(* rodunits: 1 *)
 (** Distance from the origin to [w . x = 1]: [1 / ||w||_2]; [infinity]
     for the zero row (an empty node). *)
 
 val plane_distance_from : point:Linalg.Vec.t -> Linalg.Vec.t -> float
+(* rodunits: 1 *)
 (** Distance from [point] to [w . x = 1]: [(1 - w . point) / ||w||_2]
     (§6.1's hypersphere radius around a normalized lower bound); may be
     negative when the point lies above the hyperplane. *)
 
 val min_plane_distance : ?point:Linalg.Vec.t -> Linalg.Vec.t list -> float
+(* rodunits: 1 *)
 (** [r = min_i dist(point, H_i)], the MMPD objective ([point] defaults
     to the origin). *)
 
 val ideal_plane_distance : ?point:Linalg.Vec.t -> int -> float
+(* rodunits: 1 *)
 (** Distance from [point] (default origin) to the ideal hyperplane
     [sum_k x_k = 1] in dimension [d]: [(1 - sum point) / sqrt d]. *)
 
@@ -35,5 +41,6 @@ val below_ideal : Linalg.Vec.t -> bool
     the paper's class-I test. *)
 
 val hypersphere_volume : dim:int -> radius:float -> float
+(* rodunits: radius:1 -> 1 *)
 (** Volume of the full Euclidean ball (the paper's MMPD lower-bound
     argument uses its positive-orthant portion, [1/2^d] of this). *)

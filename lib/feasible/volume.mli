@@ -11,12 +11,13 @@
     or pseudo-random points (as in its Borealis prototype runs). *)
 
 type estimate = {
-  ratio : float;  (** [vol(F) / vol(F_ideal)], in [0, 1]. *)
+  ratio : float; (* rodunits: 1 *)
+      (** [vol(F) / vol(F_ideal)], in [0, 1]. *)
   volume : float;  (** Absolute volume, [ratio * vol(F_ideal)]. *)
   ideal_volume : float;  (** [vol(F_ideal)]. *)
   samples : int;
   feasible_samples : int;
-  std_error : float;
+  std_error : float; (* rodunits: 1 *)
       (** Binomial standard error of [ratio],
           [sqrt (ratio * (1 - ratio) / samples)].  Exact for the Monte
           Carlo estimator; a conservative upper bound for the
@@ -76,11 +77,13 @@ val ratio_of_points :
   caps:Linalg.Vec.t ->
   points:Linalg.Vec.t array ->
   float
+(* rodunits: 1 *)
 (** Fraction of the given workload points that are feasible — the
     prototype methodology: probe a fixed set of rate points. *)
 
 val max_scale :
   ln:Linalg.Mat.t -> caps:Linalg.Vec.t -> direction:Linalg.Vec.t -> float
+(* rodunits: 1 *)
 (** The feasibility boundary along a ray: the largest [t] such that
     [t * direction] is feasible, i.e. [min_i C_i / (ln_i . direction)]
     ([infinity] if the ray never meets a constraint).  [direction] must

@@ -6,7 +6,8 @@
     replicas. *)
 
 type profile = {
-  distinct : float;  (** HyperLogLog estimate of distinct keys seen. *)
+  distinct : float; (* rodunits: tuple *)
+      (** HyperLogLog estimate of distinct keys seen. *)
   hitters : (int * float) list;
       (** Heavy keys with stream shares, descending. *)
   total : int;  (** Keys streamed. *)

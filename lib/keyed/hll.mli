@@ -19,6 +19,7 @@ val add_int : t -> int -> unit
 val add_string : t -> string -> unit
 
 val estimate : t -> float
+(* rodunits: tuple *)
 (** Current distinct-count estimate. *)
 
 val merge_into : into:t -> t -> unit
@@ -27,4 +28,5 @@ val merge_into : into:t -> t -> unit
 val copy : t -> t
 
 val std_error : log2m:int -> float
+(* rodunits: 1 *)
 (** The theoretical relative standard error [1.04 / sqrt (2^log2m)]. *)

@@ -52,6 +52,7 @@ val shares : t -> float array
 (** [loads] normalized to sum 1 (uniform when nothing routed yet). *)
 
 val max_share : t -> float
+(* rodunits: 1 *)
 
 val export_obs : t -> unit
 (** Publish per-replica routed counts as

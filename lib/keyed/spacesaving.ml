@@ -65,11 +65,12 @@ let total t = t.total
 let to_list t =
   let entries = ref [] in
   for slot = t.size - 1 downto 0 do
+    (* rodscan: alloc-ok to_list materializes the heavy-hitter report once per extraction, not per update *)
     entries := (t.keys.(slot), t.counts.(slot), t.errs.(slot)) :: !entries
   done;
   List.sort
     (fun (k1, c1, _) (k2, c2, _) ->
-      if c1 <> c2 then compare c2 c1 else compare k1 k2)
+      if c1 <> c2 then Int.compare c2 c1 else Int.compare k1 k2)
     !entries
 
 let heavy_hitters t ~min_share =

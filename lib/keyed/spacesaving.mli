@@ -21,5 +21,6 @@ val to_list : t -> (int * int * int) list
     [[count - error, count]]. *)
 
 val heavy_hitters : t -> min_share:float -> (int * float) list
+(* rodunits: min_share:1 -> _ *)
 (** Monitored keys whose estimated share of the stream is at least
     [min_share], with those shares, by descending count. *)

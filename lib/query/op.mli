@@ -23,16 +23,22 @@ type linear = {
 }
 
 type join = {
-  window : float;  (** Join window size in seconds. *)
-  cost_per_pair : float;  (** CPU seconds to evaluate one tuple pair. *)
-  sel_per_pair : float;  (** Output tuples per candidate pair. *)
+  window : float; (* rodunits: sim-sec *)
+      (** Join window size in seconds. *)
+  cost_per_pair : float; (* rodunits: cpu-sec/tuple^2 *)
+      (** CPU seconds to evaluate one tuple pair. *)
+  sel_per_pair : float; (* rodunits: 1/tuple *)
+      (** Output tuples per candidate pair. *)
 }
 
 type var_selectivity = {
-  cost : float;  (** CPU seconds per input tuple (still linear). *)
-  sel_lo : float;  (** Lower bound of the drifting selectivity. *)
-  sel_hi : float;  (** Upper bound of the drifting selectivity. *)
-  sel_now : float;
+  cost : float; (* rodunits: load-coeff *)
+      (** CPU seconds per input tuple (still linear). *)
+  sel_lo : float; (* rodunits: 1 *)
+      (** Lower bound of the drifting selectivity. *)
+  sel_hi : float; (* rodunits: 1 *)
+      (** Upper bound of the drifting selectivity. *)
+  sel_now : float; (* rodunits: 1 *)
       (** Operating-point selectivity, used only when a concrete workload
           must be evaluated (e.g. by the simulator); the optimizer never
           relies on it. *)
@@ -46,7 +52,7 @@ type kind =
 type t = {
   name : string;
   kind : kind;
-  out_xfer_cost : float;
+  out_xfer_cost : float; (* rodunits: load-coeff *)
       (** CPU seconds per tuple to ship one output tuple across the
           network, if the consumer lives on another node (§6.3).  [0.]
           when communication cost is ignored. *)
@@ -56,19 +62,24 @@ val arity : t -> int
 (** Number of input arcs the operator expects. *)
 
 val filter : ?name:string -> ?xfer:float -> cost:float -> sel:float -> unit -> t
+(* rodunits: cost:load-coeff -> sel:1 -> _ *)
 (** Single-input, selectivity in [0,1]. *)
 
 val map : ?name:string -> ?xfer:float -> cost:float -> unit -> t
+(* rodunits: cost:load-coeff -> _ *)
 (** Single-input, selectivity 1. *)
 
 val union : ?name:string -> ?xfer:float -> cost:float -> n_inputs:int -> unit -> t
+(* rodunits: cost:load-coeff -> _ *)
 (** [n_inputs]-ary merge; every input passes through (selectivity 1). *)
 
 val aggregate :
   ?name:string -> ?xfer:float -> cost:float -> sel:float -> unit -> t
+(* rodunits: cost:load-coeff -> sel:1 -> _ *)
 (** Windowed aggregate: one output tuple per [1/sel] input tuples. *)
 
 val delay : ?name:string -> ?xfer:float -> cost:float -> sel:float -> unit -> t
+(* rodunits: cost:load-coeff -> sel:1 -> _ *)
 (** The paper's tunable delay operator (§7.1): arbitrary per-tuple cost
     and selectivity. *)
 
@@ -80,6 +91,7 @@ val join :
   sel:float ->
   unit ->
   t
+(* rodunits: window:sim-sec -> cost_per_pair:cpu-sec/tuple^2 -> sel:1/tuple -> _ *)
 (** Two-input time-window join (nonlinear load). *)
 
 val var_sel :
@@ -91,6 +103,7 @@ val var_sel :
   ?sel_now:float ->
   unit ->
   t
+(* rodunits: cost:load-coeff -> sel_lo:1 -> sel_hi:1 -> _ *)
 (** Single-input operator whose selectivity drifts in [[sel_lo],[sel_hi]];
     [sel_now] defaults to the midpoint. *)
 

@@ -22,9 +22,11 @@
     Runs are deterministic given the config's [seed]. *)
 
 type config = {
-  net_delay : float;  (** One-way network latency, seconds (default 1 ms). *)
+  net_delay : float; (* rodunits: sim-sec *)
+      (** One-way network latency, seconds (default 1 ms). *)
   seed : int;  (** Selectivity/join randomness. *)
-  warmup : float;  (** Statistics ignore events before this time. *)
+  warmup : float; (* rodunits: sim-sec *)
+      (** Statistics ignore events before this time. *)
   shed_above : int option;
       (** Load shedding: when set, a tuple arriving at a node whose
           queue already holds this many items is dropped (and counted),
@@ -44,13 +46,14 @@ type config = {
 val default_config : config
 
 type dynamic_config = {
-  interval : float;  (** Controller wake-up period, seconds. *)
-  migration_delay : float;
+  interval : float; (* rodunits: sim-sec *)
+      (** Controller wake-up period, seconds. *)
+  migration_delay : float; (* rodunits: sim-sec *)
       (** Base pause while an operator's state moves between nodes (the
           paper reports "a few hundred milliseconds" base overhead in
           Borealis); the operator processes nothing during the pause and
           its input queues up. *)
-  drain_delay : float;
+  drain_delay : float; (* rodunits: sim-sec *)
       (** Drain window between the pause and the handoff: the old node
           keeps ownership while in-flight tuples settle into the
           operator's buffer.  Ownership flips only when the window
@@ -97,6 +100,7 @@ val run :
   until:float ->
   unit ->
   Sim_metrics.t
+(* rodunits: until:sim-sec -> _ *)
 (** Simulate the placed graph fed by per-input-stream arrival timestamp
     lists (ascending, as produced by {!Workload.Generators}), up to
     absolute time [until].  Work still queued at [until] is reported as

@@ -53,10 +53,12 @@ val validate : n_nodes:int -> n_ops:int -> schedule -> unit
     crashes of one node, or a schedule crashing every node. *)
 
 val capacity_factor : schedule -> node:int -> time:float -> float
+(* rodunits: time:sim-sec -> 1 *)
 (** Product of the factors of every slowdown window covering
     [(node, time)]; [1.] when none does. *)
 
 val extra_delay : schedule -> time:float -> float
+(* rodunits: time:sim-sec -> sim-sec *)
 (** Sum of the extras of every jitter window covering [time]. *)
 
 val crashes : schedule -> (float * int * int array) list

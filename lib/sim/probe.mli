@@ -35,6 +35,7 @@ val feasible_fraction :
   points:Linalg.Vec.t array ->
   unit ->
   float
+(* rodunits: 1 *)
 (** Fraction of the given rate points that probe feasible — the measured
     counterpart of the analytic feasible-set ratio. *)
 

@@ -14,7 +14,8 @@ type op_stat = {
     costs and selectivities from trial runs (§7.1). *)
 
 type t = {
-  duration : float;  (** Measured interval (after warm-up). *)
+  duration : float; (* rodunits: sim-sec *)
+      (** Measured interval (after warm-up). *)
   utilization : float array;  (** Per node: busy time / duration. *)
   latencies : Samples.t;  (** End-to-end latency of sink outputs. *)
   arrivals : int;  (** Source tuples injected (after warm-up). *)
@@ -34,9 +35,12 @@ type t = {
 val make_op_stat : arity:int -> op_stat
 
 val max_utilization : t -> float
+(* rodunits: 1 *)
 
 val mean_latency : t -> float
+(* rodunits: sim-sec *)
 
 val p95_latency : t -> float
+(* rodunits: sim-sec *)
 
 val pp : Format.formatter -> t -> unit

@@ -28,9 +28,11 @@ val trace :
     [mean_rate]. *)
 
 val cv_of_bias : bias:float -> levels:int -> float
+(* rodunits: bias:1 -> 1 *)
 (** Analytic coefficient of variation of a b-model series:
     [sqrt ((2 (bias^2 + (1-bias)^2))^levels - 1)] — used to pick a bias
     matching a target burstiness. *)
 
 val bias_for_cv : cv:float -> levels:int -> float
+(* rodunits: cv:1 -> 1 *)
 (** Inverse of {!cv_of_bias} (bisection on [0.5, 0.999]). *)

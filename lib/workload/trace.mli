@@ -6,25 +6,31 @@
     time-varying source rates). *)
 
 type t = {
-  dt : float;  (** Sampling interval, seconds; positive. *)
+  dt : float; (* rodunits: sim-sec *)
+      (** Sampling interval, seconds; positive. *)
   rates : float array;  (** One rate per interval; nonnegative. *)
 }
 
 val create : dt:float -> float array -> t
+(* rodunits: dt:sim-sec -> _ *)
 (** Validates positivity of [dt] and nonnegativity of rates. *)
 
 val length : t -> int
 
 val duration : t -> float
+(* rodunits: sim-sec *)
 (** [dt * length]. *)
 
 val rate_at : t -> float -> float
+(* rodunits: rate *)
 (** [rate_at trace time] is the rate of the interval containing [time];
     times past the end clamp to the last interval. *)
 
 val mean_rate : t -> float
+(* rodunits: rate *)
 
 val cv : t -> float
+(* rodunits: 1 *)
 (** Coefficient of variation of the rates (Figure 2's burstiness
     statistic). *)
 

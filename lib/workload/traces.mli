@@ -19,6 +19,7 @@ val all : kind list
 val name : kind -> string
 
 val target_cv : kind -> float
+(* rodunits: 1 *)
 (** The calibration target for each trace's coefficient of variation. *)
 
 val synthesize :

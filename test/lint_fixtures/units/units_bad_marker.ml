@@ -1,0 +1,3 @@
+(* rodunits-expect: units/bad-marker *)
+
+let x = 1.0

@@ -1,0 +1,1 @@
+val x : float (* rodunits: furlong *)

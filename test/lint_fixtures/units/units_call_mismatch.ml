@@ -1,0 +1,10 @@
+(* rodunits-expect: units/dim-mismatch-call *)
+
+let drift = 3.5
+let smooth ~alpha x = (alpha *. x) +. 0.0
+
+(* ~alpha is declared dimensionless but receives a rate. *)
+let smoothed = smooth ~alpha:drift 0.5
+
+(* Declared cpu-sec in the interface, but the body is a rate. *)
+let wrong = drift

@@ -1,0 +1,7 @@
+val drift : float (* rodunits: rate *)
+
+val smooth : alpha:float -> float -> float
+(* rodunits: alpha:1 -> sim-sec *)
+
+val smoothed : float (* rodunits: sim-sec *)
+val wrong : float (* rodunits: cpu-sec *)

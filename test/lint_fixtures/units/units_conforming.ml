@@ -1,0 +1,8 @@
+(* Conforming fixture: every operation composes dimensions correctly —
+   a rate times a load coefficient is a demand, subtracted from a
+   capacity of the same dimension. *)
+
+type snapshot = { rate : float; coeff : float; util : float }
+
+let demand s = s.rate *. s.coeff
+let headroom ~cap s = cap -. demand s

@@ -1,0 +1,13 @@
+(* A correctly-annotated interface: rates, load coefficients and
+   capacities compose without mixing. *)
+
+type snapshot = {
+  rate : float; (* rodunits: rate *)
+  coeff : float; (* rodunits: load-coeff *)
+  util : float; (* rodunits: 1 *)
+}
+
+val demand : snapshot -> float (* rodunits: cpu-sec/sim-sec *)
+
+val headroom : cap:float -> snapshot -> float
+(* rodunits: cap:cpu-sec/sim-sec -> cpu-sec/sim-sec *)

@@ -1,0 +1,8 @@
+(* Conforming despite the mixed add below: the ok-hatch vouches for it
+   (and is therefore used, so no unused-hatch fires either). *)
+
+let a = 1.0
+let b = 2.0
+
+(* rodunits: ok fixture demonstrates a used escape hatch *)
+let c = a +. b

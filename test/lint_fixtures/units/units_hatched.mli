@@ -1,0 +1,3 @@
+val a : float (* rodunits: sim-sec *)
+val b : float (* rodunits: rate *)
+val c : float (* rodunits: sim-sec *)

@@ -1,0 +1,7 @@
+(* rodunits-expect: units/mixed-add *)
+
+let latency = 0.25
+let arrival = 40.
+
+(* A latency plus an arrival rate is the canonical dimension bug. *)
+let skew = latency +. arrival

@@ -1,0 +1,3 @@
+val latency : float (* rodunits: sim-sec *)
+val arrival : float (* rodunits: rate *)
+val skew : float (* rodunits: sim-sec *)

@@ -1,0 +1,10 @@
+(* rodunits-expect: units/mixed-compare *)
+
+let budget = 1.5
+let deadline = 2.0
+
+(* Ordering a cpu budget against a wall-clock deadline... *)
+let tight = budget > deadline
+
+(* ...and taking the max of the two are both dimension errors. *)
+let worst = Float.max budget deadline

@@ -1,0 +1,4 @@
+val budget : float (* rodunits: cpu-sec *)
+val deadline : float (* rodunits: sim-sec *)
+val tight : bool
+val worst : float (* rodunits: cpu-sec *)

@@ -1,0 +1,4 @@
+(* rodunits-expect: units/unannotated-boundary *)
+
+let util = 0.5
+let mystery = util +. 1.0

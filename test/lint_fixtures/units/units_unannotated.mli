@@ -1,0 +1,5 @@
+val util : float (* rodunits: 1 *)
+
+(* No marker: in an annotated interface every exported float must
+   declare its dimension (or carry an allow entry). *)
+val mystery : float

@@ -1,0 +1,5 @@
+(* rodunits-expect: units/unused-hatch *)
+
+(* The hatch below vouches for a violation that does not exist; stale
+   hatches are findings themselves so they cannot rot in place. *)
+let span = 1.0 (* rodunits: ok nothing is wrong on this line *)

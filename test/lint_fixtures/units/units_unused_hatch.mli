@@ -1,0 +1,1 @@
+val span : float (* rodunits: sim-sec *)

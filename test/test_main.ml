@@ -23,6 +23,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("scan", Test_scan.suite);
       ("proto", Test_proto.suite);
+      ("units", Test_units.suite);
       ("obs", Test_obs.suite);
       ("keyed_props", Test_keyed_props.suite);
       ("benchdiff", Test_benchdiff.suite);

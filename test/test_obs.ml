@@ -152,20 +152,25 @@ let golden_events () =
 
 let check_golden ~fixture actual =
   let path = Filename.concat "fixtures/obs" fixture in
+  (* Mismatches land in the temp dir, never the CWD: running the test
+     binary from the repo root must not litter the source tree with
+     .actual files. *)
+  let actual_path =
+    Filename.concat (Filename.get_temp_dir_name ()) (fixture ^ ".actual")
+  in
   let promote =
-    Printf.sprintf "cp _build/default/test/%s.actual test/fixtures/obs/%s"
-      fixture fixture
+    Printf.sprintf "cp %s test/fixtures/obs/%s" actual_path fixture
   in
   if Sys.file_exists path then begin
     let expected = read_file path in
     if not (String.equal expected actual) then begin
-      write_file (fixture ^ ".actual") actual;
+      write_file actual_path actual;
       Alcotest.failf "golden mismatch for %s — inspect, then promote with: %s"
         fixture promote
     end
   end
   else begin
-    write_file (fixture ^ ".actual") actual;
+    write_file actual_path actual;
     Alcotest.failf "missing fixture %s — promote with: %s" fixture promote
   end
 

@@ -1,20 +1,15 @@
-(* rodlint [--allow FILE] [--fix] PATH...
+(* rodlint [--allow FILE] [--fix] [--sarif PATH] PATH...
 
    Lints every .ml file under the given paths (recursively; [_build]
    and dot-directories are skipped) and exits nonzero when any
    unsuppressed diagnostic remains, or when the allowlist has gone
    stale (an entry that suppresses nothing).  With --fix the pruned
    allowlist (stale entries dropped) is printed to stdout instead,
-   diagnostics moving to stderr. *)
+   diagnostics moving to stderr.  --sarif additionally writes the kept
+   findings as a SARIF 2.1.0 run, feeding the merged rod-analysis.sarif
+   artifact alongside the other three analyzers. *)
 
-let usage = "usage: rodlint [--allow FILE] [--fix] PATH..."
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
+let usage = "usage: rodlint [--allow FILE] [--fix] [--sarif PATH] PATH..."
 let is_ml path = Filename.check_suffix path ".ml"
 
 let rec collect acc path =
@@ -31,6 +26,7 @@ let rec collect acc path =
 let () =
   let allow_file = ref None in
   let fix = ref false in
+  let sarif = ref None in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -40,7 +36,10 @@ let () =
     | "--fix" :: rest ->
       fix := true;
       parse rest
-    | "--allow" :: [] ->
+    | "--sarif" :: path :: rest ->
+      sarif := Some path;
+      parse rest
+    | ("--allow" | "--sarif") :: [] ->
       prerr_endline usage;
       exit 2
     | ("--help" | "-help") :: _ ->
@@ -55,40 +54,35 @@ let () =
     prerr_endline usage;
     exit 2
   end;
-  let allowlist =
-    match !allow_file with
-    | None -> Analysis.Lint.empty_allowlist
-    | Some file -> (
-      try Analysis.Lint.load_allowlist file
-      with Failure msg ->
-        prerr_endline msg;
-        exit 2)
-  in
+  let allowlist = Analysis.Allowlist.load_or_exit ~tool:"rodlint" !allow_file in
   let files = List.fold_left collect [] (List.rev !paths) in
   let files = List.sort_uniq String.compare files in
   let diags = List.concat_map Analysis.Lint.lint_file files in
   let kept, suppressed = Analysis.Lint.split_allowed allowlist diags in
-  if !fix then begin
-    (match !allow_file with
-    | None ->
-      prerr_endline "rodlint: --fix requires --allow FILE";
-      exit 2
-    | Some file ->
-      print_string (Analysis.Lint.prune allowlist (read_file file));
-      List.iter (fun d -> prerr_endline (Analysis.Lint.render d)) kept;
-      List.iter
-        (fun (path, rule) ->
-          Printf.eprintf "pruned stale allowlist entry: %s %s\n" path rule)
-        (Analysis.Lint.unused_entries allowlist));
-    exit (if kept <> [] then 1 else 0)
-  end;
+  Option.iter
+    (fun path ->
+      let results =
+        List.map
+          (fun (d : Analysis.Lint.diag) ->
+            {
+              Analysis.Sarif.rule_id = d.rule;
+              level = "error";
+              message = d.message;
+              file = Some d.file;
+              line = Some d.line;
+              col = Some d.col;
+            })
+          kept
+      in
+      Analysis.Sarif.write ~path ~tool:"rodlint" results)
+    !sarif;
+  if !fix then
+    Analysis.Allowlist.fix_exit ~tool:"rodlint" ~allow_file:!allow_file
+      allowlist
+      ~rendered_kept:(List.map Analysis.Lint.render kept);
   List.iter (fun d -> print_endline (Analysis.Lint.render d)) kept;
-  let stale = Analysis.Lint.unused_entries allowlist in
-  List.iter
-    (fun (path, rule) ->
-      Printf.printf "stale allowlist entry: %s %s (suppresses nothing)\n" path
-        rule)
-    stale;
+  let stale = Analysis.Allowlist.unused allowlist in
+  Analysis.Allowlist.print_stale allowlist;
   Printf.printf "rodlint: %d files, %d findings (%d suppressed)%s\n"
     (List.length files) (List.length kept)
     (List.length suppressed)

@@ -17,12 +17,6 @@ let usage =
    PATH...\n\
   \       rodscan --fixtures DIR"
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let is_cmt path = Filename.check_suffix path ".cmt"
 
 let rec collect acc path =
@@ -176,42 +170,20 @@ let () =
       exit 2
     end;
     let allowlist =
-      match !allow_file with
-      | None -> Analysis.Lint.empty_allowlist
-      | Some file -> (
-        try Analysis.Lint.load_allowlist file
-        with Failure msg ->
-          prerr_endline msg;
-          exit 2)
+      Analysis.Allowlist.load_or_exit ~tool:"rodscan" !allow_file
     in
     let units = load_units (List.rev !paths) in
     let diags, stats = Analysis.Scan.scan_units units in
     let kept, suppressed = Analysis.Lint.split_allowed allowlist diags in
-    let stale = Analysis.Lint.unused_entries allowlist in
-    if !fix then begin
-      (* Print the pruned allowlist to stdout (diagnostics go to
-         stderr) so the caller can redirect it over the stale file. *)
-      match !allow_file with
-      | None ->
-        prerr_endline "rodscan: --fix requires --allow FILE";
-        exit 2
-      | Some file ->
-        print_string (Analysis.Lint.prune allowlist (read_file file));
-        List.iter (fun d -> prerr_endline (Analysis.Lint.render d)) kept;
-        List.iter
-          (fun (path, rule) ->
-            Printf.eprintf "pruned stale allowlist entry: %s %s\n" path rule)
-          stale;
-        exit (if kept <> [] then 1 else 0)
-    end;
+    let stale = Analysis.Allowlist.unused allowlist in
+    if !fix then
+      Analysis.Allowlist.fix_exit ~tool:"rodscan" ~allow_file:!allow_file
+        allowlist
+        ~rendered_kept:(List.map Analysis.Lint.render kept);
     if !json then print_json kept stats (List.length suppressed) stale
     else begin
       List.iter (fun d -> print_endline (Analysis.Lint.render d)) kept;
-      List.iter
-        (fun (path, rule) ->
-          Printf.printf
-            "stale allowlist entry: %s %s (suppresses nothing)\n" path rule)
-        stale
+      Analysis.Allowlist.print_stale allowlist
     end;
     Option.iter
       (fun path ->

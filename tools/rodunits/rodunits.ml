@@ -1,0 +1,222 @@
+(* rodunits [--allow FILE] [--fix] [--json] [--sarif PATH] [--stats] PATH...
+   rodunits --fixtures DIR
+
+   Dimensional analysis of the load-model arithmetic over the .cmt
+   files dune produces (see Analysis.Units for the dimension algebra
+   and rule catalogue).  PATHs are scanned recursively for .cmt files —
+   under dune that means pointing it at [lib] inside [_build/default],
+   where the cmts (.objs/byte), the source copies (for escape hatches)
+   and the interface copies (for the dimension markers) all live.
+
+   Exits nonzero when any unsuppressed finding remains, when the
+   allowlist has a stale entry, or — in --fixtures mode — when any
+   fixture's findings differ from its expect declaration. *)
+
+let usage =
+  "usage: rodunits [--allow FILE] [--fix] [--json] [--sarif PATH] [--stats] \
+   PATH...\n\
+  \       rodunits --fixtures DIR"
+
+let is_cmt path = Filename.check_suffix path ".cmt"
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc entry -> collect acc (Filename.concat path entry)) acc
+  else if is_cmt path then path :: acc
+  else acc
+
+let load_units paths =
+  List.fold_left collect [] paths
+  |> List.sort_uniq String.compare
+  |> List.filter_map Analysis.Scan.unit_of_cmt
+
+let sarif_results diags =
+  List.map
+    (fun (d : Analysis.Lint.diag) ->
+      {
+        Analysis.Sarif.rule_id = d.rule;
+        level = "error";
+        message = d.message;
+        file = Some d.file;
+        line = Some d.line;
+        col = Some d.col;
+      })
+    diags
+
+let print_json units diags stats suppressed stale =
+  let open Printf in
+  let esc = Analysis.Sarif.escape in
+  printf "{\n  \"schema\": \"rod-rodunits/1\",\n";
+  printf "  \"units\": %d,\n" units;
+  printf "  \"interfaces_annotated\": %d,\n"
+    stats.Analysis.Units.ifaces_annotated;
+  printf "  \"vals_annotated\": %d,\n" stats.Analysis.Units.vals_annotated;
+  printf "  \"fields_annotated\": %d,\n" stats.Analysis.Units.fields_annotated;
+  printf "  \"definitions\": %d,\n" stats.Analysis.Units.defs_walked;
+  printf "  \"hatches_used\": %d,\n" stats.Analysis.Units.hatches_used;
+  printf "  \"suppressed\": %d,\n" suppressed;
+  printf "  \"findings\": [\n";
+  List.iteri
+    (fun idx (d : Analysis.Lint.diag) ->
+      printf
+        "    { \"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \
+         \"%s\", \"message\": \"%s\" }%s\n"
+        (esc d.file) d.line d.col (esc d.rule) (esc d.message)
+        (if idx = List.length diags - 1 then "" else ","))
+    diags;
+  printf "  ],\n";
+  printf "  \"stale_allow\": [%s]\n"
+    (String.concat ", "
+       (List.map (fun (p, r) -> sprintf "\"%s %s\"" (esc p) (esc r)) stale));
+  printf "}\n"
+
+(* --- fixture self-test mode -------------------------------------------
+
+   Every fixture declares its expected rule ids in an expect comment; a
+   conforming fixture declares none.  Interface-side findings carry the
+   .mli path, so they are mapped back to the implementing .ml before
+   comparing — a fixture's expectations live in one file. *)
+
+let ml_of_diag_file file =
+  if Filename.check_suffix file ".mli" then Filename.chop_suffix file "i"
+  else file
+
+let run_fixtures dir =
+  let units = load_units [ dir ] in
+  if units = [] then begin
+    Printf.eprintf "rodunits --fixtures: no .cmt files under %s\n" dir;
+    exit 2
+  end;
+  let diags, _stats = Analysis.Units.check_units units in
+  let module SSet = Set.Make (String) in
+  let found = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Analysis.Lint.diag) ->
+      let file = ml_of_diag_file d.file in
+      let cur =
+        Option.value (Hashtbl.find_opt found file) ~default:SSet.empty
+      in
+      Hashtbl.replace found file (SSet.add d.rule cur))
+    diags;
+  let failures = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (u : Analysis.Scan.unit_info) ->
+      (* Skip dune's generated wrapper module (no source on disk). *)
+      if Sys.file_exists u.source then begin
+        incr checked;
+        let expected = SSet.of_list (Analysis.Units.expect_of_unit u) in
+        let got =
+          Option.value (Hashtbl.find_opt found u.source) ~default:SSet.empty
+        in
+        if SSet.equal expected got then
+          Printf.printf "fixture ok: %s%s\n" u.source
+            (if SSet.is_empty expected then " (conforming)"
+             else
+               Printf.sprintf " (rejected: %s)"
+                 (String.concat ", " (SSet.elements expected)))
+        else begin
+          incr failures;
+          Printf.printf "fixture FAIL: %s expected {%s} got {%s}\n" u.source
+            (String.concat ", " (SSet.elements expected))
+            (String.concat ", " (SSet.elements got));
+          List.iter
+            (fun (d : Analysis.Lint.diag) ->
+              if ml_of_diag_file d.file = u.source then
+                Printf.printf "  %s\n" (Analysis.Lint.render d))
+            diags
+        end
+      end)
+    (List.sort
+       (fun (a : Analysis.Scan.unit_info) b -> String.compare a.source b.source)
+       units);
+  Printf.printf "rodunits fixtures: %d checked, %d failed\n" !checked !failures;
+  if !failures > 0 || !checked = 0 then exit 1
+
+let () =
+  let allow_file = ref None in
+  let fix = ref false in
+  let json = ref false in
+  let sarif = ref None in
+  let stats_flag = ref false in
+  let fixtures = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allow" :: file :: rest ->
+      allow_file := Some file;
+      parse rest
+    | "--sarif" :: path :: rest ->
+      sarif := Some path;
+      parse rest
+    | "--fixtures" :: dir :: rest ->
+      fixtures := Some dir;
+      parse rest
+    | "--fix" :: rest ->
+      fix := true;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--stats" :: rest ->
+      stats_flag := true;
+      parse rest
+    | ("--help" | "-help") :: _ ->
+      print_endline usage;
+      exit 0
+    | ("--allow" | "--sarif" | "--fixtures") :: [] ->
+      prerr_endline usage;
+      exit 2
+    | p :: rest ->
+      paths := p :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !fixtures with
+  | Some dir -> run_fixtures dir
+  | None ->
+    if !paths = [] then begin
+      prerr_endline usage;
+      exit 2
+    end;
+    let allowlist =
+      Analysis.Allowlist.load_or_exit ~tool:"rodunits" !allow_file
+    in
+    let units = load_units (List.rev !paths) in
+    let diags, stats = Analysis.Units.check_units units in
+    let kept, suppressed = Analysis.Lint.split_allowed allowlist diags in
+    let stale = Analysis.Allowlist.unused allowlist in
+    if !fix then
+      Analysis.Allowlist.fix_exit ~tool:"rodunits" ~allow_file:!allow_file
+        allowlist
+        ~rendered_kept:(List.map Analysis.Lint.render kept);
+    if !json then
+      print_json (List.length units) kept stats (List.length suppressed) stale
+    else begin
+      List.iter (fun d -> print_endline (Analysis.Lint.render d)) kept;
+      Analysis.Allowlist.print_stale allowlist
+    end;
+    Option.iter
+      (fun path ->
+        Analysis.Sarif.write ~path ~tool:"rodunits"
+          ~rules:Analysis.Units.sarif_rules (sarif_results kept))
+      !sarif;
+    if !stats_flag && not !json then
+      Printf.printf
+        "rodunits --stats: %d passes (%s), %d rules, %d units, %d \
+         interfaces annotated (%d vals, %d fields), %d definitions, %d \
+         findings (%d allow-suppressed, %d hatches used, %d stale allow \
+         entries)\n"
+        (List.length Analysis.Units.passes)
+        (String.concat ", " Analysis.Units.passes)
+        (List.length Analysis.Units.rules)
+        (List.length units) stats.Analysis.Units.ifaces_annotated
+        stats.Analysis.Units.vals_annotated
+        stats.Analysis.Units.fields_annotated stats.Analysis.Units.defs_walked
+        (List.length kept) (List.length suppressed)
+        stats.Analysis.Units.hatches_used (List.length stale);
+    if not !json then
+      Printf.printf "rodunits: %d units, %d findings (%d suppressed)%s\n"
+        (List.length units) (List.length kept) (List.length suppressed)
+        (if kept = [] && stale = [] then "" else " — FAILED");
+    if kept <> [] || stale <> [] then exit 1

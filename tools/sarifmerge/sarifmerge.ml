@@ -1,0 +1,145 @@
+(* sarifmerge -o OUT IN.sarif...
+
+   Merge SARIF 2.1.0 logs into one document whose [runs] array is the
+   concatenation of the inputs' runs, in argument order — the shape
+   code-scanning uploads want: one artifact, one run per analyzer.
+
+   The extraction is a string-aware bracket scan rather than a full
+   JSON parser (the repo deliberately carries no JSON dependency, and
+   the inputs are our own Sarif emitter's output), but it is exact on
+   any well-formed document: strings and escapes are respected, so
+   brackets inside messages cannot unbalance the scan.
+
+   Exits 1 — after writing OUT — when any merged run carries a result,
+   so `make sarif` doubles as a gate while still always producing the
+   artifact CI uploads. *)
+
+let usage = "usage: sarifmerge -o OUT IN.sarif..."
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Position right after the opening '[' of the top-level "runs" key. *)
+let find_runs_open text =
+  let n = String.length text in
+  let key = "\"runs\"" in
+  let kl = String.length key in
+  let rec scan i in_string escaped =
+    if i >= n then None
+    else if in_string then
+      scan (i + 1) (escaped || text.[i] <> '"') (text.[i] = '\\' && not escaped)
+    else if text.[i] = '"' && i + kl <= n && String.sub text i kl = key then begin
+      (* Skip to the '[' that opens the array value. *)
+      let rec to_bracket j =
+        if j >= n then None
+        else
+          match text.[j] with
+          | '[' -> Some (j + 1)
+          | ':' | ' ' | '\t' | '\n' | '\r' -> to_bracket (j + 1)
+          | _ -> None
+      in
+      to_bracket (i + kl)
+    end
+    else if text.[i] = '"' then scan (i + 1) true false
+    else scan (i + 1) false false
+  in
+  scan 0 false false
+
+(* The matching ']' for an array whose '[' sits just before [start]. *)
+let find_close text start =
+  let n = String.length text in
+  let rec scan i depth in_string escaped =
+    if i >= n then None
+    else if in_string then
+      scan (i + 1) depth (escaped || text.[i] <> '"')
+        (text.[i] = '\\' && not escaped)
+    else
+      match text.[i] with
+      | '"' -> scan (i + 1) depth true false
+      | '[' | '{' -> scan (i + 1) (depth + 1) false false
+      | ']' | '}' when depth > 0 -> scan (i + 1) (depth - 1) false false
+      | ']' -> Some i
+      | _ -> scan (i + 1) depth false false
+  in
+  scan start 0 false false
+
+let runs_of path =
+  let text = read_file path in
+  match find_runs_open text with
+  | None -> Error (Printf.sprintf "%s: no top-level \"runs\" array" path)
+  | Some start -> (
+    match find_close text start with
+    | None -> Error (Printf.sprintf "%s: unterminated \"runs\" array" path)
+    | Some close -> Ok (String.trim (String.sub text start (close - start))))
+
+(* Every SARIF result object carries exactly one "ruleId" (rule-table
+   entries use "id"), so counting occurrences counts findings. *)
+let count_results inner =
+  let key = "\"ruleId\"" in
+  let kl = String.length key and n = String.length inner in
+  let rec scan i count in_string escaped =
+    if i >= n then count
+    else if in_string then
+      scan (i + 1) count
+        (escaped || inner.[i] <> '"')
+        (inner.[i] = '\\' && not escaped)
+    else if inner.[i] = '"' && i + kl <= n && String.sub inner i kl = key then
+      scan (i + kl) (count + 1) false false
+    else if inner.[i] = '"' then scan (i + 1) count true false
+    else scan (i + 1) count false false
+  in
+  scan 0 0 false false
+
+let () =
+  let out = ref None and inputs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "-o" :: path :: rest ->
+      out := Some path;
+      parse rest
+    | ("-o" | "--help" | "-help") :: _ ->
+      prerr_endline usage;
+      exit 2
+    | p :: rest ->
+      inputs := p :: !inputs;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let inputs = List.rev !inputs in
+  match (!out, inputs) with
+  | None, _ | _, [] ->
+    prerr_endline usage;
+    exit 2
+  | Some out, inputs ->
+    let runs =
+      List.map
+        (fun path ->
+          match runs_of path with
+          | Ok inner -> inner
+          | Error msg ->
+            Printf.eprintf "sarifmerge: %s\n" msg;
+            exit 2)
+        inputs
+    in
+    let runs = List.filter (fun inner -> inner <> "") runs in
+    let buffer = Buffer.create 4096 in
+    Buffer.add_string buffer "{\n";
+    Buffer.add_string buffer
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+    Buffer.add_string buffer "  \"version\": \"2.1.0\",\n";
+    Buffer.add_string buffer "  \"runs\": [\n    ";
+    Buffer.add_string buffer (String.concat ",\n    " runs);
+    Buffer.add_string buffer "\n  ]\n}\n";
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Buffer.output_buffer oc buffer);
+    let findings =
+      List.fold_left (fun acc inner -> acc + count_results inner) 0 runs
+    in
+    Printf.printf "sarifmerge: %d runs, %d findings -> %s\n" (List.length runs)
+      findings out;
+    if findings > 0 then exit 1
